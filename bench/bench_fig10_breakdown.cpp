@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 10 reproduction: area and runtime percentage breakdowns for
+ * the Pareto points A-D of Figure 9 (the fastest design per bandwidth
+ * tier 512 GB/s .. 4 TB/s).
+ *
+ * Expected shape: moving from A to D, the SumCheck area share grows
+ * (more bandwidth feeds more SumCheck PEs) while the MSM unit's
+ * absolute area stays flat; SumCheck-related runtime shares shrink.
+ */
+#include "report.hpp"
+#include "sim/dse.hpp"
+
+int
+main()
+{
+    using namespace zkspeed;
+    using namespace zkspeed::sim;
+
+    Workload wl = Workload::mock(20);
+    const double tiers[] = {512, 1024, 2048, 4096};
+    const char *names[] = {"A", "B", "C", "D"};
+
+    std::vector<DsePoint> picks;
+    for (double bw : tiers) {
+        auto grid = Dse::grid_for_bandwidth(bw);
+        for (auto &c : grid) c.sram_target_mu = 20;
+        auto front = Dse::pareto(Dse::evaluate(grid, wl));
+        picks.push_back(front.front());  // fastest on this frontier
+    }
+
+    bench::title("Figure 10 (left): area percentage breakdown");
+    bench::Table at({{"Point", 7}, {"Sumcheck", 10}, {"MSM", 8},
+                     {"MLE Comb", 10}, {"MTU", 7}, {"OnchipMem", 11},
+                     {"HBM PHY", 9}, {"Misc", 7}, {"Total mm^2", 12}});
+    for (int i = 0; i < 4; ++i) {
+        Chip chip(picks[i].config);
+        AreaBreakdown a = chip.area();
+        double tot = a.total();
+        auto pct = [&](double v) { return bench::fmt(100 * v / tot, 1); };
+        at.row({names[i], pct(a.sumcheck + a.mle_update), pct(a.msm),
+                pct(a.mle_combine), pct(a.mtu), pct(a.sram),
+                pct(a.hbm_phy),
+                pct(a.construct_nd + a.fracmle + a.other),
+                bench::fmt(tot, 1)});
+    }
+
+    bench::title("Figure 10 (right): runtime percentage breakdown");
+    bench::Table rt({{"Point", 7}, {"WitnessMSM", 12}, {"WiringMSM", 11},
+                     {"PolyOpenMSM", 13}, {"ZeroCheck", 11},
+                     {"PermCheck", 11}, {"OpenCheck", 11},
+                     {"FinalEval", 11}, {"Total ms", 10}});
+    for (int i = 0; i < 4; ++i) {
+        Chip chip(picks[i].config);
+        auto rep = chip.run(wl);
+        double tot = double(rep.total_cycles);
+        auto pct = [&](const char *k) {
+            auto it = rep.kernel_cycles.find(k);
+            double v = it == rep.kernel_cycles.end() ? 0 : double(it->second);
+            return bench::fmt(100 * v / tot, 1);
+        };
+        rt.row({names[i], pct("Witness MSMs"), pct("Wiring MSMs"),
+                pct("PolyOpen MSMs"), pct("ZeroCheck"), pct("PermCheck"),
+                pct("OpenCheck"), pct("FinalEval"),
+                bench::fmt(rep.runtime_ms, 3)});
+    }
+    std::printf("\nExpected: SumCheck area share rises A->D; total "
+                "runtime falls; SumCheck runtime shares shrink.\n");
+    return 0;
+}

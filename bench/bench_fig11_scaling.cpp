@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 11 reproduction: MSM and SumCheck scaling with PE count and
+ * memory bandwidth. Speedups are normalized to 1 PE at 512 GB/s.
+ *
+ * Expected shape: MSMs are compute-bound — near-linear scaling in PEs,
+ * insensitive to bandwidth (sublinear at the top due to Polynomial
+ * Opening serialization). SumChecks are memory-bound — they scale with
+ * PEs only until the bandwidth saturates, then plateau; more bandwidth
+ * raises the plateau.
+ */
+#include "report.hpp"
+#include "sim/chip.hpp"
+
+namespace {
+
+using namespace zkspeed::sim;
+
+/** Total cycles of all MSM work in a proof at 2^20 gates. */
+uint64_t
+msm_cycles(const DesignConfig &cfg)
+{
+    Chip chip(cfg);
+    auto rep = chip.run(Workload::mock(20));
+    return rep.kernel_cycles.at("Witness MSMs") +
+           rep.kernel_cycles.at("Wiring MSMs") +
+           rep.kernel_cycles.at("PolyOpen MSMs");
+}
+
+/** Total cycles of all SumCheck work in a proof at 2^20 gates. */
+uint64_t
+sumcheck_cycles(const DesignConfig &cfg)
+{
+    Chip chip(cfg);
+    auto rep = chip.run(Workload::mock(20));
+    return rep.kernel_cycles.at("ZeroCheck") +
+           rep.kernel_cycles.at("PermCheck") +
+           rep.kernel_cycles.at("OpenCheck");
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace zkspeed;
+    const double bws[] = {512, 1024, 2048, 4096};
+
+    bench::title("Figure 11 (left): MSM speedup vs PEs and bandwidth");
+    {
+        DesignConfig base = DesignConfig::paper_default();
+        base.msm_cores = 1;
+        base.msm_pes_per_core = 1;
+        base.bandwidth_gbps = 512;
+        uint64_t ref = msm_cycles(base);
+        bench::Table t({{"MSM PEs", 9}, {"512 GB/s", 10}, {"1 TB/s", 9},
+                        {"2 TB/s", 9}, {"4 TB/s", 9}});
+        for (int pes : {1, 2, 4, 8, 16}) {
+            std::vector<std::string> row = {bench::fmt_int(pes)};
+            for (double bw : bws) {
+                DesignConfig cfg = base;
+                cfg.msm_pes_per_core = pes;
+                cfg.bandwidth_gbps = bw;
+                row.push_back(
+                    bench::fmt(double(ref) / double(msm_cycles(cfg)), 2));
+            }
+            t.row(row);
+        }
+    }
+
+    bench::title("Figure 11 (right): SumCheck speedup vs PEs and BW");
+    {
+        DesignConfig base = DesignConfig::paper_default();
+        base.sumcheck_pes = 1;
+        base.mle_update_pes = 1;
+        base.mle_update_modmuls = 4;
+        base.bandwidth_gbps = 512;
+        uint64_t ref = sumcheck_cycles(base);
+        bench::Table t({{"SC PEs", 8}, {"512 GB/s", 10}, {"1 TB/s", 9},
+                        {"2 TB/s", 9}, {"4 TB/s", 9}});
+        for (int pes : {1, 2, 4, 8, 16}) {
+            std::vector<std::string> row = {bench::fmt_int(pes)};
+            for (double bw : bws) {
+                DesignConfig cfg = base;
+                cfg.sumcheck_pes = pes;
+                // MLE Update scales alongside the SumCheck PEs.
+                cfg.mle_update_pes = std::min(11, pes);
+                cfg.bandwidth_gbps = bw;
+                row.push_back(bench::fmt(
+                    double(ref) / double(sumcheck_cycles(cfg)), 2));
+            }
+            t.row(row);
+        }
+    }
+    std::printf("\nExpected: MSM column-invariant (compute-bound), "
+                "SumCheck plateaus per bandwidth (memory-bound).\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 12 reproduction: proving-time breakdown at 2^20 gates, CPU
+ * (kernel granularity, Fig. 12a) vs zkSpeed at 2 TB/s (protocol-step
+ * granularity, Fig. 12b).
+ */
+#include "report.hpp"
+#include "sim/chip.hpp"
+#include "sim/cpu_model.hpp"
+
+int
+main()
+{
+    using namespace zkspeed;
+    using namespace zkspeed::sim;
+
+    bench::title("Figure 12a: CPU runtime breakdown at 2^20 gates");
+    {
+        auto kernels = CpuModel::kernel_ms(20);
+        double total = CpuModel::total_ms(20);
+        bench::Table t({{"Kernel", 18}, {"ms", 10}, {"Share", 8}});
+        for (const auto &[k, ms] : kernels) {
+            t.row({k, bench::fmt(ms, 1),
+                   bench::fmt(100 * ms / total, 1) + "%"});
+        }
+        std::printf("Total: %.0f ms (paper: 8619 ms)\n", total);
+    }
+
+    bench::title("Figure 12b: zkSpeed (2 TB/s) step breakdown at 2^20");
+    {
+        Chip chip(DesignConfig::paper_default());
+        auto rep = chip.run(Workload::mock(20));
+        bench::Table t({{"Step", 26}, {"ms", 10}, {"Share", 8},
+                        {"Paper share", 12}});
+        const std::pair<const char *, double> paper[] = {
+            {"Witness MSMs", 7.8},
+            {"Gate Identity", 8.2},
+            {"Wire Identity", 48.5},
+            {"Batch Evals & Poly Open", 35.4},
+        };
+        for (const auto &[step, ref] : paper) {
+            double ms = double(rep.step_cycles.at(step)) / 1e6;
+            t.row({step, bench::fmt(ms, 2),
+                   bench::fmt(100 * ms / rep.runtime_ms, 1) + "%",
+                   bench::fmt(ref, 1) + "%"});
+        }
+        std::printf("Total: %.2f ms (paper: 11.405 ms)\n",
+                    rep.runtime_ms);
+    }
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 9 reproduction: area/runtime Pareto frontiers at 2^20 gates
+ * for seven off-chip bandwidths, plus the global frontier and the
+ * highlighted points A-D.
+ *
+ * Expected shape: HBM3-scale bandwidths (1-4 TB/s) dominate the
+ * high-performance (left) end; above ~300 mm^2 the globally optimal
+ * designs run >2x faster than any 512 GB/s design; low-bandwidth
+ * frontiers remain viable at relaxed runtime targets.
+ */
+#include "report.hpp"
+#include "sim/cpu_model.hpp"
+#include "sim/dse.hpp"
+
+int
+main()
+{
+    using namespace zkspeed;
+    using namespace zkspeed::sim;
+
+    Workload wl = Workload::mock(20);
+    bench::title("Figure 9: Pareto frontiers, 2^20 gates");
+    std::printf("Sweeping the full Table-2 design space "
+                "(%zu configs per bandwidth x 7 bandwidths)...\n",
+                Dse::grid_for_bandwidth(64).size());
+    auto sweep = Dse::sweep(wl, /*sram_target_mu=*/20);
+
+    for (const auto &[bw, front] : sweep.per_bw) {
+        std::printf("\n-- %g GB/s frontier (%zu points, showing knees)\n",
+                    bw, front.size());
+        bench::Table t({{"Runtime (ms)", 14},
+                        {"Area (mm^2)", 13},
+                        {"Config", 70}});
+        // Print a decimated view: every k-th point.
+        size_t stride = std::max<size_t>(1, front.size() / 8);
+        for (size_t i = 0; i < front.size(); i += stride) {
+            t.row({bench::fmt(front[i].runtime_ms, 3),
+                   bench::fmt(front[i].area_mm2, 1),
+                   front[i].config.describe()});
+        }
+    }
+
+    std::printf("\n-- Global Pareto frontier (designs under 50 ms)\n");
+    bench::Table g({{"Runtime (ms)", 14},
+                    {"Area (mm^2)", 13},
+                    {"BW (GB/s)", 11},
+                    {"Config", 64}});
+    for (const auto &p : sweep.global) {
+        if (p.runtime_ms > 50) continue;
+        g.row({bench::fmt(p.runtime_ms, 3), bench::fmt(p.area_mm2, 1),
+               bench::fmt(p.config.bandwidth_gbps, 0),
+               p.config.describe()});
+    }
+
+    // Highlighted points A-D: fastest design per bandwidth tier.
+    bench::title("Pareto points A-D (fastest per bandwidth)");
+    const char *names[] = {"A", "B", "C", "D"};
+    double tiers[] = {512, 1024, 2048, 4096};
+    for (int i = 0; i < 4; ++i) {
+        for (const auto &[bw, front] : sweep.per_bw) {
+            if (bw != tiers[i] || front.empty()) continue;
+            const auto &p = front.front();
+            std::printf("%s: %7.3f ms, %7.1f mm^2  @ %g GB/s  (%s)\n",
+                        names[i], p.runtime_ms, p.area_mm2, bw,
+                        p.config.describe().c_str());
+        }
+    }
+
+    // Headline claims.
+    double best512 = 1e300, best_global_300 = 1e300;
+    for (const auto &[bw, front] : sweep.per_bw) {
+        if (bw == 512) {
+            for (const auto &p : front) {
+                best512 = std::min(best512, p.runtime_ms);
+            }
+        }
+    }
+    for (const auto &p : sweep.global) {
+        if (p.area_mm2 >= 300) {
+            best_global_300 = std::min(best_global_300, p.runtime_ms);
+        }
+    }
+    std::printf("\nBeyond 300 mm^2: global-optimal vs best 512 GB/s "
+                "design: %.2fx (paper: >2x)\n",
+                best512 / best_global_300);
+    std::printf("Speedup of best >=300mm^2 design over CPU at 2^20: "
+                "%.0fx (paper: >700x)\n",
+                CpuModel::total_ms(20) / best_global_300);
+    return 0;
+}

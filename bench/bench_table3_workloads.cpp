@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 3 reproduction: end-to-end runtimes on the five real-world
+ * workloads for the fixed highlighted design (Table 5 configuration,
+ * 2 TB/s), against the CPU baseline.
+ *
+ * Expected shape: speedups in the 700-900x range, rising with problem
+ * size, geomean ~800x.
+ */
+#include "report.hpp"
+#include "sim/chip.hpp"
+#include "sim/cpu_model.hpp"
+
+int
+main()
+{
+    using namespace zkspeed;
+    using namespace zkspeed::sim;
+
+    // Paper-reported values for side-by-side comparison.
+    const double paper_cpu[] = {1429, 8619, 18637, 37469, 74052};
+    const double paper_zk[] = {1.984, 11.405, 22.082, 43.451, 86.181};
+
+    Chip chip(DesignConfig::paper_default());
+    bench::title("Table 3: zkSpeed on real-world workloads");
+    bench::Table t({{"Workload", 30}, {"Size", 7},
+                    {"CPU ms (model)", 16}, {"CPU ms (paper)", 16},
+                    {"zkSpeed ms", 12}, {"zkSpeed (paper)", 17},
+                    {"Speedup", 10}});
+    std::vector<double> speedups;
+    auto wls = Workload::paper_workloads();
+    for (size_t i = 0; i < wls.size(); ++i) {
+        const auto &wl = wls[i];
+        double cpu = CpuModel::total_ms(wl.mu);
+        auto rep = chip.run(wl);
+        double sp = cpu / rep.runtime_ms;
+        speedups.push_back(sp);
+        t.row({wl.name, "2^" + std::to_string(wl.mu),
+               bench::fmt(cpu, 0), bench::fmt(paper_cpu[i], 0),
+               bench::fmt(rep.runtime_ms, 3), bench::fmt(paper_zk[i], 3),
+               bench::fmt(sp, 0) + "x"});
+    }
+    std::printf("\nGeomean speedup: %.0fx (paper: 801x)\n",
+                bench::geomean(speedups));
+    std::printf("Design: %s\n",
+                DesignConfig::paper_default().describe().c_str());
+    AreaBreakdown a = chip.area();
+    std::printf("Total area: %.1f mm^2 (paper: 366.46 mm^2)\n",
+                a.total());
+    return 0;
+}

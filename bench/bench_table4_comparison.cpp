@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Table 4 reproduction: cross-accelerator comparison at 2^24
+ * constraints/gates. NoCap and SZKP+ are closed-source comparators;
+ * their columns are quoted from the paper (marked "[quoted]"). The
+ * zkSpeed column is regenerated from our models, and the protocol-level
+ * rows (proof size, verifier cost) from our own HyperPlonk
+ * implementation's structure.
+ */
+#include "report.hpp"
+#include "sim/chip.hpp"
+#include "sim/cpu_model.hpp"
+#include "sim/tech.hpp"
+
+namespace {
+
+/** Wire size of our HyperPlonk proof at 2^mu gates (see
+ * hyperplonk::Proof::size_bytes; counted analytically here). */
+double
+proof_kb(size_t mu)
+{
+    const double g1 = 97.0, fr = 32.0;
+    double sumchecks = double(mu) * (5 + 6 + 3) * fr;  // zero/perm/open
+    double evals = 22 * fr;
+    double comms = 5 * g1;  // 3 witness + phi + pi
+    double opening = fr + double(mu) * g1;
+    return (sumchecks + evals + comms + opening) / 1024.0;
+}
+
+/** Modular multiplier instances in the highlighted design. */
+int
+modmul_count(const zkspeed::sim::DesignConfig &cfg)
+{
+    using namespace zkspeed::sim;
+    int msm = cfg.msm_cores * cfg.msm_pes_per_core * kPaddModmuls;
+    int sc = cfg.sumcheck_pes * kSumcheckPeModmuls;
+    int upd = cfg.mle_update_pes * cfg.mle_update_modmuls;
+    int mtu = MtuUnit(cfg).leaf_pes();
+    int frac = cfg.inversion_batch - 1 + 2;
+    return msm + sc + upd + mtu + frac + kMleCombineModmuls +
+           kConstructNdModmuls;
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace zkspeed;
+    using namespace zkspeed::sim;
+
+    DesignConfig cfg = DesignConfig::paper_default();
+    cfg.sram_target_mu = 23;
+    Chip chip(cfg);
+    Workload wl = Workload::mock(24);
+    auto rep = chip.run(wl);
+    AreaBreakdown a = chip.area();
+
+    bench::title("Table 4: accelerator comparison at 2^24 gates");
+    bench::Table t({{"Metric", 22}, {"NoCap [quoted]", 17},
+                    {"SZKP+ [quoted]", 17}, {"zkSpeed (ours)", 18},
+                    {"zkSpeed [paper]", 17}});
+    t.row({"Protocol", "Spartan+Orion", "Groth16", "HyperPlonk",
+           "HyperPlonk"});
+    t.row({"Main kernels", "NTT & SumCheck", "NTT & MSM",
+           "SumCheck & MSM", "SumCheck & MSM"});
+    t.row({"Encoding", "R1CS", "R1CS", "Plonk", "Plonk"});
+    t.row({"Proof size", "8.1 MB", "0.18 KB",
+           bench::fmt(proof_kb(24), 2) + " KB", "5.09 KB"});
+    t.row({"Setup", "none", "circuit-specific", "universal",
+           "universal"});
+    t.row({"Bit-width", "64", "255/381", "255/381", "255/381"});
+    t.row({"CPU prover (s)", "94.2", "51.18",
+           bench::fmt(CpuModel::total_ms(24) / 1000.0, 1), "145.5"});
+    t.row({"HW prover (ms)", "151.3", "28.43",
+           bench::fmt(rep.runtime_ms, 2), "171.61"});
+    t.row({"Chip area (mm^2)", "38.73", "353.2",
+           bench::fmt(a.total(), 1), "366.46"});
+    t.row({"# modmuls", "2432", "1720",
+           bench::fmt_int(uint64_t(modmul_count(cfg))), "1206"});
+    t.row({"Power (W)", "62", ">220",
+           bench::fmt(rep.total_power, 1), "170.88"});
+    std::printf("\nNotes: our proof size counts every sumcheck round "
+                "message explicitly; the paper's 5.09 KB reflects the "
+                "Espresso implementation's tighter batching. Verifier "
+                "cost: our pairing-mode verifier is dominated by mu+1 "
+                "pairings plus O(mu) field work (paper: 26 ms).\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table 5 reproduction: area and average-power breakdown of the
+ * highlighted zkSpeed design (1 MSM unit with 16 PEs / W=9 / 2K
+ * points per PE, 2 SumCheck PEs, 11x4 MLE Update, 1 FracMLE, 2 TB/s).
+ */
+#include "report.hpp"
+#include "sim/chip.hpp"
+
+int
+main()
+{
+    using namespace zkspeed;
+    using namespace zkspeed::sim;
+
+    Chip chip(DesignConfig::paper_default());
+    AreaBreakdown a = chip.area();
+    auto rep = chip.run(Workload::mock(20));
+
+    bench::title("Table 5: area and power of the highlighted design");
+    bench::Table t({{"Module", 22}, {"Area mm^2", 11},
+                    {"Paper mm^2", 12}, {"Power W", 9},
+                    {"Paper W", 9}});
+    auto power = [&](const char *k) {
+        auto it = rep.power.find(k);
+        return it == rep.power.end() ? 0.0 : it->second;
+    };
+    t.row({"MSM (16 PEs)", bench::fmt(a.msm), "105.64",
+           bench::fmt(power("MSM")), "76.19"});
+    t.row({"SumCheck (2 PEs)", bench::fmt(a.sumcheck), "24.96",
+           bench::fmt(power("SumCheck")), "5.38"});
+    t.row({"Construct N&D", bench::fmt(a.construct_nd), "1.35",
+           bench::fmt(power("Construct N&D")), "0.19"});
+    t.row({"FracMLE", bench::fmt(a.fracmle), "1.92",
+           bench::fmt(power("FracMLE")), "0.25"});
+    t.row({"MLE Combine", bench::fmt(a.mle_combine), "9.56",
+           bench::fmt(power("MLE Combine")), "0.34"});
+    t.row({"MLE Update", bench::fmt(a.mle_update), "5.84",
+           bench::fmt(power("MLE Update")), "1.13"});
+    t.row({"Multifunction Tree", bench::fmt(a.mtu), "12.28",
+           bench::fmt(power("Multifunction Tree")), "4.16"});
+    t.row({"Other", bench::fmt(a.other), "1.98",
+           bench::fmt(power("Other")), "0.04"});
+    t.row({"Total Compute", bench::fmt(a.compute_total()), "163.53",
+           "", ""});
+    t.row({"SRAM", bench::fmt(a.sram), "143.73",
+           bench::fmt(power("SRAM")), "19.60"});
+    t.row({"HBM3 (2 PHYs)", bench::fmt(a.hbm_phy), "59.20",
+           bench::fmt(power("HBM PHY")), "63.60"});
+    t.row({"Total Memory", bench::fmt(a.memory_total()), "202.93", "",
+           ""});
+    t.row({"Total", bench::fmt(a.total()), "366.46",
+           bench::fmt(rep.total_power), "170.88"});
+
+    double density = rep.total_power / a.total();
+    std::printf("\nPower density: %.2f W/mm^2 (paper: 0.46, within the "
+                "CPU's envelope)\n", density);
+    return 0;
+}

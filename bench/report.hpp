@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared console-report helpers for the reproduction benches: fixed
+ * width tables, geometric means and paper-vs-measured annotations.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace zkspeed::bench {
+
+/** Print a rule + centered title. */
+inline void
+title(const std::string &t)
+{
+    std::printf("\n=== %s ===\n", t.c_str());
+}
+
+/** Simple fixed-width row printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::pair<std::string, int>> columns)
+        : cols_(std::move(columns))
+    {
+        for (const auto &[name, w] : cols_) {
+            std::printf("%-*s", w, name.c_str());
+        }
+        std::printf("\n");
+        int total = 0;
+        for (const auto &[name, w] : cols_) total += w;
+        std::printf("%s\n", std::string(total, '-').c_str());
+    }
+
+    void
+    row(const std::vector<std::string> &cells)
+    {
+        for (size_t i = 0; i < cells.size() && i < cols_.size(); ++i) {
+            std::printf("%-*s", cols_[i].second, cells[i].c_str());
+        }
+        std::printf("\n");
+    }
+
+  private:
+    std::vector<std::pair<std::string, int>> cols_;
+};
+
+inline std::string
+fmt(double v, int prec = 2)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+inline std::string
+fmt_int(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/** Geometric mean of a list of ratios. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty()) return 0;
+    double acc = 0;
+    for (double x : xs) acc += std::log(x);
+    return std::exp(acc / double(xs.size()));
+}
+
+}  // namespace zkspeed::bench

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Accelerator design explorer: the workflow of the paper's Section 7
+ * as a tool. Given a target workload size, an area budget and a latency
+ * goal, sweep the zkSpeed design space and recommend a configuration,
+ * printing its full area/power/runtime report.
+ *
+ * Usage: design_explorer [mu] [area_budget_mm2] [latency_ms]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/cpu_model.hpp"
+#include "sim/dse.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace zkspeed::sim;
+
+    size_t mu = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20;
+    double area_budget =
+        argc > 2 ? std::strtod(argv[2], nullptr) : 400.0;
+    double latency_goal =
+        argc > 3 ? std::strtod(argv[3], nullptr) : 20.0;
+
+    Workload wl = Workload::mock(mu);
+    std::printf("Exploring zkSpeed designs for 2^%zu gates "
+                "(budget %.0f mm^2, goal %.1f ms)...\n",
+                mu, area_budget, latency_goal);
+
+    auto sweep = Dse::sweep(wl, /*sram_target_mu=*/mu);
+    std::printf("Global Pareto frontier: %zu designs\n",
+                sweep.global.size());
+
+    // Recommend: cheapest design meeting the latency goal; otherwise
+    // the fastest within the budget.
+    const DsePoint *pick = nullptr;
+    for (const auto &p : sweep.global) {
+        if (p.runtime_ms <= latency_goal && p.area_mm2 <= area_budget) {
+            if (pick == nullptr || p.area_mm2 < pick->area_mm2) {
+                pick = &p;
+            }
+        }
+    }
+    if (pick == nullptr) {
+        std::printf("No design meets both constraints; showing the "
+                    "fastest within budget.\n");
+        for (const auto &p : sweep.global) {
+            if (p.area_mm2 <= area_budget &&
+                (pick == nullptr || p.runtime_ms < pick->runtime_ms)) {
+                pick = &p;
+            }
+        }
+    }
+    if (pick == nullptr) {
+        std::printf("Area budget too small for any design.\n");
+        return 1;
+    }
+
+    std::printf("\nRecommended design:\n  %s\n",
+                pick->config.describe().c_str());
+    Chip chip(pick->config);
+    auto rep = chip.run(wl);
+    AreaBreakdown a = chip.area();
+    std::printf("  runtime: %.3f ms  (CPU baseline: %.0f ms -> %.0fx)\n",
+                rep.runtime_ms, CpuModel::total_ms(mu),
+                CpuModel::total_ms(mu) / rep.runtime_ms);
+    std::printf("  area: %.1f mm^2 (compute %.1f, SRAM %.1f, PHY %.1f)\n",
+                a.total(), a.compute_total(), a.sram, a.hbm_phy);
+    std::printf("  average power: %.1f W\n", rep.total_power);
+    std::printf("  step breakdown:\n");
+    for (const auto &[step, cyc] : rep.step_cycles) {
+        std::printf("    %-26s %8.3f ms (%4.1f%%)\n", step.c_str(),
+                    double(cyc) / 1e6,
+                    100.0 * double(cyc) / double(rep.total_cycles));
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Quadratic extension Fq12 = Fq6[w] / (w^2 - v).
+ *
+ * Target group of the BLS12-381 pairing.
+ */
+#pragma once
+
+#include "curve/fq6.hpp"
+
+namespace zkspeed::curve {
+
+class Fq12
+{
+  public:
+    Fq6 c0{};
+    Fq6 c1{};
+
+    constexpr Fq12() = default;
+    Fq12(const Fq6 &a, const Fq6 &b) : c0(a), c1(b) {}
+
+    static Fq12 zero() { return Fq12(); }
+    static Fq12 one() { return Fq12(Fq6::one(), Fq6::zero()); }
+
+    bool operator==(const Fq12 &o) const = default;
+    bool is_one() const { return c0.is_one() && c1.is_zero(); }
+
+    Fq12 operator+(const Fq12 &o) const { return {c0 + o.c0, c1 + o.c1}; }
+    Fq12 operator-(const Fq12 &o) const { return {c0 - o.c0, c1 - o.c1}; }
+
+    Fq12
+    operator*(const Fq12 &o) const
+    {
+        Fq6 aa = c0 * o.c0;
+        Fq6 bb = c1 * o.c1;
+        Fq6 cc = (c0 + c1) * (o.c0 + o.c1);
+        return {aa + bb.mul_by_nonresidue(), cc - aa - bb};
+    }
+
+    Fq12 &operator*=(const Fq12 &o) { return *this = *this * o; }
+
+    Fq12 square() const { return *this * *this; }
+
+    /**
+     * Sparse multiplication by an element with Fq2 coefficients
+     * (c0 + c1 v) + (c4 v) w — the shape produced by Miller-loop line
+     * evaluations on an M-twist curve.
+     */
+    Fq12
+    mul_by_014(const Fq2 &d0, const Fq2 &d1, const Fq2 &d4) const
+    {
+        Fq6 aa = c0.mul_by_01(d0, d1);
+        Fq6 bb = c1.mul_by_1(d4);
+        Fq2 o = d1 + d4;
+        Fq6 new_c1 = (c0 + c1).mul_by_01(d0, o) - aa - bb;
+        Fq6 new_c0 = bb.mul_by_nonresidue() + aa;
+        return {new_c0, new_c1};
+    }
+
+    /** Conjugation c0 - c1 w; equals x^{q^6} (the "unitary inverse"). */
+    Fq12 conjugate() const { return {c0, -c1}; }
+
+    Fq12
+    inverse() const
+    {
+        Fq6 t = (c0.square() - c1.square().mul_by_nonresidue()).inverse();
+        return {c0 * t, -(c1 * t)};
+    }
+
+    template <size_t N>
+    Fq12
+    pow(const ff::BigInt<N> &e) const
+    {
+        Fq12 r = one();
+        for (size_t i = e.num_bits(); i-- > 0;) {
+            r = r.square();
+            if (e.bit(i)) r = r * *this;
+        }
+        return r;
+    }
+};
+
+}  // namespace zkspeed::curve

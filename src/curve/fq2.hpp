@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Quadratic extension Fq2 = Fq[u] / (u^2 + 1).
+ *
+ * Coordinate field of BLS12-381 G2 and the first floor of the Fq12 pairing
+ * tower.
+ */
+#pragma once
+
+#include <random>
+
+#include "ff/fq.hpp"
+
+namespace zkspeed::curve {
+
+class Fq2
+{
+  public:
+    using Base = ff::Fq;
+
+    Base c0{};
+    Base c1{};
+
+    constexpr Fq2() = default;
+    Fq2(const Base &a, const Base &b) : c0(a), c1(b) {}
+
+    static Fq2 zero() { return Fq2(); }
+    static Fq2 one() { return Fq2(Base::one(), Base::zero()); }
+    static Fq2
+    from_uint(uint64_t v)
+    {
+        return Fq2(Base::from_uint(v), Base::zero());
+    }
+
+    bool operator==(const Fq2 &o) const = default;
+    bool is_zero() const { return c0.is_zero() && c1.is_zero(); }
+    bool is_one() const { return c0.is_one() && c1.is_zero(); }
+
+    Fq2 operator+(const Fq2 &o) const { return {c0 + o.c0, c1 + o.c1}; }
+    Fq2 operator-(const Fq2 &o) const { return {c0 - o.c0, c1 - o.c1}; }
+    Fq2 operator-() const { return {-c0, -c1}; }
+    Fq2 dbl() const { return {c0.dbl(), c1.dbl()}; }
+
+    /** Karatsuba multiplication: 3 base-field muls. */
+    Fq2
+    operator*(const Fq2 &o) const
+    {
+        Base aa = c0 * o.c0;
+        Base bb = c1 * o.c1;
+        Base cc = (c0 + c1) * (o.c0 + o.c1);
+        return {aa - bb, cc - aa - bb};
+    }
+
+    Fq2 &operator+=(const Fq2 &o) { return *this = *this + o; }
+    Fq2 &operator-=(const Fq2 &o) { return *this = *this - o; }
+    Fq2 &operator*=(const Fq2 &o) { return *this = *this * o; }
+
+    Fq2
+    square() const
+    {
+        // (c0 + c1 u)^2 = (c0+c1)(c0-c1) + 2 c0 c1 u.
+        Base a = c0 + c1;
+        Base b = c0 - c1;
+        Base c = c0 * c1;
+        return {a * b, c.dbl()};
+    }
+
+    /** Multiply by a base-field scalar. */
+    Fq2 scale(const Base &s) const { return {c0 * s, c1 * s}; }
+
+    /** Conjugate: c0 - c1 u. */
+    Fq2 conjugate() const { return {c0, -c1}; }
+
+    /** Multiply by the non-residue (u + 1), used by the Fq6 tower. */
+    Fq2
+    mul_by_nonresidue() const
+    {
+        // (c0 + c1 u)(1 + u) = (c0 - c1) + (c0 + c1) u.
+        return {c0 - c1, c0 + c1};
+    }
+
+    Fq2
+    inverse() const
+    {
+        // 1 / (c0 + c1 u) = (c0 - c1 u) / (c0^2 + c1^2).
+        Base norm = c0.square() + c1.square();
+        Base ninv = norm.inverse();
+        return {c0 * ninv, -(c1 * ninv)};
+    }
+
+    template <size_t N>
+    Fq2
+    pow(const ff::BigInt<N> &e) const
+    {
+        Fq2 r = one();
+        for (size_t i = e.num_bits(); i-- > 0;) {
+            r = r.square();
+            if (e.bit(i)) r = r * *this;
+        }
+        return r;
+    }
+
+    /** Frobenius endomorphism x -> x^q (conjugation, since u^q = -u). */
+    Fq2
+    frobenius() const
+    {
+        return conjugate();
+    }
+
+    template <typename Rng>
+    static Fq2
+    random(Rng &rng)
+    {
+        return {Base::random(rng), Base::random(rng)};
+    }
+};
+
+}  // namespace zkspeed::curve

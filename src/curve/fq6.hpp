@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cubic extension Fq6 = Fq2[v] / (v^3 - xi), xi = u + 1.
+ *
+ * Middle floor of the BLS12-381 pairing tower.
+ */
+#pragma once
+
+#include "curve/fq2.hpp"
+
+namespace zkspeed::curve {
+
+class Fq6
+{
+  public:
+    Fq2 c0{};
+    Fq2 c1{};
+    Fq2 c2{};
+
+    constexpr Fq6() = default;
+    Fq6(const Fq2 &a, const Fq2 &b, const Fq2 &c) : c0(a), c1(b), c2(c) {}
+
+    static Fq6 zero() { return Fq6(); }
+    static Fq6 one() { return Fq6(Fq2::one(), Fq2::zero(), Fq2::zero()); }
+
+    bool operator==(const Fq6 &o) const = default;
+    bool is_zero() const { return c0.is_zero() && c1.is_zero() && c2.is_zero(); }
+    bool is_one() const { return c0.is_one() && c1.is_zero() && c2.is_zero(); }
+
+    Fq6
+    operator+(const Fq6 &o) const
+    {
+        return {c0 + o.c0, c1 + o.c1, c2 + o.c2};
+    }
+
+    Fq6
+    operator-(const Fq6 &o) const
+    {
+        return {c0 - o.c0, c1 - o.c1, c2 - o.c2};
+    }
+
+    Fq6 operator-() const { return {-c0, -c1, -c2}; }
+
+    /** Full multiplication (Karatsuba-style, 6 Fq2 muls). */
+    Fq6
+    operator*(const Fq6 &o) const
+    {
+        Fq2 aa = c0 * o.c0;
+        Fq2 bb = c1 * o.c1;
+        Fq2 cc = c2 * o.c2;
+        Fq2 t0 = aa + ((c1 + c2) * (o.c1 + o.c2) - bb - cc)
+                          .mul_by_nonresidue();
+        Fq2 t1 = (c0 + c1) * (o.c0 + o.c1) - aa - bb + cc.mul_by_nonresidue();
+        Fq2 t2 = (c0 + c2) * (o.c0 + o.c2) - aa - cc + bb;
+        return {t0, t1, t2};
+    }
+
+    Fq6 &operator+=(const Fq6 &o) { return *this = *this + o; }
+    Fq6 &operator-=(const Fq6 &o) { return *this = *this - o; }
+    Fq6 &operator*=(const Fq6 &o) { return *this = *this * o; }
+
+    Fq6 square() const { return *this * *this; }
+
+    /** Sparse multiplication by (b0 + b1 v). */
+    Fq6
+    mul_by_01(const Fq2 &b0, const Fq2 &b1) const
+    {
+        Fq2 aa = c0 * b0;
+        Fq2 bb = c1 * b1;
+        Fq2 t0 = aa + ((c1 + c2) * b1 - bb).mul_by_nonresidue();
+        Fq2 t1 = (c0 + c1) * (b0 + b1) - aa - bb;
+        Fq2 t2 = (c0 + c2) * b0 - aa + bb;
+        return {t0, t1, t2};
+    }
+
+    /** Sparse multiplication by (b1 v). */
+    Fq6
+    mul_by_1(const Fq2 &b1) const
+    {
+        return {(c2 * b1).mul_by_nonresidue(), c0 * b1, c1 * b1};
+    }
+
+    /** Multiply by v (the Fq12 non-residue): (c0,c1,c2) -> (xi c2, c0, c1). */
+    Fq6
+    mul_by_nonresidue() const
+    {
+        return {c2.mul_by_nonresidue(), c0, c1};
+    }
+
+    Fq6
+    inverse() const
+    {
+        Fq2 a = c0.square() - (c1 * c2).mul_by_nonresidue();
+        Fq2 b = c2.square().mul_by_nonresidue() - c0 * c1;
+        Fq2 c = c1.square() - c0 * c2;
+        Fq2 f = (c0 * a + ((c2 * b + c1 * c).mul_by_nonresidue())).inverse();
+        return {a * f, b * f, c * f};
+    }
+};
+
+}  // namespace zkspeed::curve

@@ -1,0 +1,18 @@
+#include "curve/g1.hpp"
+
+namespace zkspeed::curve {
+
+AffinePoint<G1Params>
+G1Params::generator()
+{
+    static const AffinePoint<G1Params> kGen(
+        ff::Fq::from_hex(
+            "17f1d3a73197d7942695638c4fa9ac0fc3688c4f9774b905"
+            "a14e3a3f171bac586c55e83ff97a1aeffb3af00adb22c6bb"),
+        ff::Fq::from_hex(
+            "08b3f481e3aaa0f1a09e30ed741d8ae4fcf5e095d5d00af6"
+            "00db18cb2c04b3edd03cc744a2888ae40caa232946c5e7e1"));
+    return kGen;
+}
+
+}  // namespace zkspeed::curve

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The BLS12-381 G1 group: E(Fq) with y^2 = x^3 + 4.
+ *
+ * HyperPlonk commitments are MSMs over G1 points (381-bit coordinates).
+ */
+#pragma once
+
+#include "curve/point.hpp"
+#include "ff/fq.hpp"
+
+namespace zkspeed::curve {
+
+struct G1Params {
+    using Field = ff::Fq;
+
+    /** Curve constant b = 4. */
+    static Field
+    b()
+    {
+        static const Field kB = Field::from_uint(4);
+        return kB;
+    }
+
+    /** The standard BLS12-381 G1 generator. */
+    static AffinePoint<G1Params> generator();
+};
+
+using G1Affine = AffinePoint<G1Params>;
+using G1 = JacobianPoint<G1Params>;
+
+/** Generator as a Jacobian point. */
+inline G1
+g1_generator()
+{
+    return G1::from_affine(G1Params::generator());
+}
+
+}  // namespace zkspeed::curve

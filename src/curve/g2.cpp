@@ -1,0 +1,25 @@
+#include "curve/g2.hpp"
+
+namespace zkspeed::curve {
+
+AffinePoint<G2Params>
+G2Params::generator()
+{
+    using ff::Fq;
+    static const AffinePoint<G2Params> kGen(
+        Fq2(Fq::from_hex(
+                "024aa2b2f08f0a91260805272dc51051c6e47ad4fa403b02"
+                "b4510b647ae3d1770bac0326a805bbefd48056c8c121bdb8"),
+            Fq::from_hex(
+                "13e02b6052719f607dacd3a088274f65596bd0d09920b61a"
+                "b5da61bbdc7f5049334cf11213945d57e5ac7d055d042b7e")),
+        Fq2(Fq::from_hex(
+                "0ce5d527727d6e118cc9cdc6da2e351aadfd9baa8cbdd3a7"
+                "6d429a695160d12c923ac9cc3baca289e193548608b82801"),
+            Fq::from_hex(
+                "0606c4a02ea734cc32acd2b02bc28b99cb3e287e85a763af"
+                "267492ab572e99ab3f370d275cec1da1aaa9075ff05f79be")));
+    return kGen;
+}
+
+}  // namespace zkspeed::curve

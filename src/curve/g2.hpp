@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The BLS12-381 G2 group: E'(Fq2) with y^2 = x^3 + 4(u+1).
+ *
+ * G2 carries the verifier side of the multilinear-KZG commitment: the
+ * universal setup publishes h^{tau_i} in G2 and opening verification pairs
+ * quotient commitments against them.
+ */
+#pragma once
+
+#include "curve/fq2.hpp"
+#include "curve/point.hpp"
+
+namespace zkspeed::curve {
+
+struct G2Params {
+    using Field = Fq2;
+
+    /** Curve constant b' = 4(u + 1). */
+    static Field
+    b()
+    {
+        static const Field kB(ff::Fq::from_uint(4), ff::Fq::from_uint(4));
+        return kB;
+    }
+
+    /** The standard BLS12-381 G2 generator. */
+    static AffinePoint<G2Params> generator();
+};
+
+using G2Affine = AffinePoint<G2Params>;
+using G2 = JacobianPoint<G2Params>;
+
+inline G2
+g2_generator()
+{
+    return G2::from_affine(G2Params::generator());
+}
+
+}  // namespace zkspeed::curve

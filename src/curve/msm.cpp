@@ -1,0 +1,161 @@
+#include "curve/msm.hpp"
+
+#include <algorithm>
+
+#include "ff/parallel.hpp"
+
+namespace zkspeed::curve {
+
+using ff::Fr;
+
+unsigned
+pippenger_window_size(size_t n)
+{
+    unsigned bits = 0;
+    while ((size_t(1) << (bits + 1)) <= n) ++bits;
+    if (bits <= 5) return std::max(2u, bits);
+    return std::min(16u, bits - 3);
+}
+
+namespace {
+
+/** Extract the w-bit digit starting at bit offset off. */
+inline uint64_t
+digit_at(const Fr::Repr &r, unsigned off, unsigned w)
+{
+    unsigned limb = off / 64;
+    unsigned shift = off % 64;
+    uint64_t v = r.limbs[limb] >> shift;
+    if (shift + w > 64 && limb + 1 < Fr::kLimbs) {
+        v |= r.limbs[limb + 1] << (64 - shift);
+    }
+    return v & ((uint64_t(1) << w) - 1);
+}
+
+G1
+pippenger_impl(std::span<const G1Affine> points,
+               std::span<const Fr::Repr> reprs, unsigned w)
+{
+    const unsigned kScalarBits = Fr::kBits;
+    const unsigned num_windows = (kScalarBits + w - 1) / w;
+    const size_t num_buckets = (size_t(1) << w) - 1;
+
+    // Windows are independent: bucket and aggregate them in parallel
+    // (one bucket array per worker), then combine serially MSB-first.
+    std::vector<G1> window_sums(num_windows, G1::identity());
+    ff::parallel_for(
+        num_windows,
+        [&](size_t win_begin, size_t win_end) {
+            std::vector<G1> buckets(num_buckets);
+            for (size_t win = win_begin; win < win_end; ++win) {
+                std::fill(buckets.begin(), buckets.end(), G1::identity());
+                unsigned off = unsigned(win) * w;
+                unsigned width = std::min(w, kScalarBits - off);
+                for (size_t i = 0; i < points.size(); ++i) {
+                    uint64_t d = digit_at(reprs[i], off, width);
+                    if (d != 0) {
+                        buckets[d - 1] = buckets[d - 1].add_mixed(points[i]);
+                    }
+                }
+                // Running-sum aggregation: 2*(2^w - 1) adds per window.
+                G1 acc = G1::identity();
+                G1 window_sum = G1::identity();
+                for (size_t b = num_buckets; b-- > 0;) {
+                    acc += buckets[b];
+                    window_sum += acc;
+                }
+                window_sums[win] = window_sum;
+            }
+        },
+        // Threading only pays off for MSMs with real work per window.
+        points.size() >= 4096 ? 1 : num_windows);
+    G1 result = G1::identity();
+    for (unsigned win = num_windows; win-- > 0;) {
+        for (unsigned b = 0; b < w; ++b) result = result.dbl();
+        result += window_sums[win];
+    }
+    return result;
+}
+
+}  // namespace
+
+G1
+msm(std::span<const G1Affine> points, std::span<const Fr> scalars,
+    unsigned window)
+{
+    if (points.size() != scalars.size() || points.empty()) {
+        return G1::identity();
+    }
+    if (window == 0) window = pippenger_window_size(points.size());
+    std::vector<Fr::Repr> reprs(scalars.size());
+    for (size_t i = 0; i < scalars.size(); ++i) {
+        reprs[i] = scalars[i].to_repr();
+    }
+    return pippenger_impl(points, reprs, window);
+}
+
+G1
+tree_sum(std::span<const G1Affine> points)
+{
+    if (points.empty()) return G1::identity();
+    // First level: pairwise mixed adds from affine inputs.
+    std::vector<G1> level;
+    level.reserve((points.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < points.size(); i += 2) {
+        level.push_back(G1::from_affine(points[i]).add_mixed(points[i + 1]));
+    }
+    if (points.size() % 2) {
+        level.push_back(G1::from_affine(points.back()));
+    }
+    // Remaining levels: pairwise Jacobian adds.
+    while (level.size() > 1) {
+        size_t half = (level.size() + 1) / 2;
+        for (size_t i = 0; i < level.size() / 2; ++i) {
+            level[i] = level[2 * i].add(level[2 * i + 1]);
+        }
+        if (level.size() % 2) level[half - 1] = level.back();
+        level.resize(half);
+    }
+    return level[0];
+}
+
+G1
+msm_sparse(std::span<const G1Affine> points, std::span<const Fr> scalars,
+           MsmStats *stats, unsigned window)
+{
+    MsmStats st;
+    std::vector<G1Affine> one_points;
+    std::vector<G1Affine> dense_points;
+    std::vector<Fr> dense_scalars;
+    const Fr one = Fr::one();
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (scalars[i].is_zero()) {
+            ++st.zeros;
+        } else if (scalars[i] == one) {
+            ++st.ones;
+            one_points.push_back(points[i]);
+        } else {
+            ++st.dense;
+            dense_points.push_back(points[i]);
+            dense_scalars.push_back(scalars[i]);
+        }
+    }
+    if (stats != nullptr) *stats = st;
+    G1 result = tree_sum(one_points);
+    if (!dense_points.empty()) {
+        result += msm(dense_points, dense_scalars, window);
+    }
+    return result;
+}
+
+G1
+msm_naive(std::span<const G1Affine> points, std::span<const Fr> scalars)
+{
+    G1 acc = G1::identity();
+    for (size_t i = 0; i < points.size(); ++i) {
+        acc += G1::from_affine(points[i]).mul(scalars[i]);
+    }
+    return acc;
+}
+
+}  // namespace zkspeed::curve

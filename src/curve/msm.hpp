@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Multi-scalar multiplication (Pippenger's algorithm) and the Sparse MSM
+ * of HyperPlonk witness commitments.
+ *
+ * MSMs compute sum_i s_i * P_i and are the compute-bound bottleneck of the
+ * prover (paper Sections 2.4, 4.2). Witness MLEs are "sparse": roughly 90%
+ * of scalars are 0 or 1 (paper Section 3.3.1); the sparse path adds the
+ * 1-scalar points directly and runs Pippenger only on the dense remainder,
+ * exactly like the zkSpeed/SZKP scheme.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "curve/g1.hpp"
+#include "ff/fr.hpp"
+
+namespace zkspeed::curve {
+
+/** Scalar population statistics gathered by the sparse MSM. */
+struct MsmStats {
+    size_t zeros = 0;   ///< scalars equal to 0 (skipped entirely)
+    size_t ones = 0;    ///< scalars equal to 1 (tree-summed, no Pippenger)
+    size_t dense = 0;   ///< full-width scalars (Pippenger)
+};
+
+/**
+ * Heuristic Pippenger window size (bits) for an n-point MSM,
+ * approximately log2(n) - 3, clamped to [2, 16].
+ */
+unsigned pippenger_window_size(size_t n);
+
+/**
+ * Dense MSM via Pippenger's bucket method.
+ *
+ * @param points base points (affine).
+ * @param scalars multipliers, same length as points.
+ * @param window window size in bits; 0 selects automatically.
+ */
+G1 msm(std::span<const G1Affine> points, std::span<const ff::Fr> scalars,
+       unsigned window = 0);
+
+/**
+ * Sparse MSM: skips zero scalars, tree-sums one-scalar points, and runs
+ * Pippenger on the dense remainder.
+ *
+ * @param stats optional out-parameter for the scalar population.
+ */
+G1 msm_sparse(std::span<const G1Affine> points,
+              std::span<const ff::Fr> scalars, MsmStats *stats = nullptr,
+              unsigned window = 0);
+
+/**
+ * Pairwise (binary-tree) sum of affine points. This mirrors the zkSpeed
+ * tree-based accumulation of 1-valued-scalar points through the pipelined
+ * PADD (paper Section 4.2).
+ */
+G1 tree_sum(std::span<const G1Affine> points);
+
+/** Naive reference MSM (double-and-add per point); used in tests only. */
+G1 msm_naive(std::span<const G1Affine> points,
+             std::span<const ff::Fr> scalars);
+
+}  // namespace zkspeed::curve

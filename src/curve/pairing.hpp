@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Optimal-ate pairing on BLS12-381.
+ *
+ * e: G1 x G2 -> GT (the r-th roots of unity in Fq12). Used by the
+ * multilinear-KZG verifier to check polynomial-opening proofs:
+ *   e(C - v g, h) == prod_i e(pi_i, h^{tau_i} - z_i h).
+ *
+ * Implementation notes: Miller loop over |x| = 0xd201000000010000 with
+ * homogeneous-projective line evaluation (M-twist, mul_by_014 sparse
+ * multiplication), conjugation at the end because the BLS parameter is
+ * negative. The final exponentiation uses the cheap "easy part"
+ * ((q^6-1)(q^2+1) via conjugate/inverse and one pow) and performs the hard
+ * part as a plain exponentiation by (q^4 - q^2 + 1)/r, derived at runtime
+ * by big-integer division so no hand-copied chain constants are required.
+ * This trades speed for transparency; pairings are only on the verifier
+ * path, which the paper leaves on the CPU.
+ */
+#pragma once
+
+#include <span>
+
+#include "curve/fq12.hpp"
+#include "curve/g1.hpp"
+#include "curve/g2.hpp"
+
+namespace zkspeed::curve {
+
+/** Miller loop without final exponentiation. */
+Fq12 miller_loop(const G1Affine &p, const G2Affine &q);
+
+/** Product of Miller loops (shares one final exponentiation). */
+Fq12 multi_miller_loop(std::span<const G1Affine> ps,
+                       std::span<const G2Affine> qs);
+
+/** Final exponentiation to the r-th-power residue group. */
+Fq12 final_exponentiation(const Fq12 &f);
+
+/** Full pairing e(P, Q). */
+Fq12 pairing(const G1Affine &p, const G2Affine &q);
+
+/**
+ * Product pairing check: returns true iff prod_i e(P_i, Q_i) == 1.
+ * This is the primitive the PCS verifier uses.
+ */
+bool pairing_product_is_one(std::span<const G1Affine> ps,
+                            std::span<const G2Affine> qs);
+
+}  // namespace zkspeed::curve

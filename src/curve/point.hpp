@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Short-Weierstrass curve points (y^2 = x^3 + b, a = 0) in affine and
+ * Jacobian coordinates, templated over the coordinate field.
+ *
+ * Both BLS12-381 groups use a = 0, so the fast a=0 doubling applies. The
+ * Jacobian point addition (PADD) is the unit the zkSpeed MSM pipeline is
+ * built around (paper Section 4.2); the formula costs counted by the
+ * modmul counters are what the Table-1 bench measures.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ff/batch_inverse.hpp"
+#include "ff/fr.hpp"
+
+namespace zkspeed::curve {
+
+template <typename Params>
+struct JacobianPoint;
+
+/**
+ * Affine point. The additive identity is represented by the infinity flag.
+ *
+ * @tparam Params curve policy providing:
+ *   - using Field (coordinate field)
+ *   - static Field b() (curve constant)
+ *   - static AffinePoint<Params> generator()
+ */
+template <typename Params>
+struct AffinePoint {
+    using Field = typename Params::Field;
+
+    Field x{};
+    Field y{};
+    bool infinity = true;
+
+    constexpr AffinePoint() = default;
+    AffinePoint(const Field &x_, const Field &y_)
+        : x(x_), y(y_), infinity(false)
+    {}
+
+    static AffinePoint identity() { return AffinePoint(); }
+    bool is_identity() const { return infinity; }
+
+    bool
+    operator==(const AffinePoint &o) const
+    {
+        if (infinity || o.infinity) return infinity == o.infinity;
+        return x == o.x && y == o.y;
+    }
+
+    AffinePoint
+    neg() const
+    {
+        AffinePoint r = *this;
+        if (!r.infinity) r.y = -r.y;
+        return r;
+    }
+
+    /** Curve membership: y^2 == x^3 + b. */
+    bool
+    is_on_curve() const
+    {
+        if (infinity) return true;
+        return y.square() == x.square() * x + Params::b();
+    }
+
+    JacobianPoint<Params> to_jacobian() const;
+};
+
+/**
+ * Jacobian point (X, Y, Z) representing affine (X/Z^2, Y/Z^3); Z = 0 is
+ * the identity.
+ */
+template <typename Params>
+struct JacobianPoint {
+    using Field = typename Params::Field;
+    using Affine = AffinePoint<Params>;
+
+    Field X{};
+    Field Y{};
+    Field Z{};
+
+    static JacobianPoint
+    identity()
+    {
+        JacobianPoint p;
+        p.X = Field::one();
+        p.Y = Field::one();
+        p.Z = Field::zero();
+        return p;
+    }
+
+    bool is_identity() const { return Z.is_zero(); }
+
+    static JacobianPoint
+    from_affine(const Affine &a)
+    {
+        if (a.infinity) return identity();
+        JacobianPoint p;
+        p.X = a.x;
+        p.Y = a.y;
+        p.Z = Field::one();
+        return p;
+    }
+
+    /** Normalize to affine coordinates (one field inversion). */
+    Affine
+    to_affine() const
+    {
+        if (is_identity()) return Affine::identity();
+        Field zinv = Z.inverse();
+        Field zinv2 = zinv.square();
+        return Affine(X * zinv2, Y * zinv2 * zinv);
+    }
+
+    JacobianPoint
+    neg() const
+    {
+        JacobianPoint r = *this;
+        r.Y = -r.Y;
+        return r;
+    }
+
+    /** Point doubling, a = 0 (dbl-2009-l). */
+    JacobianPoint
+    dbl() const
+    {
+        if (is_identity()) return *this;
+        Field a = X.square();
+        Field b = Y.square();
+        Field c = b.square();
+        Field d = ((X + b).square() - a - c).dbl();
+        Field e = a + a + a;
+        Field f = e.square();
+        JacobianPoint r;
+        r.X = f - d.dbl();
+        r.Y = e * (d - r.X) - c.dbl().dbl().dbl();
+        r.Z = (Y * Z).dbl();
+        return r;
+    }
+
+    /** Full Jacobian addition (add-2007-bl), handling all edge cases. */
+    JacobianPoint
+    add(const JacobianPoint &o) const
+    {
+        if (is_identity()) return o;
+        if (o.is_identity()) return *this;
+        Field z1z1 = Z.square();
+        Field z2z2 = o.Z.square();
+        Field u1 = X * z2z2;
+        Field u2 = o.X * z1z1;
+        Field s1 = Y * o.Z * z2z2;
+        Field s2 = o.Y * Z * z1z1;
+        if (u1 == u2) {
+            if (s1 == s2) return dbl();
+            return identity();
+        }
+        Field h = u2 - u1;
+        Field i = h.dbl().square();
+        Field j = h * i;
+        Field rr = (s2 - s1).dbl();
+        Field v = u1 * i;
+        JacobianPoint r;
+        r.X = rr.square() - j - v.dbl();
+        r.Y = rr * (v - r.X) - (s1 * j).dbl();
+        r.Z = ((Z + o.Z).square() - z1z1 - z2z2) * h;
+        return r;
+    }
+
+    /** Mixed addition with an affine operand (Z2 = 1), the PADD fast path
+     * used by MSM bucket accumulation. */
+    JacobianPoint
+    add_mixed(const Affine &o) const
+    {
+        if (o.infinity) return *this;
+        if (is_identity()) return from_affine(o);
+        Field z1z1 = Z.square();
+        Field u2 = o.x * z1z1;
+        Field s2 = o.y * Z * z1z1;
+        if (X == u2) {
+            if (Y == s2) return dbl();
+            return identity();
+        }
+        Field h = u2 - X;
+        Field hh = h.square();
+        Field i = hh.dbl().dbl();
+        Field j = h * i;
+        Field rr = (s2 - Y).dbl();
+        Field v = X * i;
+        JacobianPoint r;
+        r.X = rr.square() - j - v.dbl();
+        r.Y = rr * (v - r.X) - (Y * j).dbl();
+        r.Z = (Z + h).square() - z1z1 - hh;
+        return r;
+    }
+
+    JacobianPoint operator+(const JacobianPoint &o) const { return add(o); }
+    JacobianPoint &
+    operator+=(const JacobianPoint &o)
+    {
+        return *this = add(o);
+    }
+
+    /** Scalar multiplication by a canonical big integer (double-and-add). */
+    template <size_t N>
+    JacobianPoint
+    mul(const ff::BigInt<N> &k) const
+    {
+        JacobianPoint r = identity();
+        for (size_t i = k.num_bits(); i-- > 0;) {
+            r = r.dbl();
+            if (k.bit(i)) r = r.add(*this);
+        }
+        return r;
+    }
+
+    /** Scalar multiplication by a scalar-field element. */
+    JacobianPoint mul(const ff::Fr &k) const { return mul(k.to_repr()); }
+
+    /** Equality in the projective sense (cross-multiplied). */
+    bool
+    operator==(const JacobianPoint &o) const
+    {
+        if (is_identity() || o.is_identity()) {
+            return is_identity() == o.is_identity();
+        }
+        Field z1z1 = Z.square();
+        Field z2z2 = o.Z.square();
+        return X * z2z2 == o.X * z1z1 &&
+               Y * o.Z * z2z2 == o.Y * Z * z1z1;
+    }
+};
+
+template <typename Params>
+JacobianPoint<Params>
+AffinePoint<Params>::to_jacobian() const
+{
+    return JacobianPoint<Params>::from_affine(*this);
+}
+
+/**
+ * Batch-normalize a vector of Jacobian points to affine with a single
+ * inversion (Montgomery's trick over the Z coordinates).
+ */
+template <typename Params>
+std::vector<AffinePoint<Params>>
+batch_to_affine(std::span<const JacobianPoint<Params>> pts)
+{
+    using Field = typename Params::Field;
+    std::vector<Field> zs(pts.size());
+    for (size_t i = 0; i < pts.size(); ++i) zs[i] = pts[i].Z;
+    ff::batch_inverse(zs);
+    std::vector<AffinePoint<Params>> out(pts.size());
+    for (size_t i = 0; i < pts.size(); ++i) {
+        if (pts[i].is_identity()) continue;
+        Field zi2 = zs[i].square();
+        out[i] = AffinePoint<Params>(pts[i].X * zi2,
+                                     pts[i].Y * zi2 * zs[i]);
+    }
+    return out;
+}
+
+}  // namespace zkspeed::curve

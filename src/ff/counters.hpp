@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Global instrumentation counters for modular multiplications.
+ *
+ * Table 1 of the zkSpeed paper characterises HyperPlonk kernels by modmul
+ * count and arithmetic intensity (modmuls per byte). Every Montgomery
+ * multiplication performed by the library increments one of these counters,
+ * letting the Table-1 benchmark measure the real kernel costs of our own
+ * prover. The single-add overhead is negligible next to a 4x4 or 6x6 limb
+ * multiply.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace zkspeed::ff {
+
+/** Counter indices per base field. */
+enum class CounterTag : int {
+    fr = 0,   ///< 255-bit scalar-field multiplications
+    fq = 1,   ///< 381-bit base-field multiplications
+};
+
+struct ModmulCounters {
+    uint64_t counts[2] = {0, 0};
+
+    uint64_t fr() const { return counts[0]; }
+    uint64_t fq() const { return counts[1]; }
+    uint64_t total() const { return counts[0] + counts[1]; }
+    void reset() { counts[0] = counts[1] = 0; }
+};
+
+/** Thread-local counter instance used by all field multiplications. */
+inline ModmulCounters &
+modmul_counters()
+{
+    thread_local ModmulCounters c;
+    return c;
+}
+
+/**
+ * RAII scope that snapshots the counters on entry and exposes the delta.
+ * Used by the kernel-profiling benches.
+ */
+class ModmulScope
+{
+  public:
+    ModmulScope() : start_(modmul_counters()) {}
+
+    uint64_t
+    fr_delta() const
+    {
+        return modmul_counters().fr() - start_.fr();
+    }
+
+    uint64_t
+    fq_delta() const
+    {
+        return modmul_counters().fq() - start_.fq();
+    }
+
+    uint64_t total_delta() const { return fr_delta() + fq_delta(); }
+
+  private:
+    ModmulCounters start_;
+};
+
+}  // namespace zkspeed::ff

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Generic prime field in Montgomery representation.
+ *
+ * Fp<Params> stores elements as a*R mod p (R = 2^{64N}) and multiplies with
+ * the CIOS (coarsely integrated operand scanning) Montgomery algorithm. All
+ * Montgomery constants are derived constexpr from Params::modulus() by
+ * bigint.hpp helpers, so a field is fully specified by its modulus, bit
+ * width and a generator (see fr.hpp / fq.hpp).
+ *
+ * The two instantiations used by the library are the BLS12-381 scalar field
+ * (255 bits, 4 limbs) and base field (381 bits, 6 limbs), matching the MLE
+ * and elliptic-curve datatypes of the paper (Section 4).
+ */
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "ff/bigint.hpp"
+#include "ff/counters.hpp"
+
+namespace zkspeed::ff {
+
+/**
+ * Prime field element in Montgomery form.
+ *
+ * @tparam Params policy type providing:
+ *   - static constexpr size_t kLimbs
+ *   - static constexpr size_t kBits (modulus bit width)
+ *   - static constexpr BigInt<kLimbs> modulus()
+ *   - static constexpr uint64_t kGeneratorSeed (small multiplicative gen.)
+ *   - static constexpr CounterTag kCounterTag
+ */
+template <typename Params>
+class Fp
+{
+  public:
+    static constexpr size_t kLimbs = Params::kLimbs;
+    static constexpr size_t kBits = Params::kBits;
+    /** Canonical serialized size in bytes (little-endian). */
+    static constexpr size_t kByteSize = kLimbs * 8;
+    using Repr = BigInt<kLimbs>;
+
+    static constexpr Repr kModulus = Params::modulus();
+    /** R mod p where R = 2^{64*kLimbs}. This is the Montgomery form of 1. */
+    static constexpr Repr kR = pow2_mod(64 * kLimbs, kModulus);
+    /** R^2 mod p, used to convert into Montgomery form. */
+    static constexpr Repr kR2 = pow2_mod(128 * kLimbs, kModulus);
+    /** -p^{-1} mod 2^64 for the REDC step. */
+    static constexpr uint64_t kInv = neg_inv64(kModulus.limbs[0]);
+
+    constexpr Fp() = default;
+
+    /** @return the additive identity. */
+    static constexpr Fp zero() { return Fp(); }
+
+    /** @return the multiplicative identity (R mod p). */
+    static constexpr Fp
+    one()
+    {
+        Fp r;
+        r.repr_ = kR;
+        return r;
+    }
+
+    /** Construct from a small unsigned integer. */
+    static Fp
+    from_uint(uint64_t v)
+    {
+        return from_repr(Repr(v));
+    }
+
+    /** Construct from a canonical (non-Montgomery) representation. */
+    static Fp
+    from_repr(const Repr &v)
+    {
+        Fp r;
+        r.repr_ = mont_mul(v, kR2);  // v * R^2 * R^{-1} = v*R
+        return r;
+    }
+
+    /** Construct from a hexadecimal string of the canonical value. */
+    static Fp
+    from_hex(std::string_view s)
+    {
+        return from_repr(Repr::from_hex(s));
+    }
+
+    /** @return the canonical (non-Montgomery) representation in [0, p). */
+    Repr
+    to_repr() const
+    {
+        return mont_mul(repr_, Repr(1));  // a*R * 1 * R^{-1} = a
+    }
+
+    /** @return the raw Montgomery-form limbs (for hashing/serialization). */
+    const Repr &mont_repr() const { return repr_; }
+
+    /** Rebuild from raw Montgomery-form limbs. */
+    static Fp
+    from_mont_repr(const Repr &r)
+    {
+        Fp x;
+        x.repr_ = r;
+        return x;
+    }
+
+    std::string to_hex() const { return to_repr().to_hex(); }
+
+    constexpr bool operator==(const Fp &o) const = default;
+    bool is_zero() const { return repr_.is_zero(); }
+    bool is_one() const { return repr_ == kR; }
+
+    Fp
+    operator+(const Fp &o) const
+    {
+        Fp r;
+        r.repr_ = mod_add(repr_, o.repr_, kModulus);
+        return r;
+    }
+
+    Fp
+    operator-(const Fp &o) const
+    {
+        Fp r;
+        r.repr_ = mod_sub(repr_, o.repr_, kModulus);
+        return r;
+    }
+
+    Fp
+    operator-() const
+    {
+        Fp r;
+        if (!repr_.is_zero()) {
+            r.repr_ = kModulus;
+            r.repr_.sub_assign(repr_);
+        }
+        return r;
+    }
+
+    Fp
+    operator*(const Fp &o) const
+    {
+        Fp r;
+        r.repr_ = mont_mul(repr_, o.repr_);
+        ++modmul_counters().counts[(int)Params::kCounterTag];
+        return r;
+    }
+
+    Fp &operator+=(const Fp &o) { return *this = *this + o; }
+    Fp &operator-=(const Fp &o) { return *this = *this - o; }
+    Fp &operator*=(const Fp &o) { return *this = *this * o; }
+
+    /** Modular squaring (counted as one modmul). */
+    Fp square() const { return *this * *this; }
+
+    /** In-place doubling. */
+    Fp
+    dbl() const
+    {
+        Fp r;
+        r.repr_ = mod_add(repr_, repr_, kModulus);
+        return r;
+    }
+
+    /**
+     * Exponentiation by a canonical big integer (square-and-multiply,
+     * MSB first).
+     */
+    template <size_t M>
+    Fp
+    pow(const BigInt<M> &e) const
+    {
+        Fp r = one();
+        size_t bits = e.num_bits();
+        for (size_t i = bits; i-- > 0;) {
+            r = r.square();
+            if (e.bit(i)) r = r * *this;
+        }
+        return r;
+    }
+
+    Fp
+    pow(uint64_t e) const
+    {
+        return pow(BigInt<1>(e));
+    }
+
+    /**
+     * Multiplicative inverse via Fermat's little theorem (a^{p-2}).
+     * @pre *this != 0. Returns 0 for 0 (projective-code convenience).
+     */
+    Fp
+    inverse() const
+    {
+        Repr pm2 = kModulus;
+        pm2.sub_assign(Repr(2));
+        return pow(pm2);
+    }
+
+    /**
+     * Multiplicative inverse via the binary extended Euclidean algorithm on
+     * the canonical representation. Functionally identical to inverse();
+     * kept as an independently-tested reference for the constant-time BEEA
+     * datapath the FracMLE unit models (paper Section 4.4.1, 2W-1 = 509
+     * iterations for W = 255).
+     */
+    Fp
+    inverse_beea() const
+    {
+        if (is_zero()) return zero();
+        // Binary extended gcd maintaining the invariants
+        //   x * a == u (mod p)   and   y * a == v (mod p).
+        // On termination u == 0 and v == gcd(a, p) == 1, hence y = a^{-1}.
+        Repr u = to_repr();
+        Repr v = kModulus;
+        Fp x = one(), y = zero();
+        Fp half = two_inverse();
+        while (!u.is_zero()) {
+            while (!u.is_odd()) {  // u != 0, so this terminates
+                u.shr1();
+                x = x * half;
+            }
+            while (!v.is_odd()) {  // v stays positive and reaches odd
+                v.shr1();
+                y = y * half;
+            }
+            if (u >= v) {
+                u.sub_assign(v);
+                x = x - y;
+            } else {
+                v.sub_assign(u);
+                y = y - x;
+            }
+        }
+        return y;
+    }
+
+    /** Draw a uniformly random field element. */
+    template <typename Rng>
+    static Fp
+    random(Rng &rng)
+    {
+        std::uniform_int_distribution<uint64_t> dist;
+        for (;;) {
+            Repr r;
+            for (size_t i = 0; i < kLimbs; ++i) r.limbs[i] = dist(rng);
+            // Mask excess top bits to make rejection cheap.
+            size_t excess = 64 * kLimbs - kBits;
+            if (excess > 0) r.limbs[kLimbs - 1] >>= excess;
+            if (r < kModulus) {
+                Fp x;
+                x.repr_ = mont_mul(r, kR2);
+                return x;
+            }
+        }
+    }
+
+    /** Serialize canonical form, little-endian, kByteSize bytes. */
+    void
+    to_bytes(uint8_t *out) const
+    {
+        Repr r = to_repr();
+        for (size_t i = 0; i < kLimbs; ++i) {
+            for (size_t b = 0; b < 8; ++b) {
+                out[i * 8 + b] = (uint8_t)(r.limbs[i] >> (8 * b));
+            }
+        }
+    }
+
+    /**
+     * Deserialize a little-endian byte string; the value is reduced mod p
+     * (used for hash-to-field in the transcript).
+     */
+    static Fp
+    from_bytes_reduce(const uint8_t *in, size_t len)
+    {
+        // Horner over 64-bit words with Montgomery-domain arithmetic.
+        Fp acc = zero();
+        Fp shift = from_repr(pow2_mod(64, kModulus));
+        size_t words = (len + 7) / 8;
+        for (size_t i = words; i-- > 0;) {
+            uint64_t w = 0;
+            for (size_t b = 0; b < 8 && i * 8 + b < len; ++b) {
+                w |= (uint64_t)in[i * 8 + b] << (8 * b);
+            }
+            acc = acc * shift + from_uint(w);
+        }
+        return acc;
+    }
+
+  private:
+    /** 1/2 mod p in Montgomery form (p odd, so (p+1)/2). */
+    static Fp
+    two_inverse()
+    {
+        Repr h = kModulus;
+        h.add_assign(Repr(1));
+        h.shr1();
+        return from_repr(h);
+    }
+
+    /** CIOS Montgomery multiplication: returns a*b*R^{-1} mod p. */
+    static Repr
+    mont_mul(const Repr &a, const Repr &b)
+    {
+        constexpr size_t n = kLimbs;
+        uint64_t t[n + 2] = {0};
+        for (size_t i = 0; i < n; ++i) {
+            // t += a[i] * b
+            uint64_t carry = 0;
+            for (size_t j = 0; j < n; ++j) {
+                uint128 s = (uint128)a.limbs[i] * b.limbs[j] + t[j] + carry;
+                t[j] = (uint64_t)s;
+                carry = (uint64_t)(s >> 64);
+            }
+            uint128 s = (uint128)t[n] + carry;
+            t[n] = (uint64_t)s;
+            t[n + 1] = (uint64_t)(s >> 64);
+            // t += m*p; t >>= 64
+            uint64_t m = t[0] * kInv;
+            uint128 c = (uint128)m * kModulus.limbs[0] + t[0];
+            carry = (uint64_t)(c >> 64);
+            for (size_t j = 1; j < n; ++j) {
+                uint128 s2 = (uint128)m * kModulus.limbs[j] + t[j] + carry;
+                t[j - 1] = (uint64_t)s2;
+                carry = (uint64_t)(s2 >> 64);
+            }
+            s = (uint128)t[n] + carry;
+            t[n - 1] = (uint64_t)s;
+            t[n] = t[n + 1] + (uint64_t)(s >> 64);
+            t[n + 1] = 0;
+        }
+        Repr r;
+        for (size_t i = 0; i < n; ++i) r.limbs[i] = t[i];
+        if (t[n] != 0 || r >= kModulus) r.sub_assign(kModulus);
+        return r;
+    }
+
+    Repr repr_{};
+};
+
+}  // namespace zkspeed::ff

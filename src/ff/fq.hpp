@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The BLS12-381 base field Fq (381-bit).
+ *
+ * Elliptic-curve point coordinates live here: "all elliptical curve points
+ * in the MSMs are 381 bits wide" (paper Section 4).
+ */
+#pragma once
+
+#include "ff/field.hpp"
+
+namespace zkspeed::ff {
+
+struct FqParams {
+    static constexpr size_t kLimbs = 6;
+    static constexpr size_t kBits = 381;
+    static constexpr CounterTag kCounterTag = CounterTag::fq;
+
+    static constexpr BigInt<6>
+    modulus()
+    {
+        return BigInt<6>::from_hex(
+            "1a0111ea397fe69a4b1ba7b6434bacd7"
+            "64774b84f38512bf6730d2a0f6b0f624"
+            "1eabfffeb153ffffb9feffffffffaaab");
+    }
+};
+
+/** 381-bit base field element. */
+using Fq = Fp<FqParams>;
+
+}  // namespace zkspeed::ff

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The BLS12-381 scalar field Fr (255-bit).
+ *
+ * This is the field of MLE table entries and SumCheck arithmetic in
+ * HyperPlonk: "all MLE datatypes are 255 bits wide" (paper Section 4).
+ * r = 0x73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001.
+ */
+#pragma once
+
+#include "ff/field.hpp"
+
+namespace zkspeed::ff {
+
+struct FrParams {
+    static constexpr size_t kLimbs = 4;
+    static constexpr size_t kBits = 255;
+    static constexpr CounterTag kCounterTag = CounterTag::fr;
+
+    static constexpr BigInt<4>
+    modulus()
+    {
+        return BigInt<4>::from_hex(
+            "73eda753299d7d483339d80809a1d805"
+            "53bda402fffe5bfeffffffff00000001");
+    }
+};
+
+/** 255-bit scalar field element. */
+using Fr = Fp<FrParams>;
+
+}  // namespace zkspeed::ff

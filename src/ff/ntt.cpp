@@ -1,0 +1,92 @@
+#include "ff/ntt.hpp"
+
+#include <cassert>
+
+namespace zkspeed::ff {
+
+Fr
+NttDomain::two_adic_root()
+{
+    static const Fr kRoot = [] {
+        // odd = (r - 1) / 2^32.
+        BigInt<4> odd = Fr::kModulus;
+        odd.sub_assign(BigInt<4>(1));
+        for (int i = 0; i < 32; ++i) odd.shr1();
+        // c = x^odd has order dividing 2^32; it has order exactly 2^32
+        // iff c^(2^31) != 1. Try small candidates.
+        for (uint64_t x = 2;; ++x) {
+            Fr c = Fr::from_uint(x).pow(odd);
+            Fr probe = c;
+            for (int i = 0; i < 31; ++i) probe = probe.square();
+            if (!probe.is_one()) return c;  // order is exactly 2^32
+        }
+    }();
+    return kRoot;
+}
+
+NttDomain::NttDomain(size_t log_n) : log_n_(log_n)
+{
+    assert(log_n <= 32);
+    root_ = two_adic_root();
+    for (size_t i = log_n; i < 32; ++i) root_ = root_.square();
+    root_inv_ = root_.inverse();
+    size_inv_ = Fr::from_uint(size()).inverse();
+}
+
+void
+NttDomain::transform(std::vector<Fr> &a, const Fr &w)
+{
+    const size_t n = a.size();
+    // Bit-reversal permutation.
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(a[i], a[j]);
+    }
+    // Iterative Cooley-Tukey butterflies.
+    for (size_t len = 2; len <= n; len <<= 1) {
+        Fr wlen = w;
+        for (size_t l = len; l < n; l <<= 1) wlen = wlen.square();
+        for (size_t i = 0; i < n; i += len) {
+            Fr wcur = Fr::one();
+            for (size_t j = 0; j < len / 2; ++j) {
+                Fr u = a[i + j];
+                Fr v = a[i + j + len / 2] * wcur;
+                a[i + j] = u + v;
+                a[i + j + len / 2] = u - v;
+                wcur *= wlen;
+            }
+        }
+    }
+}
+
+void
+NttDomain::forward(std::vector<Fr> &a) const
+{
+    assert(a.size() == size());
+    transform(a, root_);
+}
+
+void
+NttDomain::inverse(std::vector<Fr> &a) const
+{
+    assert(a.size() == size());
+    transform(a, root_inv_);
+    for (auto &x : a) x *= size_inv_;
+}
+
+std::vector<Fr>
+NttDomain::multiply(std::vector<Fr> a, std::vector<Fr> b) const
+{
+    assert(a.size() + b.size() - 1 <= size());
+    a.resize(size());
+    b.resize(size());
+    forward(a);
+    forward(b);
+    for (size_t i = 0; i < a.size(); ++i) a[i] *= b[i];
+    inverse(a);
+    return a;
+}
+
+}  // namespace zkspeed::ff

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Number Theoretic Transform over the BLS12-381 scalar field.
+ *
+ * HyperPlonk's headline contribution is *eliminating* the NTT: protocols
+ * like Groth16 interpolate/evaluate polynomials with O(n log n) NTTs,
+ * while SumCheck runs in O(n) (paper Sections 1 and 9). This module
+ * provides the baseline kernel so the asymptotic claim can be measured
+ * directly (see bench_asymptotic_motivation).
+ *
+ * Fr has 2-adicity 32: r - 1 = 2^32 * odd, so radix-2 domains up to
+ * 2^32 exist. The domain root is derived at runtime (an element of
+ * exact order 2^32 is found by trial), avoiding transcribed constants.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ff/fr.hpp"
+
+namespace zkspeed::ff {
+
+class NttDomain
+{
+  public:
+    /** Build a size-2^log_n evaluation domain. @pre log_n <= 32. */
+    explicit NttDomain(size_t log_n);
+
+    size_t size() const { return size_t(1) << log_n_; }
+    size_t log_size() const { return log_n_; }
+    /** The primitive 2^log_n-th root of unity used by this domain. */
+    const Fr &root() const { return root_; }
+
+    /**
+     * In-place forward NTT: coefficients -> evaluations at the powers
+     * of root(), natural order in and out.
+     */
+    void forward(std::vector<Fr> &a) const;
+
+    /** In-place inverse NTT. */
+    void inverse(std::vector<Fr> &a) const;
+
+    /**
+     * Polynomial product via the convolution theorem (result size
+     * a+b-1, zero padded to the domain). Used by tests and the
+     * baseline bench.
+     */
+    std::vector<Fr> multiply(std::vector<Fr> a, std::vector<Fr> b) const;
+
+    /** An element of exact multiplicative order 2^32. */
+    static Fr two_adic_root();
+
+  private:
+    static void transform(std::vector<Fr> &a, const Fr &w);
+
+    size_t log_n_;
+    Fr root_;
+    Fr root_inv_;
+    Fr size_inv_;
+};
+
+}  // namespace zkspeed::ff

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal fork-join parallelism for prover kernels.
+ *
+ * parallel_for splits [0, n) into per-thread ranges; worker threads
+ * migrate their thread-local modmul counters back to the caller so the
+ * Table-1 instrumentation stays exact under parallel execution. Field
+ * arithmetic is exact, so results are bit-identical to serial runs as
+ * long as callers merge per-range partial results deterministically.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "ff/counters.hpp"
+
+namespace zkspeed::ff {
+
+/** Global worker count (default: hardware concurrency; 1 = serial). */
+inline size_t &
+parallel_threads()
+{
+    static size_t n = std::max(1u, std::thread::hardware_concurrency());
+    return n;
+}
+
+/**
+ * Run fn(begin, end) over a partition of [0, n). Falls back to a
+ * single inline call when the range is small or workers are disabled.
+ *
+ * @param min_chunk smallest range worth a thread.
+ */
+inline void
+parallel_for(size_t n, const std::function<void(size_t, size_t)> &fn,
+             size_t min_chunk = 4096)
+{
+    size_t workers = parallel_threads();
+    if (workers <= 1 || n <= min_chunk) {
+        fn(0, n);
+        return;
+    }
+    size_t chunks = std::min(workers, (n + min_chunk - 1) / min_chunk);
+    size_t per = (n + chunks - 1) / chunks;
+    std::atomic<uint64_t> migrated_fr{0}, migrated_fq{0};
+    std::vector<std::thread> threads;
+    threads.reserve(chunks);
+    for (size_t c = 0; c < chunks; ++c) {
+        size_t begin = c * per;
+        size_t end = std::min(n, begin + per);
+        if (begin >= end) break;
+        threads.emplace_back([&, begin, end] {
+            ModmulScope scope;
+            fn(begin, end);
+            migrated_fr += scope.fr_delta();
+            migrated_fq += scope.fq_delta();
+        });
+    }
+    for (auto &t : threads) t.join();
+    // Migrate worker-thread counter deltas into the caller's counters.
+    modmul_counters().counts[0] += migrated_fr.load();
+    modmul_counters().counts[1] += migrated_fq.load();
+}
+
+/** RAII override of the worker count (tests and benches). */
+class ParallelismGuard
+{
+  public:
+    explicit ParallelismGuard(size_t n) : saved_(parallel_threads())
+    {
+        parallel_threads() = n;
+    }
+    ~ParallelismGuard() { parallel_threads() = saved_; }
+
+  private:
+    size_t saved_;
+};
+
+}  // namespace zkspeed::ff

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * SHA3-based Fiat-Shamir transcript.
+ *
+ * The transcript logs every prover message (commitments, sumcheck round
+ * polynomials, claimed evaluations) by folding it into a running SHA3
+ * state, and derives verifier challenges from that state. This makes all
+ * challenges binding on the full history (paper Section 3.3.6: SHA3 acts
+ * as an order-enforcing mechanism between protocol steps).
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ff/fr.hpp"
+#include "hash/keccak.hpp"
+
+namespace zkspeed::hash {
+
+class Transcript
+{
+  public:
+    /** @param label domain-separation label for the protocol instance. */
+    explicit Transcript(std::string_view label)
+    {
+        state_.fill(0);
+        append_bytes(label, {});
+    }
+
+    /** Absorb raw bytes under a label. */
+    void
+    append_bytes(std::string_view label, std::span<const uint8_t> data)
+    {
+        Sponge256 sponge(0x06);
+        sponge.absorb(std::span<const uint8_t>(state_.data(), state_.size()));
+        sponge.absorb(label);
+        sponge.absorb(data);
+        Digest d = sponge.finalize();
+        std::copy(d.begin(), d.end(), state_.begin());
+        ++absorb_count_;
+    }
+
+    /** Absorb a scalar-field element. */
+    void
+    append_fr(std::string_view label, const ff::Fr &x)
+    {
+        uint8_t buf[ff::Fr::kByteSize];
+        x.to_bytes(buf);
+        append_bytes(label, std::span<const uint8_t>(buf, sizeof(buf)));
+    }
+
+    /** Absorb a list of scalar-field elements. */
+    void
+    append_frs(std::string_view label, std::span<const ff::Fr> xs)
+    {
+        std::vector<uint8_t> buf(xs.size() * ff::Fr::kByteSize);
+        for (size_t i = 0; i < xs.size(); ++i) {
+            xs[i].to_bytes(buf.data() + i * ff::Fr::kByteSize);
+        }
+        append_bytes(label, buf);
+    }
+
+    /**
+     * Derive a scalar-field challenge and fold the derivation back into the
+     * state so successive challenges differ.
+     */
+    ff::Fr
+    challenge_fr(std::string_view label)
+    {
+        Sponge256 sponge(0x06);
+        sponge.absorb(std::span<const uint8_t>(state_.data(), state_.size()));
+        sponge.absorb(label);
+        sponge.absorb("challenge");
+        Digest d = sponge.finalize();
+        std::copy(d.begin(), d.end(), state_.begin());
+        ++challenge_count_;
+        return ff::Fr::from_bytes_reduce(d.data(), d.size());
+    }
+
+    /** Derive a vector of challenges. */
+    std::vector<ff::Fr>
+    challenge_frs(std::string_view label, size_t n)
+    {
+        std::vector<ff::Fr> out;
+        out.reserve(n);
+        for (size_t i = 0; i < n; ++i) out.push_back(challenge_fr(label));
+        return out;
+    }
+
+    /** Number of absorb operations (used by the SHA3-unit cost model). */
+    size_t absorb_count() const { return absorb_count_; }
+    size_t challenge_count() const { return challenge_count_; }
+
+  private:
+    Digest state_{};
+    size_t absorb_count_ = 0;
+    size_t challenge_count_ = 0;
+};
+
+}  // namespace zkspeed::hash

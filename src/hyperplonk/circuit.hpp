@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Plonk-encoded circuits: selectors, witness wires and the wiring
+ * permutation.
+ *
+ * Every operation of the proved program maps to a gate satisfying
+ *   f = qL w1 + qR w2 + qM w1 w2 - qO w3 + qC = 0        (paper Eq. 1)
+ * and gates are connected by copy constraints encoded as a permutation
+ * over the 3 * 2^mu wire slots (paper Section 3.1 / 3.3.3). The
+ * CircuitBuilder assembles gates over named variables and derives the
+ * sigma MLEs from the variable-usage cycles.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "mle/mle.hpp"
+
+namespace zkspeed::hyperplonk {
+
+using ff::Fr;
+using mle::Mle;
+
+/** The preprocessed (witness-independent) part of a circuit. */
+struct CircuitIndex {
+    size_t num_vars = 0;  ///< mu: the circuit has 2^mu gates
+    Mle q_l, q_r, q_m, q_o, q_c;
+    /**
+     * High-degree custom-gate selector (the Jellyfish-style extension
+     * discussed in the paper's Section 8): when enabled, the gate
+     * constraint gains a term q_H * w1^5, so one gate implements the
+     * x^5 S-box that costs three plain gates. Raises the Gate-Identity
+     * ZeroCheck degree from 4 to 7.
+     */
+    Mle q_h;
+    /** Whether any q_H gate exists (changes proof shape: 23 claims). */
+    bool custom_gates = false;
+    /** sigma_j[i] = global index of the wire slot that slot (j, i) is
+     * copy-constrained to (identity for free slots). Global index of slot
+     * (j, i) is j * 2^mu + i. */
+    std::array<Mle, 3> sigma;
+    /** Number of public inputs, stored in w1 of the first gates. */
+    size_t num_public = 0;
+
+    size_t num_gates() const { return size_t(1) << num_vars; }
+
+    /** Identity MLE for wire set j: id_j[i] = j * 2^mu + i. */
+    Mle identity_mle(size_t j) const;
+};
+
+/** The witness: one MLE per wire set (w1, w2, w3). */
+struct Witness {
+    std::array<Mle, 3> w;
+
+    /** Check Eq. 1 at every gate (debugging / test helper). */
+    bool satisfies_gates(const CircuitIndex &index) const;
+
+    /** Check the copy constraints directly (test helper). */
+    bool satisfies_wiring(const CircuitIndex &index) const;
+
+    /** The public-input values (first entries of w1). */
+    std::vector<Fr> public_inputs(const CircuitIndex &index) const;
+};
+
+/** Variable handle returned by the builder. */
+using Var = size_t;
+
+/**
+ * Assembles a Plonk circuit gate by gate over named variables and
+ * produces the CircuitIndex plus a satisfying Witness.
+ */
+class CircuitBuilder
+{
+  public:
+    /** Create a fresh variable carrying `value`. */
+    Var add_variable(const Fr &value);
+
+    /** Create a public-input variable (exposed to the verifier). */
+    Var add_public_input(const Fr &value);
+
+    /** Gate out = a + b. Returns the output variable. */
+    Var add_addition(Var a, Var b);
+
+    /** Gate out = a * b. */
+    Var add_multiplication(Var a, Var b);
+
+    /** Gate out = a - b. */
+    Var add_subtraction(Var a, Var b);
+
+    /** Gate out = a + c for a constant c. */
+    Var add_constant_addition(Var a, const Fr &c);
+
+    /** High-degree custom gate out = a^5 (one gate instead of three;
+     * enables the Jellyfish-style extension, see CircuitIndex::q_h). */
+    Var add_pow5_gate(Var a);
+
+    /** Gate pinning a variable to a constant: a == c. */
+    void assert_constant(Var a, const Fr &c);
+
+    /** Gate asserting a == b. */
+    void assert_equal(Var a, Var b);
+
+    /** Gate asserting a is boolean: a * a - a == 0. */
+    void assert_boolean(Var a);
+
+    /**
+     * Fully general gate: qL wa + qR wb + qM wa wb - qO wc + qC must be 0
+     * for the provided variables. The caller is responsible for supplying
+     * a satisfying assignment.
+     */
+    void add_custom_gate(const Fr &ql, const Fr &qr, const Fr &qm,
+                         const Fr &qo, const Fr &qc, Var a, Var b, Var c);
+
+    /** Value currently assigned to a variable. */
+    const Fr &value(Var v) const { return values_[v]; }
+
+    size_t num_gates() const { return gates_.size(); }
+
+    /**
+     * Pad to the next power of two (at least 2^min_vars gates) and emit
+     * the index + witness. Public-input gates are placed first.
+     */
+    std::pair<CircuitIndex, Witness> build(size_t min_vars = 2) const;
+
+  private:
+    struct Gate {
+        Fr ql, qr, qm, qo, qc;
+        Var a, b, c;
+        /** Custom-gate selector (kept last so plain-gate aggregate
+         * initialisation leaves it zero). */
+        Fr qh{};
+    };
+
+    Var new_gate_output(const Fr &ql, const Fr &qr, const Fr &qm,
+                        const Fr &qc, Var a, Var b, const Fr &out_value);
+
+    std::vector<Fr> values_;
+    std::vector<Gate> gates_;
+    std::vector<Var> public_inputs_;  ///< variables exposed publicly
+};
+
+/**
+ * Generate a random satisfying circuit with the paper's witness-sparsity
+ * statistics (Section 6.2: ~10% dense scalars, ~45% zeros, ~45% ones)
+ * used by the mock workloads.
+ *
+ * @param num_vars mu (2^mu gates).
+ * @param dense_fraction fraction of full-width witness values.
+ */
+std::pair<CircuitIndex, Witness> random_circuit(size_t num_vars,
+                                                std::mt19937_64 &rng,
+                                                double dense_fraction = 0.1);
+
+}  // namespace zkspeed::hyperplonk

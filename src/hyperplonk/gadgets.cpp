@@ -1,0 +1,280 @@
+#include "hyperplonk/gadgets.hpp"
+
+namespace zkspeed::hyperplonk::gadgets {
+
+namespace {
+
+/** Exponent e = 5^{-1} mod (r - 1), so (x^5)^e == x for all x. */
+const ff::BigInt<4> &
+inv5_exponent()
+{
+    static const ff::BigInt<4> kExp = [] {
+        using B = ff::BigInt<4>;
+        B m = Fr::kModulus;
+        m.sub_assign(B(1));  // group order r - 1
+        // Find k in 0..4 with (1 + k*m) divisible by 5; e = (1+k*m)/5.
+        for (uint64_t k = 0; k < 5; ++k) {
+            B acc(1);
+            for (uint64_t i = 0; i < k; ++i) acc.add_assign(m);
+            B q, rem;
+            ff::divmod(acc, B(5), q, rem);
+            if (rem.is_zero()) return q;
+        }
+        return B();  // unreachable for BLS12-381 Fr
+    }();
+    return kExp;
+}
+
+/** MDS-like mixing matrix (structural stand-in; see header). */
+constexpr uint64_t kMix[3][3] = {{2, 3, 1}, {1, 2, 3}, {3, 1, 2}};
+
+/** Deterministic round constants. */
+Fr
+round_constant(unsigned round, unsigned lane, unsigned layer)
+{
+    uint64_t seed = 0x9e3779b97f4a7c15ULL * (round * 7 + lane * 3 +
+                                             layer + 1);
+    return Fr::from_uint(seed);
+}
+
+Fr
+pow5_value(const Fr &x)
+{
+    Fr x2 = x * x;
+    return x2 * x2 * x;
+}
+
+Fr
+pow5_inverse_value(const Fr &x)
+{
+    return x.pow(inv5_exponent());
+}
+
+}  // namespace
+
+Var
+constant(CircuitBuilder &cb, const Fr &c)
+{
+    Var v = cb.add_variable(c);
+    cb.assert_constant(v, c);
+    return v;
+}
+
+Var
+logic_xor(CircuitBuilder &cb, Var a, Var b)
+{
+    // out = a + b - 2ab.
+    Fr va = cb.value(a), vb = cb.value(b);
+    Var out = cb.add_variable(va + vb - (va * vb).dbl());
+    cb.add_custom_gate(Fr::one(), Fr::one(), -Fr::from_uint(2),
+                       Fr::one(), Fr::zero(), a, b, out);
+    return out;
+}
+
+Var
+logic_and(CircuitBuilder &cb, Var a, Var b)
+{
+    return cb.add_multiplication(a, b);
+}
+
+Var
+logic_or(CircuitBuilder &cb, Var a, Var b)
+{
+    // out = a + b - ab.
+    Fr va = cb.value(a), vb = cb.value(b);
+    Var out = cb.add_variable(va + vb - va * vb);
+    cb.add_custom_gate(Fr::one(), Fr::one(), -Fr::one(), Fr::one(),
+                       Fr::zero(), a, b, out);
+    return out;
+}
+
+Var
+logic_not(CircuitBuilder &cb, Var a)
+{
+    // out = 1 - a.
+    Var out = cb.add_variable(Fr::one() - cb.value(a));
+    cb.add_custom_gate(-Fr::one(), Fr::zero(), Fr::zero(), Fr::one(),
+                       Fr::one(), a, a, out);
+    return out;
+}
+
+Var
+mux(CircuitBuilder &cb, Var sel, Var a, Var b)
+{
+    // out = b + sel * (a - b).
+    Var diff = cb.add_subtraction(a, b);
+    Var scaled = cb.add_multiplication(sel, diff);
+    return cb.add_addition(b, scaled);
+}
+
+std::vector<Var>
+bit_decompose(CircuitBuilder &cb, Var v, unsigned bits)
+{
+    // The value must fit; higher bits of the canonical form are checked
+    // implicitly by the reconstruction constraint failing otherwise.
+    auto repr = cb.value(v).to_repr();
+    std::vector<Var> out;
+    out.reserve(bits);
+    Var acc = constant(cb, Fr::zero());
+    for (unsigned i = 0; i < bits; ++i) {
+        bool bit = repr.bit(i);
+        Var b = cb.add_variable(bit ? Fr::one() : Fr::zero());
+        cb.assert_boolean(b);
+        out.push_back(b);
+        Fr weight = Fr::from_uint(2).pow(uint64_t(i));
+        Var next = cb.add_variable(cb.value(acc) + weight * cb.value(b));
+        cb.add_custom_gate(Fr::one(), weight, Fr::zero(), Fr::one(),
+                           Fr::zero(), acc, b, next);
+        acc = next;
+    }
+    cb.assert_equal(acc, v);
+    return out;
+}
+
+void
+range_check(CircuitBuilder &cb, Var v, unsigned bits)
+{
+    (void)bit_decompose(cb, v, bits);
+}
+
+Var
+is_equal(CircuitBuilder &cb, Var a, Var b)
+{
+    Fr d_val = cb.value(a) - cb.value(b);
+    Var d = cb.add_subtraction(a, b);
+    // Witness hint: inv = d^{-1} (or 0 when d == 0).
+    Var inv = cb.add_variable(d_val.inverse());
+    Var t = cb.add_multiplication(d, inv);  // 1 iff d != 0
+    Var out = logic_not(cb, t);
+    // Soundness: d * out == 0 forces out = 0 whenever d != 0.
+    cb.add_custom_gate(Fr::zero(), Fr::zero(), Fr::one(), Fr::zero(),
+                       Fr::zero(), d, out, d);
+    return out;
+}
+
+Var
+pow5(CircuitBuilder &cb, Var x)
+{
+    Var x2 = cb.add_multiplication(x, x);
+    Var x4 = cb.add_multiplication(x2, x2);
+    return cb.add_multiplication(x4, x);
+}
+
+Var
+pow5_inverse(CircuitBuilder &cb, Var x)
+{
+    // Hint y = x^{1/5}; constrain y^5 == x.
+    Var y = cb.add_variable(pow5_inverse_value(cb.value(x)));
+    Var y2 = cb.add_multiplication(y, y);
+    Var y4 = cb.add_multiplication(y2, y2);
+    // y4 * y - x == 0.
+    cb.add_custom_gate(Fr::zero(), Fr::zero(), Fr::one(), Fr::one(),
+                       Fr::zero(), y4, y, x);
+    return y;
+}
+
+RescueParams
+RescueParams::standard()
+{
+    return RescueParams{};
+}
+
+RescueParams
+RescueParams::with_custom_gates()
+{
+    RescueParams p;
+    p.use_custom_gates = true;
+    return p;
+}
+
+namespace {
+
+/** One linear-mix output: out_i = sum_j kMix[i][j] s_j + rc. Shared by
+ * the circuit and software paths to keep them in lock step. */
+Fr
+mix_value(const std::array<Fr, 3> &s, unsigned i, const Fr &rc)
+{
+    Fr acc = rc;
+    for (unsigned j = 0; j < 3; ++j) {
+        acc += Fr::from_uint(kMix[i][j]) * s[j];
+    }
+    return acc;
+}
+
+std::array<Var, 3>
+mix_circuit(CircuitBuilder &cb, const std::array<Var, 3> &s,
+            unsigned round, unsigned layer)
+{
+    std::array<Var, 3> out;
+    for (unsigned i = 0; i < 3; ++i) {
+        Fr rc = round_constant(round, i, layer);
+        // u = m0*s0 + m1*s1
+        Fr m0 = Fr::from_uint(kMix[i][0]);
+        Fr m1 = Fr::from_uint(kMix[i][1]);
+        Fr m2 = Fr::from_uint(kMix[i][2]);
+        Var u = cb.add_variable(m0 * cb.value(s[0]) +
+                                m1 * cb.value(s[1]));
+        cb.add_custom_gate(m0, m1, Fr::zero(), Fr::one(), Fr::zero(),
+                           s[0], s[1], u);
+        // out = u + m2*s2 + rc
+        Var o = cb.add_variable(cb.value(u) + m2 * cb.value(s[2]) + rc);
+        cb.add_custom_gate(Fr::one(), m2, Fr::zero(), Fr::one(), rc, u,
+                           s[2], o);
+        out[i] = o;
+    }
+    return out;
+}
+
+}  // namespace
+
+std::array<Var, 3>
+rescue_permutation(CircuitBuilder &cb, std::array<Var, 3> state,
+                   const RescueParams &params)
+{
+    for (unsigned r = 0; r < params.rounds; ++r) {
+        for (auto &lane : state) {
+            lane = params.use_custom_gates ? cb.add_pow5_gate(lane)
+                                           : pow5(cb, lane);
+        }
+        state = mix_circuit(cb, state, r, 0);
+        for (auto &lane : state) lane = pow5_inverse(cb, lane);
+        state = mix_circuit(cb, state, r, 1);
+    }
+    return state;
+}
+
+std::array<Fr, 3>
+rescue_permutation_value(std::array<Fr, 3> state,
+                         const RescueParams &params)
+{
+    for (unsigned r = 0; r < params.rounds; ++r) {
+        for (auto &lane : state) lane = pow5_value(lane);
+        std::array<Fr, 3> mixed;
+        for (unsigned i = 0; i < 3; ++i) {
+            mixed[i] = mix_value(state, i, round_constant(r, i, 0));
+        }
+        state = mixed;
+        for (auto &lane : state) lane = pow5_inverse_value(lane);
+        for (unsigned i = 0; i < 3; ++i) {
+            mixed[i] = mix_value(state, i, round_constant(r, i, 1));
+        }
+        state = mixed;
+    }
+    return state;
+}
+
+Var
+rescue_hash2(CircuitBuilder &cb, Var a, Var b,
+             const RescueParams &params)
+{
+    std::array<Var, 3> state = {a, b, constant(cb, Fr::zero())};
+    return rescue_permutation(cb, state, params)[0];
+}
+
+Fr
+rescue_hash2_value(const Fr &a, const Fr &b, const RescueParams &params)
+{
+    return rescue_permutation_value({a, b, Fr::zero()}, params)[0];
+}
+
+}  // namespace zkspeed::hyperplonk::gadgets

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Circuit gadget library: reusable constraint patterns layered on
+ * CircuitBuilder.
+ *
+ * Includes the boolean/arithmetic building blocks every Plonk front end
+ * ships (bit decomposition, range checks, boolean logic, multiplexers,
+ * equality tests) plus an algebraic sponge permutation in the style of
+ * Rescue — the hash whose 2^12-invocation workload appears in the
+ * paper's Table 3.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hyperplonk/circuit.hpp"
+
+namespace zkspeed::hyperplonk::gadgets {
+
+/** Allocate a constant-valued, constant-constrained variable. */
+Var constant(CircuitBuilder &cb, const Fr &c);
+
+/** out = a XOR b for boolean a, b (inputs must already be boolean). */
+Var logic_xor(CircuitBuilder &cb, Var a, Var b);
+
+/** out = a AND b. */
+Var logic_and(CircuitBuilder &cb, Var a, Var b);
+
+/** out = a OR b. */
+Var logic_or(CircuitBuilder &cb, Var a, Var b);
+
+/** out = NOT a. */
+Var logic_not(CircuitBuilder &cb, Var a);
+
+/** out = sel ? a : b for boolean sel. */
+Var mux(CircuitBuilder &cb, Var sel, Var a, Var b);
+
+/**
+ * Decompose `v` into `bits` boolean variables (LSB first) and constrain
+ * the weighted sum to reconstruct it — a range check to [0, 2^bits).
+ */
+std::vector<Var> bit_decompose(CircuitBuilder &cb, Var v, unsigned bits);
+
+/** Constrain v in [0, 2^bits) (bit_decompose, discarding the bits). */
+void range_check(CircuitBuilder &cb, Var v, unsigned bits);
+
+/** out = 1 if a == b else 0 (uses a witness inverse hint). */
+Var is_equal(CircuitBuilder &cb, Var a, Var b);
+
+/** out = x^5, the Rescue/Poseidon S-box, in three gates. */
+Var pow5(CircuitBuilder &cb, Var x);
+
+/**
+ * Inverse S-box y = x^{1/5}: the prover supplies y as a hint and the
+ * circuit checks y^5 == x (how real Rescue circuits avoid in-circuit
+ * inversion).
+ */
+Var pow5_inverse(CircuitBuilder &cb, Var x);
+
+/**
+ * A Rescue-style algebraic sponge permutation over a width-3 state:
+ * alternating x^5 / x^{1/5} S-box layers with an MDS-like linear mix
+ * and round constants. This is a structural stand-in with the same
+ * gate profile as Rescue (see DESIGN.md substitutions) — the paper's
+ * workload cares about circuit shape, not the exact constants.
+ */
+struct RescueParams {
+    unsigned rounds = 6;
+    /** Use the q_H x^5 custom gate (one gate per forward S-box instead
+     * of three; the Jellyfish-style extension of the paper's Sec. 8). */
+    bool use_custom_gates = false;
+    /** Deterministic round constants derived from a seed. */
+    static RescueParams standard();
+    static RescueParams with_custom_gates();
+};
+
+/** Apply the permutation in-circuit to a width-3 state. */
+std::array<Var, 3> rescue_permutation(CircuitBuilder &cb,
+                                      std::array<Var, 3> state,
+                                      const RescueParams &params =
+                                          RescueParams::standard());
+
+/**
+ * Rescue-sponge hash of two field elements (rate 2, capacity 1).
+ * @return the variable holding H(a, b).
+ */
+Var rescue_hash2(CircuitBuilder &cb, Var a, Var b,
+                 const RescueParams &params = RescueParams::standard());
+
+/** Pure-software evaluation of the same permutation (for tests). */
+std::array<Fr, 3> rescue_permutation_value(std::array<Fr, 3> state,
+                                           const RescueParams &params =
+                                               RescueParams::standard());
+
+/** Pure-software H(a, b) matching rescue_hash2. */
+Fr rescue_hash2_value(const Fr &a, const Fr &b,
+                      const RescueParams &params =
+                          RescueParams::standard());
+
+}  // namespace zkspeed::hyperplonk::gadgets

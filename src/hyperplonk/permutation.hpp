@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Wiring-identity oracles: Construct N&D, Fraction MLE and Product MLE.
+ *
+ * These are the software kernels behind the zkSpeed Construct N&D unit,
+ * FracMLE unit (batched modular inversion) and the Multifunction Tree
+ * unit's Product-MLE mode (paper Sections 3.3.3, 4.3, 4.4).
+ *
+ * Construction (little-endian index convention, see DESIGN.md):
+ *   N_j[i] = w_j[i] + beta * id_j[i] + gamma
+ *   D_j[i] = w_j[i] + beta * sigma_j[i] + gamma
+ *   phi    = (N1 N2 N3) / (D1 D2 D3)          (batched inversion)
+ *   v      = [phi | pi] merged table of size 2^{mu+1}
+ *   pi[i]  = v[2i] * v[2i+1] for i < 2^mu - 1, pi[2^mu - 1] = 1
+ *   p1[i]  = v[2i],  p2[i] = v[2i+1]
+ *
+ * With this layout the ZeroCheck constraint pi(x) - p1(x) p2(x) = 0
+ * enforces tree consistency everywhere and, at the last index, the grand
+ * product == 1 (the padding 1 multiplies the tree root).
+ */
+#pragma once
+
+#include <memory>
+
+#include "hyperplonk/circuit.hpp"
+
+namespace zkspeed::hyperplonk {
+
+/** All MLE oracles produced by the wiring-identity step. */
+struct PermutationOracles {
+    std::array<std::shared_ptr<Mle>, 3> n_parts;  ///< N1..N3
+    std::array<std::shared_ptr<Mle>, 3> d_parts;  ///< D1..D3
+    std::shared_ptr<Mle> phi;                     ///< Fraction MLE
+    std::shared_ptr<Mle> pi;                      ///< Product MLE
+    std::shared_ptr<Mle> p1;                      ///< left children v(0,x)
+    std::shared_ptr<Mle> p2;                      ///< right children v(1,x)
+};
+
+/** Construct N&D + FracMLE + Product MLE for given challenges. */
+PermutationOracles build_permutation_oracles(const CircuitIndex &index,
+                                             const Witness &witness,
+                                             const Fr &beta,
+                                             const Fr &gamma);
+
+/**
+ * Evaluate p1 / p2 at an arbitrary point from evaluations of phi and pi
+ * at the child points u0 = (0, x_1..x_{mu-1}) and u1 = (1, ...):
+ *   p1(x) = (1 - x_mu) phi(u0) + x_mu pi(u0)
+ *   p2(x) = (1 - x_mu) phi(u1) + x_mu pi(u1)
+ * This is what lets the verifier reduce p1/p2 claims to phi/pi openings
+ * (two of the six batch-evaluation points).
+ */
+Fr eval_p1_from_children(const Fr &x_last, const Fr &phi_u, const Fr &pi_u);
+
+}  // namespace zkspeed::hyperplonk

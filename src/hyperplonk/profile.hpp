@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Per-kernel profiling of the prover (modmuls, bytes moved, wall time).
+ *
+ * The Table-1 benchmark reproduces the paper's kernel characterisation
+ * (modmuls, input/output MB, arithmetic intensity) by wrapping each
+ * prover step in a ProfileRegion. Counting is pull-based: regions read
+ * the global modmul counters on entry/exit; byte counts are declared by
+ * the instrumented code since they describe logical data movement
+ * (table reads/writes), not allocator traffic.
+ */
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "ff/counters.hpp"
+
+namespace zkspeed::hyperplonk {
+
+/** Accumulated statistics for one named kernel. */
+struct KernelProfile {
+    uint64_t modmuls = 0;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    uint64_t calls = 0;
+    double seconds = 0.0;
+
+    double
+    arithmetic_intensity() const
+    {
+        uint64_t bytes = bytes_in + bytes_out;
+        return bytes == 0 ? 0.0 : double(modmuls) / double(bytes);
+    }
+};
+
+/** Process-wide kernel profile registry. */
+class Profiler
+{
+  public:
+    static Profiler &
+    instance()
+    {
+        static Profiler p;
+        return p;
+    }
+
+    void reset() { kernels_.clear(); }
+
+    void
+    record(const std::string &name, uint64_t modmuls, uint64_t bytes_in,
+           uint64_t bytes_out, double seconds)
+    {
+        auto &k = kernels_[name];
+        k.modmuls += modmuls;
+        k.bytes_in += bytes_in;
+        k.bytes_out += bytes_out;
+        k.seconds += seconds;
+        ++k.calls;
+    }
+
+    const std::map<std::string, KernelProfile> &
+    kernels() const
+    {
+        return kernels_;
+    }
+
+  private:
+    std::map<std::string, KernelProfile> kernels_;
+};
+
+/**
+ * RAII region: captures modmul deltas and wall time; the instrumented
+ * code declares logical bytes moved via add_bytes_*().
+ */
+class ProfileRegion
+{
+  public:
+    explicit ProfileRegion(std::string name)
+        : name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    void add_bytes_in(uint64_t b) { bytes_in_ += b; }
+    void add_bytes_out(uint64_t b) { bytes_out_ += b; }
+
+    ~ProfileRegion()
+    {
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+        Profiler::instance().record(name_, scope_.total_delta(), bytes_in_,
+                                    bytes_out_, secs);
+    }
+
+    ProfileRegion(const ProfileRegion &) = delete;
+    ProfileRegion &operator=(const ProfileRegion &) = delete;
+
+  private:
+    std::string name_;
+    ff::ModmulScope scope_;
+    uint64_t bytes_in_ = 0;
+    uint64_t bytes_out_ = 0;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Canonical byte size of one Fr table entry (the paper counts 32 B). */
+constexpr uint64_t kFrBytes = 32;
+/** Byte size of an affine G1 point fetched as (X, Y) (paper Sec. 4.2.1). */
+constexpr uint64_t kG1Bytes = 96;
+
+}  // namespace zkspeed::hyperplonk

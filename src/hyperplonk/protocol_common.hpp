@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Shared prover/verifier protocol plumbing: transcript binding, the
+ * batch-evaluation claim table, and the six opening points.
+ *
+ * Keeping these in one header guarantees the prover and verifier agree on
+ * transcript ordering and on the canonical (point, polynomial) claim list
+ * that drives the batch opening (22 claims over 13 polynomials at 6
+ * points; see DESIGN.md Section 2).
+ */
+#pragma once
+
+#include <vector>
+
+#include "hash/transcript.hpp"
+#include "hyperplonk/prover.hpp"
+
+namespace zkspeed::hyperplonk::detail {
+
+using hash::Transcript;
+
+/** Absorb an affine G1 point (canonical coordinates + infinity flag). */
+inline void
+append_g1(Transcript &tr, std::string_view label, const G1Affine &p)
+{
+    uint8_t buf[2 * ff::Fq::kByteSize + 1] = {};
+    if (!p.infinity) {
+        p.x.to_bytes(buf);
+        p.y.to_bytes(buf + ff::Fq::kByteSize);
+        buf[2 * ff::Fq::kByteSize] = 1;
+    }
+    tr.append_bytes(label, std::span<const uint8_t>(buf, sizeof(buf)));
+}
+
+/** Bind the statement: index commitments, sizes and public inputs. */
+inline void
+bind_preamble(Transcript &tr, size_t num_vars, size_t num_public,
+              bool custom_gates,
+              const std::array<G1Affine, 6> &selector_comms,
+              const std::array<G1Affine, 3> &sigma_comms,
+              std::span<const Fr> public_inputs)
+{
+    tr.append_fr("num_vars", Fr::from_uint(num_vars));
+    tr.append_fr("num_public", Fr::from_uint(num_public));
+    tr.append_fr("custom_gates", Fr::from_uint(custom_gates ? 1 : 0));
+    for (const auto &c : selector_comms) append_g1(tr, "selector_comm", c);
+    for (const auto &c : sigma_comms) append_g1(tr, "sigma_comm", c);
+    tr.append_frs("public_inputs", public_inputs);
+}
+
+/** One batch-opening claim: polynomial `poly` evaluated at point `point`. */
+struct ClaimEntry {
+    size_t point;  ///< index into the 6-point list
+    size_t poly;   ///< PolyId
+};
+
+/**
+ * The canonical claim list; order matches BatchEvaluations::flatten().
+ * With custom gates enabled a 23rd claim (q_H at the gate point) is
+ * inserted after the base gate block.
+ */
+inline std::vector<ClaimEntry>
+claim_list(bool custom_gates)
+{
+    std::vector<ClaimEntry> c = {
+        {0, kQl}, {0, kQr}, {0, kQm}, {0, kQo}, {0, kQc},
+        {0, kW1}, {0, kW2}, {0, kW3},
+    };
+    if (custom_gates) c.push_back({0, kQh});
+    const ClaimEntry rest[] = {
+        {1, kW1}, {1, kW2}, {1, kW3}, {1, kS1}, {1, kS2}, {1, kS3},
+        {1, kPhi}, {1, kPi},
+        {2, kPhi}, {2, kPi},
+        {3, kPhi}, {3, kPi},
+        {4, kPi},
+        {5, kW1},
+    };
+    c.insert(c.end(), std::begin(rest), std::end(rest));
+    return c;
+}
+
+/** Number of variables needed to index the public inputs. */
+inline size_t
+pub_vars(size_t num_public)
+{
+    size_t v = 0;
+    while ((size_t(1) << v) < num_public) ++v;
+    return v;
+}
+
+/** Child point u0/u1 = (bit, r_p[0..mu-2]) for the p1/p2 reduction. */
+inline std::vector<Fr>
+child_point(std::span<const Fr> r_p, bool one)
+{
+    std::vector<Fr> pt(r_p.size());
+    pt[0] = one ? Fr::one() : Fr::zero();
+    for (size_t k = 1; k < r_p.size(); ++k) pt[k] = r_p[k - 1];
+    return pt;
+}
+
+/** The compile-time-fixed product-tree root point: bits of 2^mu - 2. */
+inline std::vector<Fr>
+root_point(size_t mu)
+{
+    size_t idx = (size_t(1) << mu) - 2;
+    std::vector<Fr> pt(mu);
+    for (size_t k = 0; k < mu; ++k) {
+        pt[k] = ((idx >> k) & 1) ? Fr::one() : Fr::zero();
+    }
+    return pt;
+}
+
+/** The public-input point (z_pub padded with zeros to mu coordinates). */
+inline std::vector<Fr>
+pub_point(std::span<const Fr> z_pub, size_t mu)
+{
+    std::vector<Fr> pt(mu, Fr::zero());
+    for (size_t k = 0; k < z_pub.size(); ++k) pt[k] = z_pub[k];
+    return pt;
+}
+
+/** Assemble the six opening points in canonical order. */
+inline std::vector<std::vector<Fr>>
+make_points(std::span<const Fr> r_g, std::span<const Fr> r_p,
+            std::span<const Fr> z_pub, size_t mu)
+{
+    return {
+        std::vector<Fr>(r_g.begin(), r_g.end()),
+        std::vector<Fr>(r_p.begin(), r_p.end()),
+        child_point(r_p, false),
+        child_point(r_p, true),
+        root_point(mu),
+        pub_point(z_pub, mu),
+    };
+}
+
+/** Powers a^0 .. a^{n-1}. */
+inline std::vector<Fr>
+powers(const Fr &a, size_t n)
+{
+    std::vector<Fr> p(n);
+    p[0] = Fr::one();
+    for (size_t i = 1; i < n; ++i) p[i] = p[i - 1] * a;
+    return p;
+}
+
+/** The gate-identity constraint (Eq. 1, plus the optional q_H w1^5
+ * custom-gate term) from the claimed gate-point evaluations. */
+inline Fr
+gate_expression(const BatchEvaluations &ev)
+{
+    const auto &e = ev.at_gate;
+    // qL w1 + qR w2 + qM w1 w2 - qO w3 + qC
+    Fr f = e[0] * e[5] + e[1] * e[6] + e[2] * e[5] * e[6] -
+           e[3] * e[7] + e[4];
+    if (ev.custom) {
+        Fr w1sq = e[5] * e[5];
+        f += ev.qh_at_gate * w1sq * w1sq * e[5];
+    }
+    return f;
+}
+
+/** id_j evaluated at an arbitrary point: j*2^mu + sum_k x_k 2^{k-1}. */
+inline Fr
+identity_eval(size_t j, size_t mu, std::span<const Fr> x)
+{
+    Fr acc = Fr::from_uint(uint64_t(j) << mu);
+    for (size_t k = 0; k < mu; ++k) {
+        acc += x[k] * Fr::from_uint(uint64_t(1) << k);
+    }
+    return acc;
+}
+
+}  // namespace zkspeed::hyperplonk::detail

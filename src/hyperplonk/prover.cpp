@@ -1,0 +1,336 @@
+#include "hyperplonk/prover.hpp"
+
+#include <cassert>
+
+#include "hyperplonk/permutation.hpp"
+#include "hyperplonk/profile.hpp"
+#include "hyperplonk/protocol_common.hpp"
+
+namespace zkspeed::hyperplonk {
+
+using namespace detail;
+
+std::vector<Fr>
+BatchEvaluations::flatten() const
+{
+    std::vector<Fr> out;
+    out.reserve(count());
+    out.insert(out.end(), at_gate.begin(), at_gate.end());
+    out.insert(out.end(), at_perm.begin(), at_perm.end());
+    out.insert(out.end(), at_u0.begin(), at_u0.end());
+    out.insert(out.end(), at_u1.begin(), at_u1.end());
+    out.push_back(pi_at_root);
+    out.push_back(w1_at_pub);
+    // The custom-gate claim slots in right after the base gate block.
+    if (custom) out.insert(out.begin() + 8, qh_at_gate);
+    return out;
+}
+
+size_t
+Proof::size_bytes() const
+{
+    constexpr size_t kG1Size = 2 * ff::Fq::kByteSize + 1;
+    constexpr size_t kFrSize = ff::Fr::kByteSize;
+    size_t n = 0;
+    n += witness_comms.size() * kG1Size;
+    n += 2 * kG1Size;  // phi, pi
+    for (const auto *sc : {&zerocheck, &permcheck, &opencheck}) {
+        for (const auto &r : sc->round_evals) n += r.size() * kFrSize;
+    }
+    n += evals.count() * kFrSize;
+    n += kFrSize;  // gprime_value
+    n += gprime_proof.quotients.size() * kG1Size;
+    return n;
+}
+
+std::pair<ProvingKey, VerifyingKey>
+keygen(CircuitIndex index, std::shared_ptr<const pcs::Srs> srs)
+{
+    assert(srs->num_vars == index.num_vars);
+    ProvingKey pk;
+    VerifyingKey vk;
+    vk.num_vars = index.num_vars;
+    vk.num_public = index.num_public;
+    vk.custom_gates = index.custom_gates;
+    const Mle *selectors[6] = {&index.q_l, &index.q_r, &index.q_m,
+                               &index.q_o, &index.q_c, &index.q_h};
+    for (size_t i = 0; i < 6; ++i) {
+        pk.selector_comms[i] = pcs::commit_sparse(*srs, *selectors[i]);
+    }
+    for (size_t j = 0; j < 3; ++j) {
+        pk.sigma_comms[j] = pcs::commit(*srs, index.sigma[j]);
+    }
+    vk.selector_comms = pk.selector_comms;
+    vk.sigma_comms = pk.sigma_comms;
+    vk.srs = srs;
+    pk.srs = std::move(srs);
+    pk.index = std::move(index);
+    return {std::move(pk), std::move(vk)};
+}
+
+namespace {
+
+/** Non-owning shared_ptr alias for MLEs whose lifetime outlives prove(). */
+std::shared_ptr<Mle>
+alias(const Mle &m)
+{
+    return std::shared_ptr<Mle>(std::shared_ptr<Mle>(),
+                                const_cast<Mle *>(&m));
+}
+
+/** Record a sumcheck's two kernels under their Table-1 row names. */
+void
+record_sumcheck(const std::string &round_name, const SumcheckCosts &costs,
+                double seconds)
+{
+    uint64_t total = costs.round_modmuls + costs.update_modmuls;
+    double round_share =
+        total == 0 ? 0.5 : double(costs.round_modmuls) / double(total);
+    Profiler::instance().record(round_name, costs.round_modmuls,
+                                costs.round_bytes_in, 0,
+                                seconds * round_share);
+    Profiler::instance().record("All MLE Updates", costs.update_modmuls,
+                                costs.update_bytes_in,
+                                costs.update_bytes_out,
+                                seconds * (1.0 - round_share));
+}
+
+/** Timed sumcheck wrapper feeding the profiler. */
+SumcheckProverResult
+profiled_sumcheck(const std::string &name, const VirtualPolynomial &vp,
+                  hash::Transcript &tr)
+{
+    SumcheckCosts costs;
+    auto t0 = std::chrono::steady_clock::now();
+    auto res = sumcheck_prove(vp, tr, &costs);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    record_sumcheck(name, costs, secs);
+    return res;
+}
+
+}  // namespace
+
+Proof
+prove(const ProvingKey &pk, const Witness &witness)
+{
+    const CircuitIndex &index = pk.index;
+    const pcs::Srs &srs = *pk.srs;
+    const size_t mu = index.num_vars;
+    const size_t n = index.num_gates();
+    assert(witness.w[0].num_vars() == mu);
+
+    Proof proof;
+    hash::Transcript tr("hyperplonk-v1");
+    std::vector<Fr> publics = witness.public_inputs(index);
+    bind_preamble(tr, mu, index.num_public, index.custom_gates,
+                  pk.selector_comms, pk.sigma_comms, publics);
+
+    // ------------------------------------------------------------------
+    // Step 1: Witness Commits (sparse MSMs; paper Section 3.3.1).
+    // ------------------------------------------------------------------
+    {
+        ProfileRegion reg("Witness MSMs");
+        for (size_t j = 0; j < 3; ++j) {
+            curve::MsmStats st;
+            proof.witness_comms[j] =
+                pcs::commit_sparse(srs, witness.w[j], &st);
+            // Points for 1-valued and dense scalars are fetched; dense
+            // scalars travel too (Section 4.2.1: two coordinates/point).
+            reg.add_bytes_in((st.ones + st.dense) * kG1Bytes +
+                             st.dense * kFrBytes);
+        }
+    }
+    for (const auto &c : proof.witness_comms) {
+        append_g1(tr, "witness_comm", c);
+    }
+
+    // ------------------------------------------------------------------
+    // Step 2: Gate Identity — ZeroCheck on Eq. 3.
+    // ------------------------------------------------------------------
+    std::vector<Fr> r_z = tr.challenge_frs("zerocheck_r", mu);
+    std::shared_ptr<Mle> fz1;
+    {
+        ProfileRegion reg("Build MLE");
+        fz1 = std::make_shared<Mle>(Mle::eq_table(r_z));
+        reg.add_bytes_out(n * kFrBytes);
+    }
+    VirtualPolynomial f_zero(mu);
+    {
+        size_t ql = f_zero.add_mle(alias(index.q_l));
+        size_t qr = f_zero.add_mle(alias(index.q_r));
+        size_t qm = f_zero.add_mle(alias(index.q_m));
+        size_t qo = f_zero.add_mle(alias(index.q_o));
+        size_t qc = f_zero.add_mle(alias(index.q_c));
+        size_t w1 = f_zero.add_mle(alias(witness.w[0]));
+        size_t w2 = f_zero.add_mle(alias(witness.w[1]));
+        size_t w3 = f_zero.add_mle(alias(witness.w[2]));
+        size_t eq = f_zero.add_mle(fz1);
+        f_zero.add_term(Fr::one(), {ql, w1, eq});
+        f_zero.add_term(Fr::one(), {qr, w2, eq});
+        f_zero.add_term(Fr::one(), {qm, w1, w2, eq});
+        f_zero.add_term(-Fr::one(), {qo, w3, eq});
+        f_zero.add_term(Fr::one(), {qc, eq});
+        if (index.custom_gates) {
+            // Jellyfish-style high-degree gate: q_H w1^5 (degree 7).
+            size_t qh = f_zero.add_mle(alias(index.q_h));
+            f_zero.add_term(Fr::one(), {qh, w1, w1, w1, w1, w1, eq});
+        }
+    }
+    auto zres = profiled_sumcheck("ZeroCheck Rounds", f_zero, tr);
+    proof.zerocheck = std::move(zres.proof);
+    std::span<const Fr> r_g = zres.challenges;
+
+    // ------------------------------------------------------------------
+    // Step 3: Wiring Identity — Construct N&D, FracMLE, ProdMLE, MSMs,
+    // then the PermCheck ZeroCheck on Eq. 4.
+    // ------------------------------------------------------------------
+    Fr beta = tr.challenge_fr("beta");
+    Fr gamma = tr.challenge_fr("gamma");
+    PermutationOracles oracles =
+        build_permutation_oracles(index, witness, beta, gamma);
+    {
+        ProfileRegion reg("Wire Identity MSMs");
+        proof.phi_comm = pcs::commit(srs, *oracles.phi);
+        proof.pi_comm = pcs::commit(srs, *oracles.pi);
+        reg.add_bytes_in(2 * n * (kG1Bytes + kFrBytes));
+    }
+    append_g1(tr, "phi_comm", proof.phi_comm);
+    append_g1(tr, "pi_comm", proof.pi_comm);
+    Fr alpha = tr.challenge_fr("alpha");
+    std::vector<Fr> r_z2 = tr.challenge_frs("permcheck_r", mu);
+    std::shared_ptr<Mle> fz2;
+    {
+        ProfileRegion reg("Build MLE");
+        fz2 = std::make_shared<Mle>(Mle::eq_table(r_z2));
+        reg.add_bytes_out(n * kFrBytes);
+    }
+    VirtualPolynomial f_perm(mu);
+    {
+        size_t pi = f_perm.add_mle(oracles.pi);
+        size_t p1 = f_perm.add_mle(oracles.p1);
+        size_t p2 = f_perm.add_mle(oracles.p2);
+        size_t phi = f_perm.add_mle(oracles.phi);
+        size_t d1 = f_perm.add_mle(oracles.d_parts[0]);
+        size_t d2 = f_perm.add_mle(oracles.d_parts[1]);
+        size_t d3 = f_perm.add_mle(oracles.d_parts[2]);
+        size_t n1 = f_perm.add_mle(oracles.n_parts[0]);
+        size_t n2 = f_perm.add_mle(oracles.n_parts[1]);
+        size_t n3 = f_perm.add_mle(oracles.n_parts[2]);
+        size_t eq = f_perm.add_mle(fz2);
+        f_perm.add_term(Fr::one(), {pi, eq});
+        f_perm.add_term(-Fr::one(), {p1, p2, eq});
+        f_perm.add_term(alpha, {phi, d1, d2, d3, eq});
+        f_perm.add_term(-alpha, {n1, n2, n3, eq});
+    }
+    auto pres = profiled_sumcheck("PermCheck Rounds", f_perm, tr);
+    proof.permcheck = std::move(pres.proof);
+    std::span<const Fr> r_p = pres.challenges;
+
+    // ------------------------------------------------------------------
+    // Step 4: Batch Evaluations — 22 evaluations at 6 points.
+    // ------------------------------------------------------------------
+    std::vector<Fr> z_pub =
+        tr.challenge_frs("pub_r", pub_vars(index.num_public));
+    auto points = make_points(r_g, r_p, z_pub, mu);
+    {
+        ProfileRegion reg("Batch Evaluations");
+        const Mle *polys[kNumPolys] = {
+            &index.q_l, &index.q_r, &index.q_m, &index.q_o, &index.q_c,
+            &index.q_h,
+            &witness.w[0], &witness.w[1], &witness.w[2],
+            &index.sigma[0], &index.sigma[1], &index.sigma[2],
+            oracles.phi.get(), oracles.pi.get()};
+        auto ev = [&](size_t poly, size_t point) {
+            reg.add_bytes_in(n * kFrBytes);
+            return polys[poly]->evaluate(points[point]);
+        };
+        for (size_t i = 0; i < 5; ++i) proof.evals.at_gate[i] = ev(i, 0);
+        for (size_t i = 0; i < 3; ++i) {
+            proof.evals.at_gate[5 + i] = ev(kW1 + i, 0);
+            proof.evals.at_perm[i] = ev(kW1 + i, 1);
+            proof.evals.at_perm[3 + i] = ev(kS1 + i, 1);
+        }
+        proof.evals.at_perm[6] = ev(kPhi, 1);
+        proof.evals.at_perm[7] = ev(kPi, 1);
+        proof.evals.at_u0 = {ev(kPhi, 2), ev(kPi, 2)};
+        proof.evals.at_u1 = {ev(kPhi, 3), ev(kPi, 3)};
+        // The root point is boolean: the evaluation is a table lookup.
+        proof.evals.pi_at_root = (*oracles.pi)[n - 2];
+        proof.evals.w1_at_pub = ev(kW1, 5);
+        proof.evals.custom = index.custom_gates;
+        if (index.custom_gates) proof.evals.qh_at_gate = ev(kQh, 0);
+    }
+    tr.append_frs("batch_evals", proof.evals.flatten());
+
+    // ------------------------------------------------------------------
+    // Step 5: Polynomial Opening — MLE Combine, Build MLE (k_j),
+    // OpenCheck (Eq. 5), g' and the halving MSM opening.
+    // ------------------------------------------------------------------
+    Fr a = tr.challenge_fr("batch_a");
+    auto claims = claim_list(index.custom_gates);
+    std::vector<Fr> pw = powers(a, claims.size());
+
+    // k_j = eq(X, z_j): six Build MLEs.
+    std::vector<std::shared_ptr<Mle>> k_mles(points.size());
+    {
+        ProfileRegion reg("Build MLE");
+        for (size_t j = 0; j < points.size(); ++j) {
+            k_mles[j] = std::make_shared<Mle>(Mle::eq_table(points[j]));
+            reg.add_bytes_out(n * kFrBytes);
+        }
+    }
+    // y_j = sum of a^c-weighted polynomials claimed at point j.
+    std::vector<std::shared_ptr<Mle>> y_mles(points.size());
+    {
+        ProfileRegion reg("Linear Combine");
+        const Mle *polys[kNumPolys] = {
+            &index.q_l, &index.q_r, &index.q_m, &index.q_o, &index.q_c,
+            &index.q_h,
+            &witness.w[0], &witness.w[1], &witness.w[2],
+            &index.sigma[0], &index.sigma[1], &index.sigma[2],
+            oracles.phi.get(), oracles.pi.get()};
+        for (size_t j = 0; j < points.size(); ++j) {
+            y_mles[j] = std::make_shared<Mle>(mu);
+        }
+        for (size_t c = 0; c < claims.size(); ++c) {
+            y_mles[claims[c].point]->add_scaled(*polys[claims[c].poly],
+                                                pw[c]);
+            reg.add_bytes_in(n * kFrBytes);
+        }
+        reg.add_bytes_out(points.size() * n * kFrBytes);
+    }
+    VirtualPolynomial f_open(mu);
+    for (size_t j = 0; j < points.size(); ++j) {
+        f_open.add_product(Fr::one(), {y_mles[j], k_mles[j]});
+    }
+    auto ores = profiled_sumcheck("OpenCheck Rounds", f_open, tr);
+    proof.opencheck = std::move(ores.proof);
+    std::span<const Fr> r_o = ores.challenges;
+
+    // g' = sum_j eq(r_o, z_j) * y_j, then open at r_o.
+    Mle gprime(mu);
+    {
+        ProfileRegion reg("Linear Combine");
+        for (size_t j = 0; j < points.size(); ++j) {
+            gprime.add_scaled(*y_mles[j], Mle::eq_eval(r_o, points[j]));
+            reg.add_bytes_in(n * kFrBytes);
+        }
+        reg.add_bytes_out(n * kFrBytes);
+    }
+    {
+        ProfileRegion reg("Poly Open MSMs");
+        auto [open_proof, value] = pcs::open(srs, gprime, r_o);
+        proof.gprime_proof = std::move(open_proof);
+        proof.gprime_value = value;
+        reg.add_bytes_in(n * (kG1Bytes + kFrBytes));
+    }
+    tr.append_fr("gprime_value", proof.gprime_value);
+    for (const auto &q : proof.gprime_proof.quotients) {
+        append_g1(tr, "gprime_quotient", q);
+    }
+    return proof;
+}
+
+}  // namespace zkspeed::hyperplonk

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The HyperPlonk prover and verifier (paper Section 3.3).
+ *
+ * Proof generation runs the five protocol steps in series, with SHA3
+ * transcript updates enforcing the order (Section 3.3.6):
+ *   1. Witness Commits        — sparse MSMs over w1..w3
+ *   2. Gate Identity          — Build MLE + ZeroCheck on Eq. 3
+ *   3. Wiring Identity        — Construct N&D, FracMLE, ProdMLE, two
+ *                               dense MSMs, ZeroCheck on Eq. 4 (PermCheck)
+ *   4. Batch Evaluations      — 22 evaluations of 13 polynomials at 6
+ *                               (23/14 with custom gates) points
+ *                               (see DESIGN.md for the breakdown)
+ *   5. Polynomial Opening     — MLE Combine, Build MLE (k_j), OpenCheck
+ *                               on Eq. 5, g' construction and the halving
+ *                               MSM opening
+ */
+#pragma once
+
+#include <memory>
+
+#include "hyperplonk/circuit.hpp"
+#include "hyperplonk/sumcheck.hpp"
+#include "pcs/mkzg.hpp"
+
+namespace zkspeed::hyperplonk {
+
+using curve::G1Affine;
+
+/** Canonical polynomial ordering used throughout the batch opening. */
+enum PolyId : size_t {
+    kQl = 0, kQr, kQm, kQo, kQc, kQh,  // 0..5 (q_H: custom gates)
+    kW1, kW2, kW3,                     // 6..8
+    kS1, kS2, kS3,                     // 9..11
+    kPhi, kPi,                         // 12..13
+    kNumPolys,
+};
+
+struct ProvingKey {
+    CircuitIndex index;
+    std::shared_ptr<const pcs::Srs> srs;
+    std::array<G1Affine, 6> selector_comms;  ///< qL,qR,qM,qO,qC,qH
+    std::array<G1Affine, 3> sigma_comms;
+};
+
+struct VerifyingKey {
+    size_t num_vars = 0;
+    size_t num_public = 0;
+    /** Whether the circuit uses q_H custom gates (degree-7 ZeroCheck,
+     * 23 batch claims instead of 22). */
+    bool custom_gates = false;
+    std::array<G1Affine, 6> selector_comms;  ///< qL,qR,qM,qO,qC,qH
+    std::array<G1Affine, 3> sigma_comms;
+    std::shared_ptr<const pcs::Srs> srs;
+};
+
+/**
+ * The 22 claimed evaluations of Step 4, grouped by point:
+ *   z1 = gate-identity point r_g, z2 = wiring point r_p,
+ *   z3/z4 = the p1/p2 child points u0/u1, z5 = the product-tree root
+ *   (compile-time fixed), z6 = the public-input point.
+ */
+struct BatchEvaluations {
+    std::array<Fr, 8> at_gate;  ///< qL,qR,qM,qO,qC,w1,w2,w3 at r_g
+    std::array<Fr, 8> at_perm;  ///< w1,w2,w3,s1,s2,s3,phi,pi at r_p
+    std::array<Fr, 2> at_u0;    ///< phi,pi at u0
+    std::array<Fr, 2> at_u1;    ///< phi,pi at u1
+    Fr pi_at_root;              ///< pi at the tree-root index (must be 1)
+    Fr w1_at_pub;               ///< w1 at the public-input point
+    /** q_H at the gate point (custom-gate circuits only). */
+    Fr qh_at_gate;
+    bool custom = false;
+
+    /** All 22 (or 23 with custom gates) values in canonical order. */
+    std::vector<Fr> flatten() const;
+    size_t count() const { return custom ? 23 : 22; }
+    static constexpr size_t kBaseCount = 22;
+};
+
+struct Proof {
+    std::array<G1Affine, 3> witness_comms;
+    SumcheckProof zerocheck;
+    G1Affine phi_comm, pi_comm;
+    SumcheckProof permcheck;
+    BatchEvaluations evals;
+    SumcheckProof opencheck;
+    Fr gprime_value;
+    pcs::OpeningProof gprime_proof;
+
+    /** Approximate wire size in bytes (for Table-4-style reporting). */
+    size_t size_bytes() const;
+};
+
+/** Commit to the preprocessed index, splitting pk/vk. */
+std::pair<ProvingKey, VerifyingKey> keygen(
+    CircuitIndex index, std::shared_ptr<const pcs::Srs> srs);
+
+/** Generate a HyperPlonk proof. Profiled via hyperplonk/profile.hpp. */
+Proof prove(const ProvingKey &pk, const Witness &witness);
+
+/** How the final PCS opening is checked. */
+enum class PcsCheckMode {
+    ideal,    ///< trapdoor check in G1 (test-mode SRS required; fast)
+    pairing,  ///< real optimal-ate pairing product check
+};
+
+/** Verify a proof against the public inputs. */
+bool verify(const VerifyingKey &vk, std::span<const Fr> public_inputs,
+            const Proof &proof, PcsCheckMode mode = PcsCheckMode::ideal);
+
+}  // namespace zkspeed::hyperplonk

@@ -1,0 +1,328 @@
+#include "hyperplonk/serialize.hpp"
+
+#include <cstring>
+
+namespace zkspeed::hyperplonk::serde {
+
+namespace {
+
+using curve::G1Affine;
+using ff::Fq;
+using ff::Fr;
+
+class ByteWriter
+{
+  public:
+    std::vector<uint8_t> buf;
+
+    void
+    u8(uint8_t v)
+    {
+        buf.push_back(v);
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) buf.push_back(uint8_t(v >> (8 * i)));
+    }
+
+    void
+    fr(const Fr &x)
+    {
+        size_t off = buf.size();
+        buf.resize(off + Fr::kByteSize);
+        x.to_bytes(buf.data() + off);
+    }
+
+    void
+    fq(const Fq &x)
+    {
+        size_t off = buf.size();
+        buf.resize(off + Fq::kByteSize);
+        x.to_bytes(buf.data() + off);
+    }
+
+    void
+    g1(const G1Affine &p)
+    {
+        u8(p.infinity ? 1 : 0);
+        fq(p.infinity ? Fq::zero() : p.x);
+        fq(p.infinity ? Fq::zero() : p.y);
+    }
+
+    void
+    frs(std::span<const Fr> xs)
+    {
+        u64(xs.size());
+        for (const auto &x : xs) fr(x);
+    }
+};
+
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::span<const uint8_t> bytes) : data_(bytes) {}
+
+    bool failed() const { return failed_; }
+    bool fully_consumed() const { return !failed_ && pos_ == data_.size(); }
+
+    uint8_t
+    u8()
+    {
+        if (pos_ + 1 > data_.size()) {
+            failed_ = true;
+            return 0;
+        }
+        return data_[pos_++];
+    }
+
+    uint64_t
+    u64()
+    {
+        if (pos_ + 8 > data_.size()) {
+            failed_ = true;
+            return 0;
+        }
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) {
+            v |= uint64_t(data_[pos_ + i]) << (8 * i);
+        }
+        pos_ += 8;
+        return v;
+    }
+
+    /** Strict field decode: value must be canonical (< modulus). */
+    template <typename F>
+    F
+    field()
+    {
+        if (pos_ + F::kByteSize > data_.size()) {
+            failed_ = true;
+            return F::zero();
+        }
+        typename F::Repr r;
+        for (size_t i = 0; i < F::kLimbs; ++i) {
+            uint64_t limb = 0;
+            for (size_t b = 0; b < 8; ++b) {
+                limb |= uint64_t(data_[pos_ + i * 8 + b]) << (8 * b);
+            }
+            r.limbs[i] = limb;
+        }
+        pos_ += F::kByteSize;
+        if (!(r < F::kModulus)) {
+            failed_ = true;
+            return F::zero();
+        }
+        return F::from_repr(r);
+    }
+
+    Fr fr() { return field<Fr>(); }
+
+    /** Strict point decode: must be on the curve. */
+    G1Affine
+    g1()
+    {
+        uint8_t inf = u8();
+        Fq x = field<Fq>();
+        Fq y = field<Fq>();
+        if (failed_) return G1Affine::identity();
+        if (inf == 1) {
+            if (!x.is_zero() || !y.is_zero()) failed_ = true;
+            return G1Affine::identity();
+        }
+        if (inf != 0) {
+            failed_ = true;
+            return G1Affine::identity();
+        }
+        G1Affine p(x, y);
+        if (!p.is_on_curve()) {
+            failed_ = true;
+            return G1Affine::identity();
+        }
+        return p;
+    }
+
+    std::vector<Fr>
+    frs(uint64_t max_len)
+    {
+        uint64_t n = u64();
+        if (n > max_len) {
+            failed_ = true;
+            return {};
+        }
+        std::vector<Fr> out;
+        out.reserve(n);
+        for (uint64_t i = 0; i < n && !failed_; ++i) out.push_back(fr());
+        return out;
+    }
+
+  private:
+    std::span<const uint8_t> data_;
+    size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+constexpr uint64_t kProofMagic = 0x7a6b737065656401ULL;  // "zkspeed",1
+constexpr uint64_t kVkMagic = 0x7a6b737065656402ULL;
+/** Upper bound on accepted round counts / degrees (DoS hygiene). */
+constexpr uint64_t kMaxVars = 40;
+constexpr uint64_t kMaxDegree = 16;
+
+void
+write_sumcheck(ByteWriter &w, const SumcheckProof &sc)
+{
+    w.u64(sc.num_vars);
+    w.u64(sc.degree);
+    w.u64(sc.round_evals.size());
+    for (const auto &r : sc.round_evals) w.frs(r);
+}
+
+SumcheckProof
+read_sumcheck(ByteReader &r)
+{
+    SumcheckProof sc;
+    sc.num_vars = r.u64();
+    sc.degree = r.u64();
+    uint64_t rounds = r.u64();
+    if (sc.num_vars > kMaxVars || sc.degree > kMaxDegree ||
+        rounds > kMaxVars) {
+        return sc;  // reader flagged below via size mismatch
+    }
+    for (uint64_t i = 0; i < rounds; ++i) {
+        sc.round_evals.push_back(r.frs(kMaxDegree + 1));
+    }
+    return sc;
+}
+
+}  // namespace
+
+std::vector<uint8_t>
+serialize_proof(const Proof &proof)
+{
+    ByteWriter w;
+    w.u64(kProofMagic);
+    for (const auto &c : proof.witness_comms) w.g1(c);
+    write_sumcheck(w, proof.zerocheck);
+    w.g1(proof.phi_comm);
+    w.g1(proof.pi_comm);
+    write_sumcheck(w, proof.permcheck);
+    auto flat = proof.evals.flatten();
+    w.frs(flat);
+    write_sumcheck(w, proof.opencheck);
+    w.fr(proof.gprime_value);
+    w.u64(proof.gprime_proof.quotients.size());
+    for (const auto &q : proof.gprime_proof.quotients) w.g1(q);
+    return std::move(w.buf);
+}
+
+std::optional<Proof>
+deserialize_proof(std::span<const uint8_t> bytes)
+{
+    ByteReader r(bytes);
+    if (r.u64() != kProofMagic) return std::nullopt;
+    Proof p;
+    for (auto &c : p.witness_comms) c = r.g1();
+    p.zerocheck = read_sumcheck(r);
+    p.phi_comm = r.g1();
+    p.pi_comm = r.g1();
+    p.permcheck = read_sumcheck(r);
+    auto flat = r.frs(BatchEvaluations::kBaseCount + 1);
+    if (flat.size() != BatchEvaluations::kBaseCount &&
+        flat.size() != BatchEvaluations::kBaseCount + 1) {
+        return std::nullopt;
+    }
+    p.evals.custom = flat.size() == BatchEvaluations::kBaseCount + 1;
+    size_t off = 8;
+    for (size_t i = 0; i < 8; ++i) p.evals.at_gate[i] = flat[i];
+    if (p.evals.custom) p.evals.qh_at_gate = flat[off++];
+    for (size_t i = 0; i < 8; ++i) p.evals.at_perm[i] = flat[off + i];
+    off += 8;
+    p.evals.at_u0 = {flat[off], flat[off + 1]};
+    p.evals.at_u1 = {flat[off + 2], flat[off + 3]};
+    p.evals.pi_at_root = flat[off + 4];
+    p.evals.w1_at_pub = flat[off + 5];
+    p.opencheck = read_sumcheck(r);
+    p.gprime_value = r.fr();
+    uint64_t nq = r.u64();
+    if (nq > kMaxVars) return std::nullopt;
+    for (uint64_t i = 0; i < nq && !r.failed(); ++i) {
+        p.gprime_proof.quotients.push_back(r.g1());
+    }
+    if (!r.fully_consumed()) return std::nullopt;
+    return p;
+}
+
+std::vector<uint8_t>
+serialize_verifying_key(const VerifyingKey &vk)
+{
+    ByteWriter w;
+    w.u64(kVkMagic);
+    w.u64(vk.num_vars);
+    w.u64(vk.num_public);
+    w.u8(vk.custom_gates ? 1 : 0);
+    for (const auto &c : vk.selector_comms) w.g1(c);
+    for (const auto &c : vk.sigma_comms) w.g1(c);
+    // Verifier SRS subset: g, h and h^{tau_i} (G2 points as 4 Fq each).
+    w.g1(vk.srs->g);
+    auto write_g2 = [&](const curve::G2Affine &p) {
+        w.u8(p.infinity ? 1 : 0);
+        w.fq(p.x.c0);
+        w.fq(p.x.c1);
+        w.fq(p.y.c0);
+        w.fq(p.y.c1);
+    };
+    write_g2(vk.srs->h);
+    w.u64(vk.srs->tau_h.size());
+    for (const auto &p : vk.srs->tau_h) write_g2(p);
+    return std::move(w.buf);
+}
+
+std::optional<VerifyingKey>
+deserialize_verifying_key(std::span<const uint8_t> bytes)
+{
+    ByteReader r(bytes);
+    if (r.u64() != kVkMagic) return std::nullopt;
+    VerifyingKey vk;
+    vk.num_vars = r.u64();
+    vk.num_public = r.u64();
+    uint8_t custom = r.u8();
+    if (custom > 1) return std::nullopt;
+    vk.custom_gates = custom == 1;
+    if (vk.num_vars > kMaxVars ||
+        vk.num_public > (uint64_t(1) << std::min<uint64_t>(vk.num_vars,
+                                                           30))) {
+        return std::nullopt;
+    }
+    for (auto &c : vk.selector_comms) c = r.g1();
+    for (auto &c : vk.sigma_comms) c = r.g1();
+    auto srs = std::make_shared<pcs::Srs>();
+    srs->num_vars = vk.num_vars;
+    srs->g = r.g1();
+    auto read_g2 = [&]() {
+        // Sequence the reads explicitly: function-argument evaluation
+        // order is unspecified in C++.
+        uint8_t inf = r.u8();
+        Fq xc0 = r.field<Fq>();
+        Fq xc1 = r.field<Fq>();
+        Fq yc0 = r.field<Fq>();
+        Fq yc1 = r.field<Fq>();
+        if (inf == 1) return curve::G2Affine::identity();
+        return curve::G2Affine(curve::Fq2(xc0, xc1),
+                               curve::Fq2(yc0, yc1));
+    };
+    srs->h = read_g2();
+    if (!r.failed() && !srs->h.is_on_curve()) return std::nullopt;
+    uint64_t nt = r.u64();
+    if (nt != vk.num_vars) return std::nullopt;
+    for (uint64_t i = 0; i < nt && !r.failed(); ++i) {
+        auto p = read_g2();
+        if (!p.is_on_curve()) return std::nullopt;
+        srs->tau_h.push_back(p);
+    }
+    if (!r.fully_consumed()) return std::nullopt;
+    vk.srs = std::move(srs);
+    return vk;
+}
+
+}  // namespace zkspeed::hyperplonk::serde

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Virtual polynomials: sums of coefficient-weighted products of MLEs.
+ *
+ * HyperPlonk's three SumCheck flavours (ZeroCheck, PermCheck, OpenCheck;
+ * paper Eqs. 3-5) all operate on polynomials of this shape. MLEs are
+ * shared between terms (e.g. f_z1 appears in every term of Eq. 3); the
+ * SumCheck prover exploits this by extending each distinct table only
+ * once per round, as the zkSpeed SumCheck PE does (Section 4.1.1).
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mle/mle.hpp"
+
+namespace zkspeed::mle {
+
+class VirtualPolynomial
+{
+  public:
+    /** One product term: coeff * prod_k mle[factor_k]. */
+    struct Term {
+        Fr coeff;
+        std::vector<size_t> factors;  ///< indices into the MLE list
+    };
+
+    explicit VirtualPolynomial(size_t num_vars) : num_vars_(num_vars) {}
+
+    size_t num_vars() const { return num_vars_; }
+    const std::vector<std::shared_ptr<Mle>> &mles() const { return mles_; }
+    const std::vector<Term> &terms() const { return terms_; }
+
+    /**
+     * Register an MLE (deduplicated by pointer identity) and return its
+     * index for use in terms.
+     */
+    size_t
+    add_mle(std::shared_ptr<Mle> m)
+    {
+        assert(m->num_vars() == num_vars_);
+        for (size_t i = 0; i < mles_.size(); ++i) {
+            if (mles_[i] == m) return i;
+        }
+        mles_.push_back(std::move(m));
+        return mles_.size() - 1;
+    }
+
+    /** Append a term coeff * prod of the given registered MLE indices. */
+    void
+    add_term(const Fr &coeff, std::vector<size_t> factors)
+    {
+        for ([[maybe_unused]] size_t f : factors) assert(f < mles_.size());
+        terms_.push_back(Term{coeff, std::move(factors)});
+    }
+
+    /** Convenience: register MLEs and append the product term. */
+    void
+    add_product(const Fr &coeff,
+                std::initializer_list<std::shared_ptr<Mle>> ms)
+    {
+        std::vector<size_t> idx;
+        idx.reserve(ms.size());
+        for (const auto &m : ms) idx.push_back(add_mle(m));
+        add_term(coeff, std::move(idx));
+    }
+
+    /** Highest per-variable degree: the longest product. */
+    size_t
+    max_degree() const
+    {
+        size_t d = 0;
+        for (const auto &t : terms_) d = std::max(d, t.factors.size());
+        return d;
+    }
+
+    /** Evaluate the full polynomial at a point (test/verifier path). */
+    Fr
+    evaluate(std::span<const Fr> point) const
+    {
+        std::vector<Fr> mle_vals(mles_.size());
+        for (size_t i = 0; i < mles_.size(); ++i) {
+            mle_vals[i] = mles_[i]->evaluate(point);
+        }
+        return evaluate_from_mle_values(mle_vals);
+    }
+
+    /**
+     * Combine per-MLE evaluations into the polynomial value. The verifier
+     * uses this with externally-verified MLE openings.
+     */
+    Fr
+    evaluate_from_mle_values(std::span<const Fr> mle_vals) const
+    {
+        Fr acc = Fr::zero();
+        for (const auto &t : terms_) {
+            Fr prod = t.coeff;
+            for (size_t f : t.factors) prod *= mle_vals[f];
+            acc += prod;
+        }
+        return acc;
+    }
+
+    /** Sum over the boolean hypercube (the SumCheck claim). */
+    Fr
+    sum_over_hypercube() const
+    {
+        Fr acc = Fr::zero();
+        size_t n = size_t(1) << num_vars_;
+        for (size_t i = 0; i < n; ++i) {
+            for (const auto &t : terms_) {
+                Fr prod = t.coeff;
+                for (size_t f : t.factors) prod *= (*mles_[f])[i];
+                acc += prod;
+            }
+        }
+        return acc;
+    }
+
+  private:
+    size_t num_vars_;
+    std::vector<std::shared_ptr<Mle>> mles_;
+    std::vector<Term> terms_;
+};
+
+}  // namespace zkspeed::mle

@@ -1,0 +1,134 @@
+#include "pcs/mkzg.hpp"
+
+#include <cassert>
+
+#include "curve/fixed_base.hpp"
+#include "ff/parallel.hpp"
+
+namespace zkspeed::pcs {
+
+Srs
+Srs::generate(size_t num_vars, std::mt19937_64 &rng, bool keep_trapdoor)
+{
+    Srs srs;
+    srs.num_vars = num_vars;
+    std::vector<Fr> tau(num_vars);
+    for (auto &t : tau) t = Fr::random(rng);
+
+    srs.g = curve::g1_generator().to_affine();
+    srs.h = curve::g2_generator().to_affine();
+
+    // Level k basis: eq table over the last k entries of tau, scaled into
+    // G1. Computed per level; batch-normalized with one inversion each.
+    srs.lagrange.resize(num_vars + 1);
+    curve::FixedBaseTable g_table(curve::g1_generator());
+    for (size_t k = 0; k <= num_vars; ++k) {
+        std::span<const Fr> suffix(tau.data() + (num_vars - k), k);
+        Mle eq = Mle::eq_table(suffix);
+        std::vector<G1> pts(eq.size());
+        ff::parallel_for(eq.size(), [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+                pts[i] = g_table.mul(eq[i]);
+            }
+        });
+        srs.lagrange[k] = curve::batch_to_affine<curve::G1Params>(pts);
+    }
+
+    G2 h = curve::g2_generator();
+    srs.tau_h.resize(num_vars);
+    for (size_t i = 0; i < num_vars; ++i) {
+        srs.tau_h[i] = h.mul(tau[i]).to_affine();
+    }
+    if (keep_trapdoor) srs.trapdoor = std::move(tau);
+    return srs;
+}
+
+G1Affine
+commit(const Srs &srs, const Mle &poly)
+{
+    assert(poly.num_vars() <= srs.num_vars);
+    return curve::msm(srs.lagrange[poly.num_vars()], poly.evals())
+        .to_affine();
+}
+
+G1Affine
+commit_sparse(const Srs &srs, const Mle &poly, curve::MsmStats *stats)
+{
+    assert(poly.num_vars() <= srs.num_vars);
+    return curve::msm_sparse(srs.lagrange[poly.num_vars()], poly.evals(),
+                             stats)
+        .to_affine();
+}
+
+std::pair<OpeningProof, Fr>
+open(const Srs &srs, const Mle &poly, std::span<const Fr> point)
+{
+    assert(poly.num_vars() == point.size());
+    const size_t mu = poly.num_vars();
+    OpeningProof proof;
+    proof.quotients.reserve(mu);
+    Mle cur = poly;
+    for (size_t j = 0; j < mu; ++j) {
+        // Quotient for variable j: q_j[b] = f[b,1] - f[b,0] over the
+        // remaining mu-j-1 variables.
+        const size_t half = cur.size() / 2;
+        std::vector<Fr> q(half);
+        for (size_t b = 0; b < half; ++b) {
+            q[b] = cur[2 * b + 1] - cur[2 * b];
+        }
+        // Halving MSM: 2^{mu-1-j} points at level mu-1-j.
+        proof.quotients.push_back(
+            curve::msm(srs.lagrange[mu - 1 - j], q).to_affine());
+        cur.fix_first_variable(point[j]);
+    }
+    return {std::move(proof), cur[0]};
+}
+
+bool
+verify(const Srs &srs, const G1Affine &comm, std::span<const Fr> point,
+       const Fr &value, const OpeningProof &proof)
+{
+    const size_t mu = point.size();
+    if (proof.quotients.size() != mu) return false;
+    // Product form: e(C - v g, -h) * prod_k e(Pi_k, h^{tau_k} - z_k h) = 1.
+    std::vector<G1Affine> ps;
+    std::vector<G2Affine> qs;
+    ps.reserve(mu + 1);
+    qs.reserve(mu + 1);
+    G1 c_minus_v =
+        G1::from_affine(comm) + curve::g1_generator().mul(value).neg();
+    ps.push_back(c_minus_v.to_affine());
+    qs.push_back(srs.h.neg());
+    // Polynomials smaller than the SRS are committed against the suffix
+    // taus, so the matching tau_h entries start at this offset.
+    const size_t off = srs.num_vars - mu;
+    for (size_t k = 0; k < mu; ++k) {
+        ps.push_back(proof.quotients[k]);
+        G2 t = G2::from_affine(srs.tau_h[off + k]) +
+               curve::g2_generator().mul(point[k]).neg();
+        qs.push_back(t.to_affine());
+    }
+    return curve::pairing_product_is_one(ps, qs);
+}
+
+bool
+verify_ideal(const Srs &srs, const G1Affine &comm,
+             std::span<const Fr> point, const Fr &value,
+             const OpeningProof &proof)
+{
+    const size_t mu = point.size();
+    assert(srs.trapdoor.size() >= mu &&
+           "ideal verification needs a test-mode SRS");
+    if (proof.quotients.size() != mu) return false;
+    // C - v g == sum_k (tau_k - z_k) Pi_k, checked with G1 scalar muls.
+    G1 lhs = G1::from_affine(comm) + curve::g1_generator().mul(value).neg();
+    G1 rhs = G1::identity();
+    size_t off = srs.trapdoor.size() - mu;
+    for (size_t k = 0; k < mu; ++k) {
+        Fr s = srs.trapdoor[off + k] - point[k];
+        rhs += G1::from_affine(proof.quotients[k]).mul(s);
+    }
+    return lhs == rhs;
+}
+
+}  // namespace zkspeed::pcs

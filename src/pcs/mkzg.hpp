@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Multilinear KZG (PST13) polynomial commitment in the Lagrange (eq)
+ * basis — the commitment scheme HyperPlonk is built on.
+ *
+ * Setup samples tau in Fr^mu and publishes, for every suffix length k,
+ * the G1 points { eq((tau_{mu-k+1},...,tau_mu), b) * g : b in {0,1}^k }
+ * plus { h, h^{tau_i} } in G2. Committing to an MLE is then a 2^mu-point
+ * MSM of its evaluation table against the level-mu basis (paper Section
+ * 2.4: scalars are the MLE table entries).
+ *
+ * Opening at z produces one quotient commitment per variable; quotient
+ * k has 2^{mu-k} entries, so the opening performs MSMs of sizes
+ * 2^{mu-1}, 2^{mu-2}, ..., 2^0 — exactly the halving MSM sequence of the
+ * Polynomial Opening step (paper Section 3.3.5).
+ *
+ * Verification checks
+ *   e(C - v g, h) == prod_k e(Pi_k, h^{tau_k - z_k})
+ * either with real pairings or, in test mode, with the retained trapdoor
+ * (the same equation pushed into G1 scalar arithmetic).
+ */
+#pragma once
+
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "curve/msm.hpp"
+#include "curve/pairing.hpp"
+#include "mle/mle.hpp"
+
+namespace zkspeed::pcs {
+
+using curve::G1;
+using curve::G1Affine;
+using curve::G2;
+using curve::G2Affine;
+using ff::Fr;
+using mle::Mle;
+
+/** Universal structured reference string for a fixed variable count. */
+struct Srs {
+    size_t num_vars = 0;
+    /**
+     * lagrange[k][i] = eq(last k entries of tau, i) * g, for k = 0..mu.
+     * lagrange[mu] is the commitment basis; smaller levels commit opening
+     * quotients.
+     */
+    std::vector<std::vector<G1Affine>> lagrange;
+    G1Affine g;
+    G2Affine h;
+    /** h^{tau_i}, i = 0..mu-1. */
+    std::vector<G2Affine> tau_h;
+    /** Retained only when generated in test mode; enables the fast
+     * trapdoor verifier. Empty in production mode. */
+    std::vector<Fr> trapdoor;
+
+    /**
+     * Run the (locally simulated) universal setup.
+     * @param keep_trapdoor retain tau for the ideal verifier (tests).
+     */
+    static Srs generate(size_t num_vars, std::mt19937_64 &rng,
+                        bool keep_trapdoor = true);
+};
+
+/** An opening proof: one quotient commitment per variable. */
+struct OpeningProof {
+    std::vector<G1Affine> quotients;
+};
+
+/** Commit to an MLE (Pippenger MSM against the Lagrange basis). */
+G1Affine commit(const Srs &srs, const Mle &poly);
+
+/** Sparse commit for 0/1-heavy tables (witness commitments). */
+G1Affine commit_sparse(const Srs &srs, const Mle &poly,
+                       curve::MsmStats *stats = nullptr);
+
+/**
+ * Open `poly` at `point`; returns the proof and the evaluation v.
+ * Performs the halving MSM sequence described in the header comment.
+ */
+std::pair<OpeningProof, Fr> open(const Srs &srs, const Mle &poly,
+                                 std::span<const Fr> point);
+
+/** Pairing-based verification of an opening. */
+bool verify(const Srs &srs, const G1Affine &comm, std::span<const Fr> point,
+            const Fr &value, const OpeningProof &proof);
+
+/**
+ * Trapdoor ("ideal") verification: same equation checked in G1 using the
+ * retained tau. Requires srs.trapdoor to be populated. Used to keep unit
+ * tests fast; the pairing path is exercised by dedicated tests.
+ */
+bool verify_ideal(const Srs &srs, const G1Affine &comm,
+                  std::span<const Fr> point, const Fr &value,
+                  const OpeningProof &proof);
+
+}  // namespace zkspeed::pcs

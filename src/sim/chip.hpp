@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Full-chip zkSpeed model: assembles the eight units, sizes memory, and
+ * statically schedules the HyperPlonk protocol steps (paper Section 5).
+ *
+ * The dataflow is data-oblivious at stage granularity, so each step's
+ * latency is the maximum of the pipelined stage latencies and the HBM
+ * transfer time for the step's traffic — computation overlaps
+ * communication whenever the paper's schedule allows it.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sim/config.hpp"
+#include "sim/fracmle_unit.hpp"
+#include "sim/memory.hpp"
+#include "sim/misc_units.hpp"
+#include "sim/msm_unit.hpp"
+#include "sim/mtu.hpp"
+#include "sim/sumcheck_unit.hpp"
+
+namespace zkspeed::sim {
+
+/** Area breakdown in mm^2 (Table 5 rows). */
+struct AreaBreakdown {
+    double msm = 0;
+    double sumcheck = 0;
+    double construct_nd = 0;
+    double fracmle = 0;
+    double mle_combine = 0;
+    double mle_update = 0;
+    double mtu = 0;
+    double other = 0;  ///< SHA3 + interconnect
+
+    double sram = 0;
+    double hbm_phy = 0;
+
+    double
+    compute_total() const
+    {
+        return msm + sumcheck + construct_nd + fracmle + mle_combine +
+               mle_update + mtu + other;
+    }
+    double memory_total() const { return sram + hbm_phy; }
+    double total() const { return compute_total() + memory_total(); }
+};
+
+/** Result of simulating one proof on one design. */
+struct ChipReport {
+    uint64_t total_cycles = 0;
+    double runtime_ms = 0;
+
+    /** Per-protocol-step latency (Figure 12b granularity). */
+    std::map<std::string, uint64_t> step_cycles;
+    /** Per-kernel latency (Figure 14 granularity). */
+    std::map<std::string, uint64_t> kernel_cycles;
+    /** Unit utilisation in [0, 1] (Figure 13). */
+    std::map<std::string, double> utilization;
+    /** Average power per unit group in W (Table 5). */
+    std::map<std::string, double> power;
+    double total_power = 0;
+    /** Total HBM traffic in bytes. */
+    double hbm_bytes = 0;
+};
+
+class Chip
+{
+  public:
+    explicit Chip(const DesignConfig &cfg);
+
+    const DesignConfig &config() const { return cfg_; }
+
+    /** Area breakdown of this design (workload independent). */
+    AreaBreakdown area() const;
+
+    /** Simulate proving one workload end to end. */
+    ChipReport run(const Workload &wl) const;
+
+  private:
+    DesignConfig cfg_;
+    MsmUnit msm_;
+    SumcheckUnit sumcheck_;
+    MtuUnit mtu_;
+    FracMleUnit frac_;
+    MemorySystem mem_;
+};
+
+}  // namespace zkspeed::sim

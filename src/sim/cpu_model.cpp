@@ -1,0 +1,49 @@
+#include "sim/cpu_model.hpp"
+
+#include <cmath>
+
+namespace zkspeed::sim {
+
+double
+CpuModel::total_ms(size_t mu)
+{
+    // Three-point fit through Table 3 (2^17: 1429 ms, 2^20: 8619 ms,
+    // 2^23: 74052 ms) of T = c0 + A t + B t log2(n), t = n / 2^17.
+    constexpr double c0 = 563.0;
+    constexpr double A = 65.0;
+    constexpr double B = 47.1;
+    double t = std::pow(2.0, double(mu) - 17.0);
+    return c0 + A * t + B * t * double(mu);
+}
+
+const std::map<std::string, double> &
+CpuModel::kernel_shares()
+{
+    // Figure 12a at 2^20 gates. "Wiring MSMs" merges the PermCheck
+    // dense MSMs (43.6%) with Create-PermCheck-MLEs (1.2%); "Other"
+    // carries MLE Combine (3.3%).
+    static const std::map<std::string, double> kShares = {
+        {"Witness MSMs", 0.088},
+        {"ZeroCheck", 0.056},
+        {"Wiring MSMs", 0.448},
+        {"PermCheck", 0.062},
+        {"FinalEval", 0.025},
+        {"Other", 0.033},
+        {"OpenCheck", 0.041},
+        {"PolyOpen MSMs", 0.246},
+    };
+    return kShares;
+}
+
+std::map<std::string, double>
+CpuModel::kernel_ms(size_t mu)
+{
+    std::map<std::string, double> out;
+    double total = total_ms(mu);
+    for (const auto &[k, share] : kernel_shares()) {
+        out[k] = total * share;
+    }
+    return out;
+}
+
+}  // namespace zkspeed::sim

@@ -1,0 +1,138 @@
+#include "sim/dse.hpp"
+
+#include <algorithm>
+
+namespace zkspeed::sim {
+
+const std::vector<double> &
+Dse::bandwidths()
+{
+    static const std::vector<double> kBw = {64,  128,  256, 512,
+                                            1024, 2048, 4096};
+    return kBw;
+}
+
+std::vector<DesignConfig>
+Dse::grid_for_bandwidth(double gbps)
+{
+    // Table 2 knob values.
+    static const int kCores[] = {1, 2};
+    static const int kPes[] = {1, 2, 4, 8, 16};
+    static const int kWindows[] = {7, 8, 9, 10};
+    static const int kPoints[] = {1024, 2048, 4096, 8192, 16384};
+    static const int kFracPes[] = {1, 2, 4};
+    static const int kScPes[] = {1, 2, 4, 8, 16};
+    static const int kUpdPes[] = {1, 3, 5, 7, 9, 11};
+    static const int kUpdMuls[] = {1, 2, 4, 8, 16};
+
+    std::vector<DesignConfig> grid;
+    for (int cores : kCores) {
+        for (int pes : kPes) {
+            for (int w : kWindows) {
+                for (int pts : kPoints) {
+                    for (int fp : kFracPes) {
+                        for (int sc : kScPes) {
+                            for (int up : kUpdPes) {
+                                for (int um : kUpdMuls) {
+                                    DesignConfig c;
+                                    c.msm_cores = cores;
+                                    c.msm_pes_per_core = pes;
+                                    c.msm_window = w;
+                                    c.msm_points_per_pe = pts;
+                                    c.frac_pes = fp;
+                                    c.sumcheck_pes = sc;
+                                    c.mle_update_pes = up;
+                                    c.mle_update_modmuls = um;
+                                    c.bandwidth_gbps = gbps;
+                                    grid.push_back(c);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grid;
+}
+
+std::vector<DsePoint>
+Dse::evaluate(const std::vector<DesignConfig> &configs, const Workload &wl)
+{
+    std::vector<DsePoint> out;
+    out.reserve(configs.size());
+    for (const auto &cfg : configs) {
+        Chip chip(cfg);
+        DsePoint p;
+        p.config = cfg;
+        p.runtime_ms = chip.run(wl).runtime_ms;
+        AreaBreakdown a = chip.area();
+        p.area_mm2 = a.total();
+        p.compute_area_mm2 = a.compute_total() + a.sram;
+        out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<DsePoint>
+Dse::pareto(std::vector<DsePoint> points)
+{
+    std::sort(points.begin(), points.end(),
+              [](const DsePoint &a, const DsePoint &b) {
+                  if (a.runtime_ms != b.runtime_ms) {
+                      return a.runtime_ms < b.runtime_ms;
+                  }
+                  return a.area_mm2 < b.area_mm2;
+              });
+    std::vector<DsePoint> front;
+    double best_area = 1e300;
+    for (const auto &p : points) {
+        if (p.area_mm2 < best_area) {
+            front.push_back(p);
+            best_area = p.area_mm2;
+        }
+    }
+    return front;
+}
+
+Dse::SweepResult
+Dse::sweep(const Workload &wl, size_t sram_target_mu)
+{
+    SweepResult res;
+    std::vector<DsePoint> all;
+    for (double bw : bandwidths()) {
+        auto grid = grid_for_bandwidth(bw);
+        for (auto &cfg : grid) cfg.sram_target_mu = sram_target_mu;
+        auto pts = evaluate(grid, wl);
+        auto front = pareto(pts);
+        all.insert(all.end(), front.begin(), front.end());
+        res.per_bw.emplace_back(bw, std::move(front));
+    }
+    res.global = pareto(std::move(all));
+    return res;
+}
+
+DsePoint
+Dse::pick_iso_area(const std::vector<DsePoint> &frontier,
+                   double area_budget)
+{
+    DsePoint best;
+    best.runtime_ms = 1e300;
+    for (const auto &p : frontier) {
+        if (p.compute_area_mm2 <= area_budget &&
+            p.runtime_ms < best.runtime_ms) {
+            best = p;
+        }
+    }
+    if (best.runtime_ms == 1e300 && !frontier.empty()) {
+        // Nothing fits: fall back to the smallest design.
+        best = *std::min_element(
+            frontier.begin(), frontier.end(),
+            [](const DsePoint &a, const DsePoint &b) {
+                return a.compute_area_mm2 < b.compute_area_mm2;
+            });
+    }
+    return best;
+}
+
+}  // namespace zkspeed::sim

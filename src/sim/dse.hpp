@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Design-space exploration over the Table-2 knobs with Pareto analysis
+ * (paper Section 7.1, Figure 9).
+ */
+#pragma once
+
+#include <vector>
+
+#include "sim/chip.hpp"
+
+namespace zkspeed::sim {
+
+/** One evaluated design point. */
+struct DsePoint {
+    DesignConfig config;
+    double runtime_ms = 0;
+    double area_mm2 = 0;         ///< total incl. PHY
+    double compute_area_mm2 = 0; ///< compute + on-chip SRAM (no PHY)
+};
+
+class Dse
+{
+  public:
+    /** The full Table-2 grid restricted to one bandwidth. */
+    static std::vector<DesignConfig> grid_for_bandwidth(double gbps);
+
+    /** All Table-2 bandwidth settings. */
+    static const std::vector<double> &bandwidths();
+
+    /** Evaluate a set of configs on a workload. */
+    static std::vector<DsePoint> evaluate(
+        const std::vector<DesignConfig> &configs, const Workload &wl);
+
+    /**
+     * Pareto frontier: points not dominated in (runtime, area), sorted
+     * by runtime. A point dominates another if it is no worse in both
+     * dimensions and better in one.
+     */
+    static std::vector<DsePoint> pareto(std::vector<DsePoint> points);
+
+    /**
+     * Sweep every bandwidth's grid on `wl` and return the per-bandwidth
+     * Pareto frontiers plus the global frontier (Figure 9).
+     */
+    struct SweepResult {
+        std::vector<std::pair<double, std::vector<DsePoint>>> per_bw;
+        std::vector<DsePoint> global;
+    };
+    static SweepResult sweep(const Workload &wl,
+                             size_t sram_target_mu = 20);
+
+    /**
+     * Pick the fastest Pareto design whose compute+SRAM area does not
+     * exceed `area_budget` (iso-CPU-area selection, Section 7.3).
+     */
+    static DsePoint pick_iso_area(const std::vector<DsePoint> &frontier,
+                                  double area_budget);
+};
+
+}  // namespace zkspeed::sim

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * FracMLE unit model: batched constant-time modular inversion
+ * (paper Section 4.4, Figures 7 and 8).
+ *
+ * Elements arrive one per cycle per PE; batches of b elements flow
+ * through (i) a sequential partial-product chain, (ii) a shared
+ * multiplier tree plus one BEEA inversion of the batch product, and
+ * (iii) a recovery multiplier. Enough batched-inverse units are
+ * provisioned round-robin to mask the inversion latency so the unit is
+ * a pipeline producing one phi element per cycle per PE.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "sim/config.hpp"
+#include "sim/mtu.hpp"
+#include "sim/tech.hpp"
+
+namespace zkspeed::sim {
+
+class FracMleUnit
+{
+  public:
+    explicit FracMleUnit(const DesignConfig &cfg) : cfg_(cfg) {}
+
+    /** Latency of the inversion path for batch size b: shared tree then
+     * constant-time BEEA (Section 4.4.1: 2W - 1 = 509 cycles). */
+    static uint64_t
+    inversion_path_latency(int b)
+    {
+        return MtuUnit::batch_tree_latency(b) + kBeeaLatency;
+    }
+
+    /** Latency of the sequential partial-product chain for batch b. */
+    static uint64_t
+    partial_product_latency(int b)
+    {
+        return uint64_t(b) * kModmulLatency;
+    }
+
+    /**
+     * Latency imbalance between the two overlapped paths (Figure 8,
+     * left axis): minimised at b = 64.
+     */
+    static uint64_t
+    latency_imbalance(int b)
+    {
+        int64_t d = int64_t(partial_product_latency(b)) -
+                    int64_t(inversion_path_latency(b));
+        return uint64_t(std::llabs(d));
+    }
+
+    /** Batched-inverse units needed to accept one element per cycle. */
+    static int
+    inverse_units_needed(int b)
+    {
+        uint64_t busy = std::max(inversion_path_latency(b),
+                                 partial_product_latency(b));
+        return int((busy + b - 1) / b);
+    }
+
+    /**
+     * Multiplier trees required: one tree serves all inverse units only
+     * once its O(log2 b) latency fits within the batch arrival period
+     * (Section 4.4.4: "starting at b = 64 we can reuse the multiplier
+     * tree across all units").
+     */
+    static int
+    trees_needed(int b)
+    {
+        uint64_t tree_lat = MtuUnit::batch_tree_latency(b);
+        return int((tree_lat + b - 1) / b) == 0
+                   ? 1
+                   : int((tree_lat + b - 1) / b);
+    }
+
+    /**
+     * Standalone area of a FracMLE pipeline at batch size b (Figure 8,
+     * right axis), including its own multiplier trees and partial-
+     * product SRAM — i.e. without the cross-unit reuse the full chip
+     * enjoys (the figure's caption makes the same caveat).
+     */
+    static double
+    standalone_area(int b)
+    {
+        double inv = double(inverse_units_needed(b)) * kBeeaArea;
+        double tree =
+            double(trees_needed(b)) * double(b - 1) * kModmulAreaFr;
+        double chain = 2.0 * kModmulAreaFr;  // pp + recovery multipliers
+        double sram = double(inverse_units_needed(b)) * double(b) * 2.0 *
+                      32.0 / (1024.0 * 1024.0) * kSramAreaPerMb;
+        return inv + tree + chain + sram;
+    }
+
+    /** Throughput: elements per cycle (one per FracMLE PE). */
+    int throughput() const { return cfg_.frac_pes; }
+
+    /** Cycles to produce all 2^m phi elements. */
+    uint64_t
+    cycles(size_t m) const
+    {
+        uint64_t n = uint64_t(1) << m;
+        return n / throughput() +
+               inversion_path_latency(cfg_.inversion_batch);
+    }
+
+    /** In-chip datapath area (tree shared with the MTU; Section 4.4.2),
+     * plus the Construct N&D feeder area reported separately. */
+    double
+    area() const
+    {
+        int units = inverse_units_needed(cfg_.inversion_batch);
+        return double(cfg_.frac_pes) *
+               (double(units) * kBeeaArea + 2.0 * kModmulAreaFr);
+    }
+
+    /** Local SRAM (MB) buffering in-flight batches. */
+    double
+    local_sram_mb() const
+    {
+        int units = inverse_units_needed(cfg_.inversion_batch);
+        return double(cfg_.frac_pes) * double(units) *
+               double(cfg_.inversion_batch) * 2.0 * 32.0 /
+               (1024.0 * 1024.0);
+    }
+
+  private:
+    DesignConfig cfg_;
+};
+
+}  // namespace zkspeed::sim

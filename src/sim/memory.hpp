@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Memory-system model: HBM bandwidth/PHYs and on-chip SRAM sizing
+ * (paper Sections 4.6 and 5).
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/tech.hpp"
+
+namespace zkspeed::sim {
+
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const DesignConfig &cfg) : cfg_(cfg) {}
+
+    /** Deliverable bytes per cycle at the configured bandwidth. */
+    double
+    bytes_per_cycle() const
+    {
+        return cfg_.bandwidth_gbps / kClockGhz;
+    }
+
+    /** Cycles to move `bytes` over the off-chip interface. */
+    uint64_t
+    transfer_cycles(double bytes) const
+    {
+        return uint64_t(bytes / bytes_per_cycle());
+    }
+
+    /**
+     * Global MLE SRAM capacity (MB): the compressed resident input MLEs
+     * (selectors, witness, sigma) for the provisioned problem size
+     * (Section 4.6: 10-11x compression over raw 255-bit tables).
+     */
+    double
+    global_sram_mb() const
+    {
+        double gates = double(uint64_t(1) << cfg_.sram_target_mu);
+        return gates * kCompressedBytesPerGate / (1024.0 * 1024.0);
+    }
+
+    /** What the same tables would occupy uncompressed (11 raw 32-byte
+     * tables per gate) — the ablation baseline for Section 4.6. */
+    double
+    global_sram_mb_uncompressed() const
+    {
+        double gates = double(uint64_t(1) << cfg_.sram_target_mu);
+        return gates * 11.0 * 32.0 / (1024.0 * 1024.0);
+    }
+
+    /** SRAM area for a given capacity. */
+    static double
+    sram_area(double mb)
+    {
+        return mb * kSramAreaPerMb;
+    }
+
+    /** PHY area for the configured bandwidth (HBM2 below 1 TB/s, HBM3
+     * at and above; Section 7.1). */
+    double
+    phy_area() const
+    {
+        if (cfg_.bandwidth_gbps >= kHbm3PhyGbps) {
+            double phys = std::ceil(cfg_.bandwidth_gbps / kHbm3PhyGbps);
+            return phys * kHbm3PhyArea;
+        }
+        double phys = std::ceil(cfg_.bandwidth_gbps / kHbm2PhyGbps);
+        return phys * kHbm2PhyArea;
+    }
+
+  private:
+    DesignConfig cfg_;
+};
+
+}  // namespace zkspeed::sim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Small fixed-function units: Construct N&D, MLE Combine and SHA3.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/tech.hpp"
+
+namespace zkspeed::sim {
+
+/**
+ * Construct N&D (Section 4.4.1): elementwise affine combinations turning
+ * witness/permutation MLEs into the six N/D intermediates, then the
+ * two triple products feeding FracMLE.
+ */
+class ConstructNdUnit
+{
+  public:
+    /** Modmuls per gate: beta*sigma_j for j=1..3 plus the two triple
+     * products (N and D) at 2 muls each. */
+    static constexpr int kModmulsPerGate = 7;
+
+    static uint64_t
+    cycles(size_t m)
+    {
+        uint64_t n = uint64_t(1) << m;
+        return n * kModmulsPerGate / kConstructNdModmuls + kModmulLatency;
+    }
+
+    static double area() { return kConstructNdModmuls * kModmulAreaFr; }
+};
+
+/**
+ * MLE Combine (Section 4.5): linear combinations building the six y
+ * MLEs before OpenCheck and g' before the opening MSMs. The two uses
+ * are serial, so one shared bank of multipliers serves both.
+ */
+class MleCombineUnit
+{
+  public:
+    /** Cycles to apply `muls` scalar-multiply-accumulate operations. */
+    static uint64_t
+    cycles(uint64_t muls)
+    {
+        return muls / kMleCombineModmuls + kModmulLatency;
+    }
+
+    static double area() { return kMleCombineModmuls * kModmulAreaFr; }
+    static double
+    area_without_sharing()
+    {
+        return kMleCombineModmulsUnshared * kModmulAreaFr;
+    }
+};
+
+/** SHA3 transcript unit (Section 3.3.6). */
+class Sha3Unit
+{
+  public:
+    /** Cycles to absorb `blocks` rate-blocks into the transcript. */
+    static uint64_t
+    cycles(uint64_t blocks)
+    {
+        return std::max<uint64_t>(blocks, 1) * kSha3Cycles;
+    }
+
+    static double area() { return kSha3Area; }
+};
+
+}  // namespace zkspeed::sim

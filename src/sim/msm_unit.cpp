@@ -1,0 +1,156 @@
+#include "sim/msm_unit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace zkspeed::sim {
+
+namespace {
+
+int
+ceil_log2(uint64_t v)
+{
+    int b = 0;
+    while ((uint64_t(1) << b) < v) ++b;
+    return b;
+}
+
+}  // namespace
+
+uint64_t
+bucket_aggregation_cycles(int window, Aggregation scheme, int group_size)
+{
+    const uint64_t buckets = (uint64_t(1) << window) - 1;
+    if (scheme == Aggregation::szkp_serial) {
+        // Running-sum aggregation: 2*(2^W - 1) strictly dependent PADDs,
+        // each exposing the full pipeline latency.
+        return 2 * buckets * kPaddLatency;
+    }
+    // Grouped scheme (Section 4.2.2): partial sums within groups are
+    // independent across groups, so the pipeline stays full while the
+    // 2*(2^W - 1) adds issue; the per-group chains then combine with a
+    // short serial tail.
+    const uint64_t groups = (buckets + group_size - 1) / group_size;
+    uint64_t issue = 2 * buckets;                    // pipelined adds
+    uint64_t chain_drain = 2 * uint64_t(group_size)  // longest group chain
+                           * kPaddLatency / std::max<uint64_t>(groups, 1);
+    uint64_t combine = groups +                       // weighted merge adds
+                       uint64_t(kPaddLatency) * (2 + ceil_log2(groups));
+    return issue + chain_drain + combine;
+}
+
+uint64_t
+MsmUnit::window_combine_cycles() const
+{
+    // Horner combine across windows: W doublings per window plus one
+    // add, all serially dependent through the PADD pipeline.
+    return uint64_t(kScalarBits + num_windows()) * kPaddLatency;
+}
+
+uint64_t
+MsmUnit::dense_cycles(uint64_t n, int pes, Aggregation scheme) const
+{
+    if (n == 0) return 0;
+    pes = std::max(pes, 1);
+    const int nwin = num_windows();
+    // Bucket phase: each point issues one PADD per window; points are
+    // spread over the PEs. A small stall factor covers residual bucket
+    // conflicts after reorder scheduling (validated against
+    // simulate_bucket_phase).
+    double conflict = 1.0 + std::max(
+        0.0, double(kPaddLatency) / double(uint64_t(1) << cfg_.msm_window) *
+                 0.25);
+    uint64_t per_pe_points = (n + pes - 1) / pes;
+    uint64_t bucket_phase =
+        uint64_t(double(per_pe_points) * nwin * conflict) + kPaddLatency;
+    // Aggregation: one window per PE in parallel, rounds of windows.
+    uint64_t agg_rounds = (nwin + pes - 1) / pes;
+    uint64_t aggregation =
+        agg_rounds * bucket_aggregation_cycles(cfg_.msm_window, scheme);
+    return bucket_phase + aggregation + window_combine_cycles();
+}
+
+uint64_t
+MsmUnit::sparse_cycles(uint64_t n, double ones_frac, double dense_frac,
+                       int pes) const
+{
+    pes = std::max(pes, 1);
+    uint64_t ones = uint64_t(double(n) * ones_frac);
+    uint64_t dense = uint64_t(double(n) * dense_frac);
+    // Tree reduction of the 1-scalar points: fully pipelined adds with a
+    // log-depth drain (Section 4.2).
+    uint64_t tree = ones / pes + uint64_t(kPaddLatency) *
+                                     (ceil_log2(std::max<uint64_t>(ones, 2)));
+    return tree + dense_cycles(dense, pes);
+}
+
+uint64_t
+MsmUnit::halving_sequence_cycles(size_t mu, int pes) const
+{
+    uint64_t total = 0;
+    for (size_t k = 1; k <= mu; ++k) {
+        total += dense_cycles(uint64_t(1) << (mu - k), pes);
+    }
+    return total;
+}
+
+uint64_t
+MsmUnit::simulate_bucket_phase(uint64_t n, int pes, uint64_t seed) const
+{
+    // Cycle-level model of one PE's stream for one window; other PEs
+    // behave statistically identically, so we simulate the slowest
+    // (ceil) share. A reorder window of 8 in-flight candidates mimics
+    // SZKP's quasi-deterministic scheduler.
+    const uint64_t buckets = uint64_t(1) << cfg_.msm_window;
+    const uint64_t points = (n + pes - 1) / std::max(pes, 1);
+    std::mt19937_64 rng(seed);
+    std::vector<uint64_t> ready(buckets, 0);
+    std::vector<uint64_t> pending;
+    constexpr size_t kReorderWindow = 32;
+    uint64_t cycle = 0;
+    uint64_t issued = 0;
+    while (issued < points) {
+        while (pending.size() < kReorderWindow &&
+               issued + pending.size() < points) {
+            pending.push_back(rng() % buckets);
+        }
+        bool fired = false;
+        for (size_t i = 0; i < pending.size(); ++i) {
+            if (ready[pending[i]] <= cycle) {
+                ready[pending[i]] = cycle + kPaddLatency;
+                pending.erase(pending.begin() + i);
+                ++issued;
+                fired = true;
+                break;
+            }
+        }
+        ++cycle;
+        (void)fired;  // a miss is simply a stall cycle
+    }
+    return cycle + kPaddLatency;  // drain
+}
+
+double
+MsmUnit::compute_area() const
+{
+    return double(total_pes()) *
+           (kPaddModmuls * kModmulAreaFq + kMsmPeControlArea);
+}
+
+double
+MsmUnit::local_sram_mb() const
+{
+    // Point buffers: 3 banks of points_per_pe x 48 B per PE
+    // (Section 4.2.1: the Z bank doubles as scalar storage).
+    double point_buf = double(total_pes()) * 3.0 *
+                       double(cfg_.msm_points_per_pe) * 48.0;
+    // Bucket memories: all windows' buckets live on chip so points
+    // stream exactly once.
+    double bucket_mem = double(total_pes()) * double(num_windows()) *
+                        double(uint64_t(1) << cfg_.msm_window) * 144.0;
+    return (point_buf + bucket_mem) / (1024.0 * 1024.0);
+}
+
+}  // namespace zkspeed::sim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * MSM unit performance model (paper Section 4.2).
+ *
+ * The unit follows the SZKP architecture: each PE owns one fully
+ * pipelined PADD (II = 1, deep latency) and a set of bucket memories; an
+ * MSM streams points once, extracting all window digits per point, then
+ * aggregates buckets per window. Two aggregation schemes are modelled:
+ * the serial SZKP scheme and zkSpeed's grouped scheme (group size 16),
+ * reproducing Figure 5. A cycle-level bucket-conflict simulation backs
+ * the analytic estimate used in the DSE.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/tech.hpp"
+
+namespace zkspeed::sim {
+
+/** Bucket-aggregation scheme selector. */
+enum class Aggregation {
+    szkp_serial,   ///< baseline: fully serial running sum
+    zkspeed_grouped,  ///< grouped partial sums (Section 4.2.2)
+};
+
+/** Latency (cycles) of aggregating one window's 2^W - 1 buckets. */
+uint64_t bucket_aggregation_cycles(int window, Aggregation scheme,
+                                   int group_size = kAggregationGroupSize);
+
+/** MSM unit model bound to a design configuration. */
+class MsmUnit
+{
+  public:
+    explicit MsmUnit(const DesignConfig &cfg) : cfg_(cfg) {}
+
+    int total_pes() const { return cfg_.msm_cores * cfg_.msm_pes_per_core; }
+    int
+    num_windows() const
+    {
+        return (kScalarBits + cfg_.msm_window - 1) / cfg_.msm_window;
+    }
+
+    /**
+     * Cycles for a dense n-point Pippenger MSM using `pes` PEs
+     * (compute only; the chip model overlays bandwidth limits).
+     */
+    uint64_t dense_cycles(uint64_t n, int pes,
+                          Aggregation scheme =
+                              Aggregation::zkspeed_grouped) const;
+
+    /**
+     * Cycles for a sparse MSM: tree-sum of one-scalar points plus a
+     * dense Pippenger pass over the dense remainder (Section 3.3.1).
+     */
+    uint64_t sparse_cycles(uint64_t n, double ones_frac, double dense_frac,
+                           int pes) const;
+
+    /**
+     * The halving MSM sequence of Polynomial Opening: MSMs of size
+     * 2^{mu-1}, 2^{mu-2}, ..., 1 run back-to-back (Section 3.3.5).
+     */
+    uint64_t halving_sequence_cycles(size_t mu, int pes) const;
+
+    /**
+     * Cycle-level simulation of the bucket-accumulation phase for one
+     * window, modelling pipeline hazards on same-bucket hits with a
+     * small reorder window (quasi-deterministic scheduling a la SZKP).
+     * Deterministic given the seed; used to validate the analytic model.
+     */
+    uint64_t simulate_bucket_phase(uint64_t n, int pes,
+                                   uint64_t seed) const;
+
+    /** Datapath area (mm^2): PADD multipliers + PE control. */
+    double compute_area() const;
+
+    /** Local SRAM (MB): point buffers and bucket memories. */
+    double local_sram_mb() const;
+
+    /** HBM bytes for a dense n-point MSM (points streamed once, plus
+     * scalars). */
+    double
+    dense_bytes(uint64_t n) const
+    {
+        return double(n) * (kG1PointBytes + kFrBytes);
+    }
+
+    /** HBM bytes for a sparse MSM (zero-scalar points never fetched,
+     * one-scalar points fetched without scalars; Section 4.2.1). */
+    double
+    sparse_bytes(uint64_t n, double ones_frac, double dense_frac) const
+    {
+        return double(n) * (ones_frac + dense_frac) * kG1PointBytes +
+               double(n) * dense_frac * kFrBytes;
+    }
+
+  private:
+    /** Fixed tail: cross-window combination doublings/adds (serial). */
+    uint64_t window_combine_cycles() const;
+
+    DesignConfig cfg_;
+};
+
+}  // namespace zkspeed::sim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Multifunction Tree Unit (MTU) model (paper Section 4.3).
+ *
+ * One unit serves three binary-tree dataflows: Build MLE (forward tree),
+ * MLE Evaluate (inverse tree with adders) and Product MLE (inverse tree
+ * emitting every level). The hybrid DFS/BFS traversal keeps the PEs >99%
+ * utilised and avoids storing whole intermediate levels, so throughput is
+ * simply the leaf-PE width; the accumulator tail adds a per-level drain.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/tech.hpp"
+
+namespace zkspeed::sim {
+
+class MtuUnit
+{
+  public:
+    explicit MtuUnit(const DesignConfig &cfg)
+    {
+        // Rate-match the HBM interface: one 255-bit element is 32 bytes,
+        // and the unit is sized to consume/produce a full interface
+        // width per cycle (Section 4.3.3 "rate-match with upstream or
+        // downstream units"), within [8, 64] leaf PEs.
+        double bytes_per_cycle = cfg.bandwidth_gbps / kClockGhz;
+        int width = int(bytes_per_cycle / kFrBytes);
+        leaf_pes_ = std::clamp(width, 8, 64);
+    }
+
+    int leaf_pes() const { return leaf_pes_; }
+
+    /** Cycles to build an eq table of 2^m entries (Build MLE). */
+    uint64_t
+    build_mle_cycles(size_t m) const
+    {
+        uint64_t n = uint64_t(1) << m;
+        return n / leaf_pes_ + drain(m);
+    }
+
+    /** Cycles to evaluate one MLE of 2^m entries at a point. */
+    uint64_t
+    evaluate_cycles(size_t m) const
+    {
+        uint64_t n = uint64_t(1) << m;
+        return n / leaf_pes_ + drain(m);
+    }
+
+    /** Cycles to emit the Product MLE over 2^m leaves (all levels). */
+    uint64_t
+    product_mle_cycles(size_t m) const
+    {
+        uint64_t n = uint64_t(1) << m;
+        // All 2^m - 1 internal nodes flow through the same tree/
+        // accumulator pipeline at one result per cycle per leaf pair.
+        return n / std::max(leaf_pes_ / 2, 1) + drain(m);
+    }
+
+    /**
+     * Multiplier-tree latency for a FracMLE inversion batch of size b
+     * (the tree is shared with this unit; Section 4.4.2).
+     */
+    static uint64_t
+    batch_tree_latency(int b)
+    {
+        int levels = 0;
+        while ((1 << levels) < b) ++levels;
+        return uint64_t(levels) * kModmulLatency;
+    }
+
+    /** Datapath area: one modmul + modadd per PE, plus the accumulator
+     * PE and its register file (Section 4.3.3). */
+    double
+    area() const
+    {
+        double pe = kModmulAreaFr * 1.35;  // multiplier + adder + muxes
+        return double(leaf_pes_) * pe + 0.6 /* accumulator + regfile */;
+    }
+
+    /**
+     * Area the chip would need WITHOUT multifunction reuse: dedicated
+     * trees for Build MLE, Evaluate and Product (the 41.6% saving of
+     * Section 4.3.3 comes from not provisioning these).
+     */
+    double
+    area_without_reuse() const
+    {
+        return 3.0 * (double(leaf_pes_) * kModmulAreaFr * 1.35) + 3 * 0.6;
+    }
+
+  private:
+    uint64_t
+    drain(size_t m) const
+    {
+        // DFS accumulator drain: one pipeline latency per remaining
+        // level above the hardware tree.
+        return uint64_t(m) * kModmulLatency;
+    }
+
+    int leaf_pes_;
+};
+
+}  // namespace zkspeed::sim

@@ -1,0 +1,70 @@
+#include "sim/sumcheck_unit.hpp"
+
+#include <algorithm>
+
+namespace zkspeed::sim {
+
+SumcheckShape
+SumcheckShape::zerocheck(size_t mu)
+{
+    // Eq. 3 tables: qL,qR,qM,qO,qC,w1,w2,w3 plus the eq factor f_z1.
+    // The inputs are resident in global SRAM; f_z1 arrives from the MTU.
+    return {mu, 9, 4, 0, 23};
+}
+
+SumcheckShape
+SumcheckShape::permcheck(size_t mu)
+{
+    // Eq. 4 tables: pi, p1, p2, phi, D1..3, N1..3 plus f_z2. All except
+    // the built f_z2 are intermediates living in HBM (Section 4.1.2).
+    return {mu, 11, 5, 10, 46};
+}
+
+SumcheckShape
+SumcheckShape::opencheck(size_t mu)
+{
+    // Eq. 5 tables: six y_i and six k_i MLEs, products of two.
+    return {mu, 12, 2, 12, 12};
+}
+
+SumcheckRunCost
+SumcheckUnit::run(const SumcheckShape &shape, double bytes_per_cycle) const
+{
+    SumcheckRunCost cost;
+    const int sc_pes = std::max(cfg_.sumcheck_pes, 1);
+    const uint64_t upd_throughput =
+        uint64_t(std::max(cfg_.mle_update_pes, 1)) *
+        std::max(cfg_.mle_update_modmuls, 1);
+
+    for (size_t round = 0; round < shape.mu; ++round) {
+        const uint64_t len = uint64_t(1) << (shape.mu - round);
+        const uint64_t pairs = len / 2;
+        // SumCheck: one hypercube pair per PE per cycle, fully pipelined.
+        uint64_t sc = pairs / sc_pes + kModmulLatency +
+                      uint64_t(shape.interp_modmuls);
+        // MLE Update: one modmul per element per table (Eq. 2).
+        uint64_t upd =
+            (uint64_t(shape.num_mles) * pairs) / upd_throughput +
+            kModmulLatency;
+        // Traffic: round 1 reads only the off-chip tables; later rounds
+        // stream every (now dense 255-bit) table; updates write halves.
+        int tables_in =
+            (round == 0) ? shape.tables_round1_hbm : shape.num_mles;
+        double bytes = double(tables_in) * double(len) * kFrBytes +
+                       double(shape.num_mles) * double(pairs) * kFrBytes;
+        uint64_t bw = uint64_t(bytes / bytes_per_cycle);
+        // SumCheck and MLE Update pipeline against each other and
+        // against memory; the round takes the slowest of the three,
+        // plus the SHA3 transcript update between rounds.
+        uint64_t round_cycles =
+            std::max({sc, upd, bw}) + uint64_t(kSha3Cycles);
+        cost.cycles += round_cycles;
+        cost.compute_cycles += std::max(sc, upd);
+        cost.hbm_bytes += bytes;
+        cost.sc_busy_cycles += sc;
+        cost.upd_busy_cycles += upd;
+    }
+    return cost;
+}
+
+}  // namespace zkspeed::sim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SumCheck + MLE Update unit models (paper Section 4.1).
+ *
+ * The SumCheck unit is fully pipelined: each PE consumes one boolean-
+ * hypercube pair per cycle, computing all per-MLE extensions and per-term
+ * products in a deep pipeline of 94 shared modular multipliers. The MLE
+ * Update unit applies Eq. 2 between rounds with a configurable number of
+ * PEs x multipliers. Both stream tables from HBM (Section 4.1.2), so the
+ * chip model takes max(compute, bandwidth) per round.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/tech.hpp"
+
+namespace zkspeed::sim {
+
+/** Shape of one SumCheck instance (one of the three flavours). */
+struct SumcheckShape {
+    size_t mu = 0;          ///< number of rounds / variables
+    int num_mles = 0;       ///< distinct MLE tables
+    int degree = 0;         ///< max per-round degree
+    int tables_round1_hbm = 0;  ///< tables streamed from HBM in round 1
+    int interp_modmuls = 0;     ///< fixed interpolation tail per round
+
+    /** ZeroCheck on Eq. 3: 9 tables, degree 4, inputs resident on chip,
+     * 23-modmul interpolation tail (Section 4.1.1). */
+    static SumcheckShape zerocheck(size_t mu);
+    /** PermCheck on Eq. 4: 11 tables, degree 5, intermediates off-chip,
+     * 46-modmul interpolation tail. */
+    static SumcheckShape permcheck(size_t mu);
+    /** OpenCheck on Eq. 5: 12 tables (6 y + 6 k), degree 2. */
+    static SumcheckShape opencheck(size_t mu);
+};
+
+/** Per-round and total latency/traffic for a SumCheck run. */
+struct SumcheckRunCost {
+    uint64_t cycles = 0;           ///< latency with bandwidth applied
+    uint64_t compute_cycles = 0;   ///< compute-only latency
+    double hbm_bytes = 0;          ///< total HBM traffic
+    uint64_t sc_busy_cycles = 0;   ///< SumCheck-PE busy cycles
+    uint64_t upd_busy_cycles = 0;  ///< MLE-Update busy cycles
+};
+
+class SumcheckUnit
+{
+  public:
+    explicit SumcheckUnit(const DesignConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Cost of a full SumCheck instance under a bandwidth budget.
+     * @param bytes_per_cycle off-chip bytes deliverable per cycle.
+     */
+    SumcheckRunCost run(const SumcheckShape &shape,
+                        double bytes_per_cycle) const;
+
+    /** SumCheck datapath area (mm^2). */
+    double
+    sumcheck_area() const
+    {
+        return double(cfg_.sumcheck_pes) * kSumcheckPeModmuls *
+               kModmulAreaFr;
+    }
+
+    /** MLE Update datapath area (mm^2). */
+    double
+    mle_update_area() const
+    {
+        return double(cfg_.mle_update_pes) * cfg_.mle_update_modmuls *
+               kModmulAreaFr;
+    }
+
+  private:
+    DesignConfig cfg_;
+};
+
+}  // namespace zkspeed::sim

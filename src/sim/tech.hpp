@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Technology constants for the zkSpeed performance/area/power models.
+ *
+ * The paper synthesises units with Catapult HLS + Design Compiler at TSMC
+ * 22 nm and scales to 7 nm (Section 6.1). We substitute the *published*
+ * post-scaling constants (Table 4 modmul areas, Table 5 unit powers, HBM
+ * PHY areas from Section 7.1) so the architecture study reproduces without
+ * a synthesis flow; see DESIGN.md Section 3 for the substitution record.
+ *
+ * All latencies are in cycles at the paper's 1 GHz clock, so cycles are
+ * nanoseconds.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace zkspeed::sim {
+
+/** Clock frequency (GHz); the paper clocks all units at 1 GHz. */
+constexpr double kClockGhz = 1.0;
+
+// ---------------------------------------------------------------------
+// Modular arithmetic datapaths (Table 4: modmul area at 7 nm).
+// ---------------------------------------------------------------------
+/** Area of one pipelined 255-bit Montgomery multiplier (mm^2). */
+constexpr double kModmulAreaFr = 0.133;
+/** Area of one pipelined 381-bit Montgomery multiplier (mm^2). */
+constexpr double kModmulAreaFq = 0.314;
+/** Pipeline latency of a modular multiplier (cycles, II = 1). */
+constexpr int kModmulLatency = 10;
+
+/** Modular multipliers per unified SumCheck PE (Section 4.1.4). */
+constexpr int kSumcheckPeModmuls = 94;
+/** Multipliers a naive (unshared) SumCheck PE would need (Section 4.1.4). */
+constexpr int kSumcheckPeModmulsUnshared = 184;
+
+/** Modular multipliers in the MLE Combine unit with resource sharing
+ * (Section 4.5). */
+constexpr int kMleCombineModmuls = 72;
+constexpr int kMleCombineModmulsUnshared = 122;
+
+/** Modular multipliers in the Construct N&D unit. */
+constexpr int kConstructNdModmuls = 10;
+
+// ---------------------------------------------------------------------
+// Point addition (PADD) and MSM.
+// ---------------------------------------------------------------------
+/** Equivalent 381-bit modmuls in one fully-pipelined PADD datapath. */
+constexpr int kPaddModmuls = 20;
+/** PADD pipeline latency (cycles); the 381-bit PADD sets the critical
+ * path in the paper's synthesis. */
+constexpr int kPaddLatency = 120;
+/** Control/glue area per MSM PE beyond the PADD multipliers (mm^2). */
+constexpr double kMsmPeControlArea = 0.32;
+/** Scalar bit-width driving the window count. */
+constexpr int kScalarBits = 255;
+/** Group size of the parallel bucket-aggregation scheme (Section 4.2.2). */
+constexpr int kAggregationGroupSize = 16;
+
+// ---------------------------------------------------------------------
+// Modular inversion (FracMLE, Section 4.4).
+// ---------------------------------------------------------------------
+/** Constant-time BEEA latency: 2W - 1 iterations for W = 255. */
+constexpr int kBeeaLatency = 509;
+/** Area of one BEEA inversion datapath (mm^2; shift/subtract only). */
+constexpr double kBeeaArea = 0.15;
+/** Optimal inversion batch size (Section 4.4.4). */
+constexpr int kDefaultInversionBatch = 64;
+
+// ---------------------------------------------------------------------
+// Memory system.
+// ---------------------------------------------------------------------
+/** SRAM area per MB at 7 nm including array overheads (mm^2/MB). */
+constexpr double kSramAreaPerMb = 0.5;
+/** Compressed on-chip bytes per gate for the resident input MLEs
+ * (binary-packed selectors + 0/1-flagged witness + narrow sigma; the
+ * 10-11x compression of Section 4.6 over 11 raw 32-byte tables). */
+constexpr double kCompressedBytesPerGate = 32.0;
+/** Bytes per Fr MLE element in HBM traffic. */
+constexpr double kFrBytes = 32.0;
+/** Bytes per streamed affine G1 point: (X, Y) only (Section 4.2.1). */
+constexpr double kG1PointBytes = 96.0;
+
+/** HBM2 PHY: 512 GB/s per PHY at 14.9 mm^2 (Section 7.1). */
+constexpr double kHbm2PhyGbps = 512.0;
+constexpr double kHbm2PhyArea = 14.9;
+/** HBM3 PHY: 1 TB/s per PHY at 29.6 mm^2. */
+constexpr double kHbm3PhyGbps = 1024.0;
+constexpr double kHbm3PhyArea = 29.6;
+
+// ---------------------------------------------------------------------
+// Fixed-function units.
+// ---------------------------------------------------------------------
+/** SHA3 unit area (Section 7.3.1: 5888 um^2). */
+constexpr double kSha3Area = 0.005888;
+/** Cycles per SHA3 state update (one Keccak-f permutation pass). */
+constexpr int kSha3Cycles = 24;
+/** Interconnect/misc area bundled with SHA3 in Table 5's "Other". */
+constexpr double kInterconnectArea = 1.97;
+
+// ---------------------------------------------------------------------
+// Power densities (W/mm^2 at full utilisation), calibrated so the
+// Table-5 design reproduces its published average powers at its
+// simulated utilisations (Figure 13).
+// ---------------------------------------------------------------------
+constexpr double kPowerDensityMsm = 1.03;
+constexpr double kPowerDensitySumcheck = 0.60;
+constexpr double kPowerDensityMleUpdate = 0.64;
+constexpr double kPowerDensityMtu = 1.12;
+constexpr double kPowerDensityCombine = 0.35;
+constexpr double kPowerDensityNd = 2.8;
+constexpr double kPowerDensityFrac = 1.6;
+constexpr double kPowerDensitySram = 0.136;
+constexpr double kPowerDensityPhy = 1.074;
+constexpr double kPowerDensityOther = 0.02;
+
+}  // namespace zkspeed::sim

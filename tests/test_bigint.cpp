@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the fixed-width big integer layer.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ff/bigint.hpp"
+
+namespace {
+
+using zkspeed::ff::BigInt;
+
+TEST(BigInt, HexRoundTrip)
+{
+    auto x = BigInt<4>::from_hex(
+        "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001");
+    EXPECT_EQ(x.to_hex(),
+              "0x73eda753299d7d483339d80809a1d805"
+              "53bda402fffe5bfeffffffff00000001");
+    EXPECT_EQ(BigInt<4>().to_hex(), "0x0");
+    EXPECT_EQ(BigInt<4>::from_hex("0xff").limbs[0], 0xffu);
+}
+
+TEST(BigInt, AddSubCarryChains)
+{
+    BigInt<2> a;
+    a.limbs = {~0ull, 0};
+    BigInt<2> one(1);
+    EXPECT_EQ(a.add_assign(one), 0u);
+    EXPECT_EQ(a.limbs[0], 0u);
+    EXPECT_EQ(a.limbs[1], 1u);
+    EXPECT_EQ(a.sub_assign(one), 0u);
+    EXPECT_EQ(a.limbs[0], ~0ull);
+    EXPECT_EQ(a.limbs[1], 0u);
+
+    BigInt<2> zero;
+    EXPECT_EQ(zero.sub_assign(one), 1u) << "borrow out of the top";
+    EXPECT_EQ(zero.limbs[0], ~0ull);
+    EXPECT_EQ(zero.limbs[1], ~0ull);
+    BigInt<2> max;
+    max.limbs = {~0ull, ~0ull};
+    EXPECT_EQ(max.add_assign(one), 1u) << "carry out of the top";
+    EXPECT_TRUE(max.is_zero());
+}
+
+TEST(BigInt, Comparison)
+{
+    auto a = BigInt<4>::from_hex("10000000000000000");  // 2^64
+    auto b = BigInt<4>::from_hex("ffffffffffffffff");
+    EXPECT_EQ(a.cmp(b), 1);
+    EXPECT_EQ(b.cmp(a), -1);
+    EXPECT_EQ(a.cmp(a), 0);
+    EXPECT_TRUE(b < a);
+    EXPECT_TRUE(a >= b);
+}
+
+TEST(BigInt, BitsAndShifts)
+{
+    auto x = BigInt<4>::from_hex("8000000000000001");
+    EXPECT_TRUE(x.bit(0));
+    EXPECT_TRUE(x.bit(63));
+    EXPECT_FALSE(x.bit(1));
+    EXPECT_EQ(x.num_bits(), 64u);
+    x.shl1();
+    EXPECT_EQ(x.num_bits(), 65u);
+    EXPECT_TRUE(x.bit(64));
+    EXPECT_TRUE(x.bit(1));
+    x.shr1();
+    EXPECT_EQ(x.to_hex(), "0x8000000000000001");
+    EXPECT_EQ(BigInt<4>().num_bits(), 0u);
+}
+
+TEST(BigInt, MulWideSchoolbook)
+{
+    // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+    BigInt<1> a(~0ull);
+    auto p = a.mul_wide(a);
+    EXPECT_EQ(p.limbs[0], 1u);
+    EXPECT_EQ(p.limbs[1], ~0ull - 1);
+
+    // Multiplication by zero and by one.
+    BigInt<4> x = BigInt<4>::from_hex("123456789abcdef0fedcba9876543210");
+    auto z = x.mul_wide(BigInt<4>());
+    EXPECT_TRUE(z.is_zero());
+    auto i = x.mul_wide(BigInt<4>(1));
+    for (size_t k = 0; k < 4; ++k) EXPECT_EQ(i.limbs[k], x.limbs[k]);
+}
+
+TEST(BigInt, ModAddSubInverseOps)
+{
+    auto p = BigInt<4>::from_hex(
+        "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001");
+    std::mt19937_64 rng(42);
+    for (int iter = 0; iter < 200; ++iter) {
+        BigInt<4> a, b;
+        for (auto &l : a.limbs) l = rng();
+        for (auto &l : b.limbs) l = rng();
+        a.limbs[3] >>= 2;  // force below p
+        b.limbs[3] >>= 2;
+        if (!(a < p) || !(b < p)) continue;
+        auto s = mod_add(a, b, p);
+        EXPECT_TRUE(s < p);
+        auto back = mod_sub(s, b, p);
+        EXPECT_EQ(back, a);
+    }
+}
+
+TEST(BigInt, Pow2Mod)
+{
+    auto p = BigInt<2>::from_hex("10001");  // 65537
+    // 2^16 mod 65537 = 65536
+    EXPECT_EQ(zkspeed::ff::pow2_mod(16, p).limbs[0], 65536u);
+    // 2^17 mod 65537 = 65535 (2*65536 = 131072 = 65537 + 65535)
+    EXPECT_EQ(zkspeed::ff::pow2_mod(17, p).limbs[0], 65535u);
+}
+
+TEST(BigInt, NegInv64)
+{
+    // For p0 odd, p0 * (-neg_inv64(p0)) == 1 (mod 2^64).
+    for (uint64_t p0 : {1ull, 3ull, 0xffffffff00000001ull,
+                        0xb9feffffffffaaabull}) {
+        uint64_t ninv = zkspeed::ff::neg_inv64(p0);
+        EXPECT_EQ(p0 * (~ninv + 1), 1ull);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Group-law, MSM and extension-tower tests for the BLS12-381 curve layer.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "curve/fq12.hpp"
+#include "curve/g1.hpp"
+#include "curve/g2.hpp"
+#include "curve/msm.hpp"
+
+namespace {
+
+using namespace zkspeed::curve;
+using zkspeed::ff::Fr;
+using zkspeed::ff::Fq;
+
+TEST(G1, GeneratorOnCurve)
+{
+    EXPECT_TRUE(G1Params::generator().is_on_curve());
+    EXPECT_FALSE(G1Params::generator().is_identity());
+}
+
+TEST(G2, GeneratorOnCurve)
+{
+    EXPECT_TRUE(G2Params::generator().is_on_curve());
+}
+
+TEST(G1, GeneratorHasOrderR)
+{
+    // r * G == identity, and (r-1) * G == -G.
+    G1 g = g1_generator();
+    EXPECT_TRUE(g.mul(Fr::kModulus).is_identity());
+    auto rm1 = Fr::kModulus;
+    rm1.sub_assign(zkspeed::ff::BigInt<4>(1));
+    EXPECT_EQ(g.mul(rm1), g.neg());
+}
+
+TEST(G2, GeneratorHasOrderR)
+{
+    G2 h = g2_generator();
+    EXPECT_TRUE(h.mul(Fr::kModulus).is_identity());
+}
+
+template <typename Group>
+void
+group_law_suite(Group g)
+{
+    using G = Group;
+    // Identity behaviour.
+    EXPECT_EQ(g + G::identity(), g);
+    EXPECT_EQ(G::identity() + g, g);
+    EXPECT_TRUE((g + g.neg()).is_identity());
+    // Doubling consistency.
+    EXPECT_EQ(g.dbl(), g + g);
+    EXPECT_EQ(g.dbl() + g, g.mul(Fr::from_uint(3)));
+    // Associativity / commutativity on random multiples.
+    std::mt19937_64 rng(11);
+    Fr a = Fr::random(rng), b = Fr::random(rng);
+    G ga = g.mul(a), gb = g.mul(b);
+    EXPECT_EQ(ga + gb, gb + ga);
+    EXPECT_EQ((ga + gb) + g, ga + (gb + g));
+    // Distributivity of scalar mul: (a+b)G == aG + bG.
+    EXPECT_EQ(g.mul(a + b), ga + gb);
+    // (ab)G == a(bG).
+    EXPECT_EQ(g.mul(a * b), gb.mul(a));
+    // Affine round trips.
+    auto aff = ga.to_affine();
+    EXPECT_TRUE(aff.is_on_curve());
+    EXPECT_EQ(G::from_affine(aff), ga);
+}
+
+TEST(G1, GroupLaws) { group_law_suite(g1_generator()); }
+TEST(G2, GroupLaws) { group_law_suite(g2_generator()); }
+
+TEST(G1, MixedAddMatchesFullAdd)
+{
+    std::mt19937_64 rng(12);
+    G1 g = g1_generator();
+    for (int i = 0; i < 10; ++i) {
+        G1 p = g.mul(Fr::random(rng));
+        G1 q = g.mul(Fr::random(rng));
+        auto q_aff = q.to_affine();
+        EXPECT_EQ(p.add_mixed(q_aff), p + q);
+        // Degenerate cases: doubling and cancellation via mixed add.
+        EXPECT_EQ(p.add_mixed(p.to_affine()), p.dbl());
+        EXPECT_TRUE(p.add_mixed(p.neg().to_affine()).is_identity());
+    }
+}
+
+TEST(G1, BatchToAffine)
+{
+    std::mt19937_64 rng(13);
+    G1 g = g1_generator();
+    std::vector<G1> pts;
+    for (int i = 0; i < 17; ++i) pts.push_back(g.mul(Fr::random(rng)));
+    pts.push_back(G1::identity());
+    auto affs = batch_to_affine<G1Params>(pts);
+    ASSERT_EQ(affs.size(), pts.size());
+    for (size_t i = 0; i < pts.size(); ++i) {
+        EXPECT_EQ(affs[i], pts[i].to_affine());
+    }
+}
+
+class MsmTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(MsmTest, PippengerMatchesNaive)
+{
+    size_t n = GetParam();
+    std::mt19937_64 rng(100 + n);
+    G1 g = g1_generator();
+    std::vector<G1Affine> points(n);
+    std::vector<Fr> scalars(n);
+    for (size_t i = 0; i < n; ++i) {
+        points[i] = g.mul(Fr::random(rng)).to_affine();
+        scalars[i] = Fr::random(rng);
+    }
+    G1 expect = msm_naive(points, scalars);
+    EXPECT_EQ(msm(points, scalars), expect);
+    // Explicit window sizes matching the paper's design space (Table 2).
+    for (unsigned w : {7u, 8u, 9u, 10u}) {
+        EXPECT_EQ(msm(points, scalars, w), expect) << "window " << w;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MsmTest,
+                         ::testing::Values(1, 2, 3, 31, 32, 33, 100, 257));
+
+TEST(Msm, EdgeCaseScalars)
+{
+    std::mt19937_64 rng(14);
+    G1 g = g1_generator();
+    std::vector<G1Affine> points;
+    std::vector<Fr> scalars;
+    for (int i = 0; i < 16; ++i) {
+        points.push_back(g.mul(Fr::random(rng)).to_affine());
+    }
+    // All-zero scalars.
+    scalars.assign(16, Fr::zero());
+    EXPECT_TRUE(msm(points, scalars).is_identity());
+    // Scalar p-1 (all windows saturated).
+    scalars.assign(16, -Fr::one());
+    EXPECT_EQ(msm(points, scalars), msm_naive(points, scalars));
+    // Mixed tiny scalars.
+    for (int i = 0; i < 16; ++i) scalars[i] = Fr::from_uint(i);
+    EXPECT_EQ(msm(points, scalars), msm_naive(points, scalars));
+}
+
+TEST(Msm, SparseMsmMatchesDenseAndCountsClasses)
+{
+    std::mt19937_64 rng(15);
+    G1 g = g1_generator();
+    const size_t n = 200;
+    std::vector<G1Affine> points(n);
+    std::vector<Fr> scalars(n);
+    // Paper Section 6.2 statistics: 45% zeros, 45% ones, 10% dense.
+    size_t zeros = 0, ones = 0, dense = 0;
+    for (size_t i = 0; i < n; ++i) {
+        points[i] = g.mul(Fr::random(rng)).to_affine();
+        double u = std::uniform_real_distribution<>(0, 1)(rng);
+        if (u < 0.45) {
+            scalars[i] = Fr::zero();
+            ++zeros;
+        } else if (u < 0.90) {
+            scalars[i] = Fr::one();
+            ++ones;
+        } else {
+            scalars[i] = Fr::random(rng);
+            ++dense;
+        }
+    }
+    MsmStats stats;
+    G1 got = msm_sparse(points, scalars, &stats);
+    EXPECT_EQ(got, msm_naive(points, scalars));
+    EXPECT_EQ(stats.zeros, zeros);
+    EXPECT_EQ(stats.ones, ones);
+    EXPECT_EQ(stats.dense, dense);
+}
+
+TEST(Msm, TreeSumMatchesSequential)
+{
+    std::mt19937_64 rng(16);
+    G1 g = g1_generator();
+    for (size_t n : {0u, 1u, 2u, 3u, 15u, 16u, 17u}) {
+        std::vector<G1Affine> pts(n);
+        G1 expect = G1::identity();
+        for (size_t i = 0; i < n; ++i) {
+            pts[i] = g.mul(Fr::random(rng)).to_affine();
+            expect += G1::from_affine(pts[i]);
+        }
+        EXPECT_EQ(tree_sum(pts), expect) << "n=" << n;
+    }
+}
+
+TEST(Fq2Tower, FieldAxioms)
+{
+    std::mt19937_64 rng(17);
+    for (int i = 0; i < 25; ++i) {
+        Fq2 a = Fq2::random(rng), b = Fq2::random(rng), c = Fq2::random(rng);
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ((a * b) * c, a * (b * c));
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+        EXPECT_EQ(a.square(), a * a);
+        if (!a.is_zero()) {
+            EXPECT_EQ(a * a.inverse(), Fq2::one());
+        }
+        // Nonresidue multiplication is multiplication by (u+1).
+        Fq2 xi(Fq::one(), Fq::one());
+        EXPECT_EQ(a.mul_by_nonresidue(), a * xi);
+    }
+}
+
+TEST(Fq2Tower, USquaredIsMinusOne)
+{
+    Fq2 u(Fq::zero(), Fq::one());
+    EXPECT_EQ(u.square(), -Fq2::one());
+}
+
+TEST(Fq6Fq12Tower, AxiomsAndSparseOps)
+{
+    std::mt19937_64 rng(18);
+    for (int i = 0; i < 10; ++i) {
+        Fq6 a(Fq2::random(rng), Fq2::random(rng), Fq2::random(rng));
+        Fq6 b(Fq2::random(rng), Fq2::random(rng), Fq2::random(rng));
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ(a * a.inverse(), Fq6::one());
+        // Sparse muls agree with dense.
+        Fq2 s0 = Fq2::random(rng), s1 = Fq2::random(rng);
+        EXPECT_EQ(a.mul_by_01(s0, s1), a * Fq6(s0, s1, Fq2::zero()));
+        EXPECT_EQ(a.mul_by_1(s1), a * Fq6(Fq2::zero(), s1, Fq2::zero()));
+        // v^3 == xi: multiplying three times by v equals scaling by xi.
+        Fq6 v(Fq2::zero(), Fq2::one(), Fq2::zero());
+        Fq6 xi(Fq2::one().mul_by_nonresidue(), Fq2::zero(), Fq2::zero());
+        EXPECT_EQ(a * v * v * v, a * xi);
+
+        Fq12 x(a, b);
+        Fq12 y(b, a);
+        EXPECT_EQ(x * y, y * x);
+        EXPECT_EQ(x * x.inverse(), Fq12::one());
+        EXPECT_EQ(x.square(), x * x);
+        // Sparse 014 multiplication agrees with dense.
+        Fq2 d0 = Fq2::random(rng), d1 = Fq2::random(rng),
+            d4 = Fq2::random(rng);
+        Fq12 sparse(Fq6(d0, d1, Fq2::zero()),
+                    Fq6(Fq2::zero(), d4, Fq2::zero()));
+        EXPECT_EQ(x.mul_by_014(d0, d1, d4), x * sparse);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit and property tests for the Montgomery prime fields Fr and Fq.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ff/batch_inverse.hpp"
+#include "ff/fq.hpp"
+#include "ff/fr.hpp"
+
+namespace {
+
+using zkspeed::ff::Fq;
+using zkspeed::ff::Fr;
+
+template <typename F>
+class FieldTest : public ::testing::Test
+{
+};
+
+using FieldTypes = ::testing::Types<Fr, Fq>;
+TYPED_TEST_SUITE(FieldTest, FieldTypes);
+
+TYPED_TEST(FieldTest, MontgomeryConstants)
+{
+    using F = TypeParam;
+    // R and R^2 must be properly reduced.
+    EXPECT_TRUE(F::kR < F::kModulus);
+    EXPECT_TRUE(F::kR2 < F::kModulus);
+    // kInv * p == -1 mod 2^64.
+    EXPECT_EQ(F::kInv * F::kModulus.limbs[0], ~0ull);
+    // Modulus bit width matches the declared field size.
+    EXPECT_EQ(F::kModulus.num_bits(), F::kBits);
+}
+
+TYPED_TEST(FieldTest, IdentityAndReprRoundTrip)
+{
+    using F = TypeParam;
+    EXPECT_TRUE(F::zero().is_zero());
+    EXPECT_TRUE(F::one().is_one());
+    EXPECT_EQ(F::from_uint(0), F::zero());
+    EXPECT_EQ(F::from_uint(1), F::one());
+    EXPECT_EQ(F::from_uint(12345).to_repr().limbs[0], 12345u);
+
+    std::mt19937_64 rng(1);
+    for (int i = 0; i < 50; ++i) {
+        F x = F::random(rng);
+        EXPECT_EQ(F::from_repr(x.to_repr()), x);
+    }
+}
+
+TYPED_TEST(FieldTest, FieldAxioms)
+{
+    using F = TypeParam;
+    std::mt19937_64 rng(2);
+    for (int i = 0; i < 50; ++i) {
+        F a = F::random(rng), b = F::random(rng), c = F::random(rng);
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ((a + b) + c, a + (b + c));
+        EXPECT_EQ((a * b) * c, a * (b * c));
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+        EXPECT_EQ(a + F::zero(), a);
+        EXPECT_EQ(a * F::one(), a);
+        EXPECT_EQ(a - a, F::zero());
+        EXPECT_EQ(a + (-a), F::zero());
+        EXPECT_EQ(a.dbl(), a + a);
+        EXPECT_EQ(a.square(), a * a);
+    }
+}
+
+TYPED_TEST(FieldTest, SmallIntegerArithmeticMatches)
+{
+    using F = TypeParam;
+    // 123 * 456 = 56088, 1000 - 1 = 999 etc., checked through Montgomery.
+    EXPECT_EQ(F::from_uint(123) * F::from_uint(456), F::from_uint(56088));
+    EXPECT_EQ(F::from_uint(1000) - F::from_uint(1), F::from_uint(999));
+    EXPECT_EQ(F::from_uint(7).pow(uint64_t(13)),
+              F::from_uint(96889010407ull));  // 7^13
+}
+
+TYPED_TEST(FieldTest, InverseFermatAndBeeaAgree)
+{
+    using F = TypeParam;
+    std::mt19937_64 rng(3);
+    for (int i = 0; i < 25; ++i) {
+        F a = F::random(rng);
+        if (a.is_zero()) continue;
+        F inv = a.inverse();
+        EXPECT_EQ(a * inv, F::one());
+        EXPECT_EQ(a.inverse_beea(), inv);
+    }
+    EXPECT_TRUE(F::zero().inverse().is_zero());
+    EXPECT_TRUE(F::zero().inverse_beea().is_zero());
+    EXPECT_EQ(F::one().inverse(), F::one());
+}
+
+TYPED_TEST(FieldTest, NegationEdgeCases)
+{
+    using F = TypeParam;
+    EXPECT_EQ(-F::zero(), F::zero());
+    F pm1 = F::zero() - F::one();  // p - 1
+    EXPECT_EQ(pm1 * pm1, F::one());
+    EXPECT_EQ(pm1 + F::one(), F::zero());
+}
+
+TYPED_TEST(FieldTest, PowLaws)
+{
+    using F = TypeParam;
+    std::mt19937_64 rng(4);
+    F a = F::random(rng);
+    EXPECT_EQ(a.pow(uint64_t(0)), F::one());
+    EXPECT_EQ(a.pow(uint64_t(1)), a);
+    EXPECT_EQ(a.pow(uint64_t(5)) * a.pow(uint64_t(7)), a.pow(uint64_t(12)));
+    // Fermat: a^p == a.
+    EXPECT_EQ(a.pow(F::kModulus), a);
+}
+
+TYPED_TEST(FieldTest, BytesRoundTripAndReduce)
+{
+    using F = TypeParam;
+    std::mt19937_64 rng(5);
+    for (int i = 0; i < 20; ++i) {
+        F x = F::random(rng);
+        uint8_t buf[F::kByteSize];
+        x.to_bytes(buf);
+        EXPECT_EQ(F::from_bytes_reduce(buf, sizeof(buf)), x);
+    }
+    // Reduction of an over-size value: 2^{8*len} style inputs.
+    std::array<uint8_t, 64> big;
+    big.fill(0xff);
+    F v = F::from_bytes_reduce(big.data(), big.size());
+    // Value must be consistent with Horner evaluation: spot check via sum.
+    F expect = F::zero();
+    F base = F::from_uint(256);
+    F pw = F::one();
+    for (size_t i = 0; i < big.size(); ++i) {
+        expect += F::from_uint(big[i]) * pw;
+        pw *= base;
+    }
+    EXPECT_EQ(v, expect);
+}
+
+TYPED_TEST(FieldTest, BatchInverse)
+{
+    using F = TypeParam;
+    std::mt19937_64 rng(6);
+    for (size_t n : {0u, 1u, 2u, 7u, 64u, 255u}) {
+        std::vector<F> xs(n), ref(n);
+        for (size_t i = 0; i < n; ++i) xs[i] = F::random(rng);
+        if (n > 2) xs[n / 2] = F::zero();  // zeros must survive
+        ref = xs;
+        zkspeed::ff::batch_inverse(xs);
+        for (size_t i = 0; i < n; ++i) {
+            if (ref[i].is_zero()) {
+                EXPECT_TRUE(xs[i].is_zero());
+            } else {
+                EXPECT_EQ(ref[i] * xs[i], F::one());
+            }
+        }
+    }
+}
+
+TEST(FrSpecific, ModulusValue)
+{
+    EXPECT_EQ(Fr::kModulus.to_hex(),
+              "0x73eda753299d7d483339d80809a1d805"
+              "53bda402fffe5bfeffffffff00000001");
+    EXPECT_EQ(Fr::kBits, 255u);
+}
+
+TEST(FqSpecific, ModulusValue)
+{
+    EXPECT_EQ(Fq::kBits, 381u);
+    // p mod 4 == 3 for BLS12-381 (used by sqrt-free pairing towers).
+    EXPECT_EQ(Fq::kModulus.limbs[0] & 3, 3u);
+}
+
+TEST(Counters, ModmulCountsIncrease)
+{
+    auto &c = zkspeed::ff::modmul_counters();
+    std::mt19937_64 rng(7);
+    Fr a = Fr::random(rng), b = Fr::random(rng);
+    Fq x = Fq::random(rng), y = Fq::random(rng);
+    zkspeed::ff::ModmulScope scope;
+    (void)(a * b);
+    (void)(x * y);
+    (void)(x * y);
+    EXPECT_EQ(scope.fr_delta(), 1u);
+    EXPECT_EQ(scope.fq_delta(), 2u);
+    EXPECT_EQ(scope.total_delta(), 3u);
+    (void)c;
+}
+
+}  // namespace

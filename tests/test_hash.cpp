@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Known-answer and property tests for Keccak/SHA3 and the transcript.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hash/keccak.hpp"
+#include "hash/transcript.hpp"
+
+namespace {
+
+using namespace zkspeed::hash;
+using zkspeed::ff::Fr;
+
+TEST(Keccak, Sha3_256KnownAnswers)
+{
+    // FIPS-202 test vector.
+    EXPECT_EQ(digest_hex(sha3_256("abc")),
+              "3a985da74fe225b2045c172d6bd390bd"
+              "855f086e3e9d525b46bfe24511431532");
+    EXPECT_EQ(digest_hex(sha3_256("")),
+              "a7ffc6f8bf1ed76651c14756a061d662"
+              "f580ff4de43b49fa82d80a4b80f8434a")
+        << "empty-string SHA3-256";
+}
+
+TEST(Keccak, Keccak256KnownAnswers)
+{
+    // Legacy (pre-FIPS) padding, as used by Ethereum.
+    EXPECT_EQ(digest_hex(keccak_256("")),
+              "c5d2460186f7233c927e7db2dcc703c0"
+              "e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(Keccak, MultiBlockMessages)
+{
+    // Message sizes around the 136-byte rate boundary must be consistent
+    // between one-shot and incremental absorption.
+    for (size_t len : {1u, 64u, 135u, 136u, 137u, 272u, 1000u}) {
+        std::string msg(len, 'x');
+        for (size_t i = 0; i < len; ++i) msg[i] = char('a' + i % 26);
+        Digest oneshot = sha3_256(msg);
+        Sponge256 sp(0x06);
+        // Absorb in awkward chunks.
+        size_t off = 0, chunk = 7;
+        while (off < len) {
+            size_t take = std::min(chunk, len - off);
+            sp.absorb(std::string_view(msg).substr(off, take));
+            off += take;
+            chunk = chunk * 3 % 50 + 1;
+        }
+        EXPECT_EQ(digest_hex(sp.finalize()), digest_hex(oneshot))
+            << "len=" << len;
+    }
+}
+
+TEST(Keccak, DistinctInputsDistinctDigests)
+{
+    EXPECT_NE(digest_hex(sha3_256("a")), digest_hex(sha3_256("b")));
+    EXPECT_NE(digest_hex(sha3_256("")), digest_hex(keccak_256("")));
+}
+
+TEST(Transcript, DeterministicAndOrderSensitive)
+{
+    Transcript t1("test"), t2("test"), t3("test");
+    t1.append_fr("a", Fr::from_uint(1));
+    t1.append_fr("b", Fr::from_uint(2));
+    t2.append_fr("a", Fr::from_uint(1));
+    t2.append_fr("b", Fr::from_uint(2));
+    t3.append_fr("b", Fr::from_uint(2));
+    t3.append_fr("a", Fr::from_uint(1));
+    Fr c1 = t1.challenge_fr("c");
+    Fr c2 = t2.challenge_fr("c");
+    Fr c3 = t3.challenge_fr("c");
+    EXPECT_EQ(c1, c2) << "same history -> same challenge";
+    EXPECT_NE(c1, c3) << "order must matter";
+}
+
+TEST(Transcript, ChallengesChainForward)
+{
+    Transcript t("test");
+    Fr c1 = t.challenge_fr("c");
+    Fr c2 = t.challenge_fr("c");
+    EXPECT_NE(c1, c2) << "successive challenges must differ";
+    auto cs = t.challenge_frs("v", 8);
+    for (size_t i = 0; i < cs.size(); ++i) {
+        for (size_t j = i + 1; j < cs.size(); ++j) {
+            EXPECT_NE(cs[i], cs[j]);
+        }
+    }
+    EXPECT_EQ(t.challenge_count(), 10u);
+}
+
+TEST(Transcript, LabelsSeparateDomains)
+{
+    Transcript t1("proto-a"), t2("proto-b");
+    EXPECT_NE(t1.challenge_fr("c"), t2.challenge_fr("c"));
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * NTT tests: root orders, forward/inverse round trips, agreement with
+ * naive evaluation, and the convolution theorem.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ff/ntt.hpp"
+
+namespace {
+
+using zkspeed::ff::Fr;
+using zkspeed::ff::NttDomain;
+
+TEST(Ntt, TwoAdicRootHasExactOrder)
+{
+    Fr c = NttDomain::two_adic_root();
+    Fr probe = c;
+    for (int i = 0; i < 31; ++i) probe = probe.square();
+    EXPECT_FALSE(probe.is_one()) << "order must be exactly 2^32";
+    EXPECT_EQ(probe.square(), Fr::one()) << "order must divide 2^32";
+    EXPECT_EQ(probe, -Fr::one()) << "c^(2^31) is the square root of 1";
+}
+
+TEST(Ntt, DomainRootOrders)
+{
+    for (size_t log_n : {1u, 4u, 10u}) {
+        NttDomain d(log_n);
+        Fr w = d.root();
+        EXPECT_EQ(w.pow(uint64_t(d.size())), Fr::one());
+        EXPECT_FALSE(w.pow(uint64_t(d.size() / 2)).is_one());
+    }
+}
+
+class NttRoundTrip : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(NttRoundTrip, InverseUndoesForward)
+{
+    NttDomain d(GetParam());
+    std::mt19937_64 rng(500 + GetParam());
+    std::vector<Fr> a(d.size());
+    for (auto &x : a) x = Fr::random(rng);
+    auto orig = a;
+    d.forward(a);
+    EXPECT_NE(a, orig);
+    d.inverse(a);
+    EXPECT_EQ(a, orig);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NttRoundTrip,
+                         ::testing::Values(1, 2, 3, 6, 10, 12));
+
+TEST(Ntt, MatchesNaiveEvaluation)
+{
+    // forward(coeffs)[k] == poly(root^k).
+    NttDomain d(4);
+    std::mt19937_64 rng(501);
+    std::vector<Fr> coeffs(d.size());
+    for (auto &c : coeffs) c = Fr::random(rng);
+    auto evals = coeffs;
+    d.forward(evals);
+    Fr wk = Fr::one();
+    for (size_t k = 0; k < d.size(); ++k) {
+        Fr acc = Fr::zero(), pw = Fr::one();
+        for (const auto &c : coeffs) {
+            acc += c * pw;
+            pw *= wk;
+        }
+        EXPECT_EQ(evals[k], acc) << "k=" << k;
+        wk *= d.root();
+    }
+}
+
+TEST(Ntt, ConvolutionTheorem)
+{
+    // (1 + 2x)(3 + x + x^2) = 3 + 7x + 3x^2 + 2x^3.
+    NttDomain d(3);
+    std::vector<Fr> a = {Fr::from_uint(1), Fr::from_uint(2)};
+    std::vector<Fr> b = {Fr::from_uint(3), Fr::from_uint(1),
+                         Fr::from_uint(1)};
+    auto c = d.multiply(a, b);
+    EXPECT_EQ(c[0], Fr::from_uint(3));
+    EXPECT_EQ(c[1], Fr::from_uint(7));
+    EXPECT_EQ(c[2], Fr::from_uint(3));
+    EXPECT_EQ(c[3], Fr::from_uint(2));
+    for (size_t i = 4; i < c.size(); ++i) EXPECT_TRUE(c[i].is_zero());
+}
+
+TEST(Ntt, RandomConvolutionMatchesSchoolbook)
+{
+    std::mt19937_64 rng(502);
+    NttDomain d(6);
+    std::vector<Fr> a(20), b(30);
+    for (auto &x : a) x = Fr::random(rng);
+    for (auto &x : b) x = Fr::random(rng);
+    auto fast = d.multiply(a, b);
+    std::vector<Fr> slow(d.size(), Fr::zero());
+    for (size_t i = 0; i < a.size(); ++i) {
+        for (size_t j = 0; j < b.size(); ++j) {
+            slow[i + j] += a[i] * b[j];
+        }
+    }
+    EXPECT_EQ(fast, slow);
+}
+
+TEST(Ntt, ModmulCountIsNLogN)
+{
+    // The motivating complexity claim: forward NTT costs ~ (n/2) log n
+    // multiplications, vs O(n) for one SumCheck pass.
+    NttDomain d(10);
+    std::vector<Fr> a(d.size(), Fr::one());
+    zkspeed::ff::ModmulScope scope;
+    d.forward(a);
+    uint64_t muls = scope.fr_delta();
+    uint64_t n = d.size();
+    // Each butterfly costs one data mul plus one twiddle update, so the
+    // total is between (n/2) log n and n log n.
+    EXPECT_GE(muls, n / 2 * 10);
+    EXPECT_LE(muls, n * 10 + 64);
+}
+
+}  // namespace

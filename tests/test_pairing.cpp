@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bilinearity and non-degeneracy tests for the optimal-ate pairing.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "curve/pairing.hpp"
+
+namespace {
+
+using namespace zkspeed::curve;
+using zkspeed::ff::Fr;
+
+TEST(Pairing, NonDegenerate)
+{
+    Fq12 e = pairing(G1Params::generator(), G2Params::generator());
+    EXPECT_FALSE(e.is_one());
+    // e(g, h) lies in the order-r subgroup: e^r == 1.
+    EXPECT_TRUE(e.pow(Fr::kModulus).is_one());
+}
+
+TEST(Pairing, IdentityInputsGiveOne)
+{
+    EXPECT_TRUE(pairing(G1Affine::identity(), G2Params::generator())
+                    .is_one());
+    EXPECT_TRUE(pairing(G1Params::generator(), G2Affine::identity())
+                    .is_one());
+}
+
+TEST(Pairing, Bilinearity)
+{
+    std::mt19937_64 rng(21);
+    Fr a = Fr::random(rng);
+    Fr b = Fr::random(rng);
+    G1Affine ga = g1_generator().mul(a).to_affine();
+    G2Affine hb = g2_generator().mul(b).to_affine();
+    Fq12 lhs = pairing(ga, hb);
+    Fq12 rhs = pairing(G1Params::generator(), G2Params::generator())
+                   .pow((a * b).to_repr());
+    EXPECT_EQ(lhs, rhs) << "e(aG, bH) == e(G, H)^{ab}";
+}
+
+TEST(Pairing, LinearInFirstArgument)
+{
+    std::mt19937_64 rng(22);
+    Fr a = Fr::random(rng), b = Fr::random(rng);
+    G1 ga = g1_generator().mul(a);
+    G1 gb = g1_generator().mul(b);
+    G2Affine h = G2Params::generator();
+    Fq12 lhs = pairing((ga + gb).to_affine(), h);
+    Fq12 rhs = pairing(ga.to_affine(), h) * pairing(gb.to_affine(), h);
+    EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Pairing, ProductCheckDetectsEquality)
+{
+    // e(aG, H) * e(-G, aH) == 1.
+    std::mt19937_64 rng(23);
+    Fr a = Fr::random(rng);
+    std::vector<G1Affine> ps = {
+        g1_generator().mul(a).to_affine(),
+        g1_generator().neg().to_affine(),
+    };
+    std::vector<G2Affine> qs = {
+        G2Params::generator(),
+        g2_generator().mul(a).to_affine(),
+    };
+    EXPECT_TRUE(pairing_product_is_one(ps, qs));
+    // Perturb one side: must fail.
+    qs[1] = g2_generator().mul(a + Fr::one()).to_affine();
+    EXPECT_FALSE(pairing_product_is_one(ps, qs));
+}
+
+TEST(Pairing, MultiMillerMatchesProductOfPairings)
+{
+    std::mt19937_64 rng(24);
+    std::vector<G1Affine> ps;
+    std::vector<G2Affine> qs;
+    Fq12 expect = Fq12::one();
+    for (int i = 0; i < 3; ++i) {
+        Fr a = Fr::random(rng), b = Fr::random(rng);
+        ps.push_back(g1_generator().mul(a).to_affine());
+        qs.push_back(g2_generator().mul(b).to_affine());
+        expect *= pairing(ps.back(), qs.back());
+    }
+    EXPECT_EQ(final_exponentiation(multi_miller_loop(ps, qs)), expect);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Parallel-kernel tests: serial and parallel runs must be bit-identical
+ * (field arithmetic is exact), and the modmul-counter migration must
+ * keep instrumentation totals intact under threading.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ff/parallel.hpp"
+#include "hyperplonk/prover.hpp"
+
+namespace {
+
+using namespace zkspeed;
+using ff::Fr;
+using ff::ParallelismGuard;
+
+TEST(Parallel, ParallelForCoversRangeExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(10000);
+    ff::parallel_for(hits.size(), [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) ++hits[i];
+    }, 16);
+    for (size_t i = 0; i < hits.size(); ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << i;
+    }
+}
+
+TEST(Parallel, CounterMigrationPreservesTotals)
+{
+    std::mt19937_64 rng(601);
+    std::vector<Fr> xs(5000);
+    for (auto &x : xs) x = Fr::random(rng);
+    auto run = [&](size_t threads) {
+        ParallelismGuard guard(threads);
+        ff::ModmulScope scope;
+        std::vector<Fr> out(xs.size());
+        ff::parallel_for(xs.size(), [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i) out[i] = xs[i] * xs[i];
+        }, 64);
+        return scope.fr_delta();
+    };
+    EXPECT_EQ(run(1), xs.size());
+    EXPECT_EQ(run(4), xs.size()) << "worker muls must migrate back";
+}
+
+TEST(Parallel, MsmIdenticalAcrossThreadCounts)
+{
+    std::mt19937_64 rng(602);
+    const size_t n = 6000;  // above the parallel threshold
+    std::vector<curve::G1Affine> pts(n);
+    std::vector<Fr> scalars(n);
+    for (size_t i = 0; i < n; ++i) {
+        pts[i] = curve::g1_generator()
+                     .mul(Fr::from_uint(i * 7 + 1))
+                     .to_affine();
+        scalars[i] = Fr::random(rng);
+    }
+    curve::G1 serial, parallel;
+    {
+        ParallelismGuard guard(1);
+        serial = curve::msm(pts, scalars);
+    }
+    {
+        ParallelismGuard guard(8);
+        parallel = curve::msm(pts, scalars);
+    }
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(Parallel, ProofsIdenticalAcrossThreadCounts)
+{
+    std::mt19937_64 rng(603);
+    auto [index, wit] = hyperplonk::random_circuit(6, rng);
+    auto srs = std::make_shared<pcs::Srs>(pcs::Srs::generate(6, rng));
+    auto [pk, vk] = hyperplonk::keygen(std::move(index), srs);
+
+    hyperplonk::Proof p1, p2;
+    {
+        ParallelismGuard guard(1);
+        p1 = hyperplonk::prove(pk, wit);
+    }
+    {
+        ParallelismGuard guard(8);
+        p2 = hyperplonk::prove(pk, wit);
+    }
+    // Bit-identical transcripts: every message matches.
+    EXPECT_EQ(p1.evals.flatten(), p2.evals.flatten());
+    EXPECT_EQ(p1.gprime_value, p2.gprime_value);
+    ASSERT_EQ(p1.zerocheck.round_evals.size(),
+              p2.zerocheck.round_evals.size());
+    for (size_t i = 0; i < p1.zerocheck.round_evals.size(); ++i) {
+        EXPECT_EQ(p1.zerocheck.round_evals[i],
+                  p2.zerocheck.round_evals[i]);
+    }
+    auto publics = wit.public_inputs(pk.index);
+    EXPECT_TRUE(hyperplonk::verify(vk, publics, p2));
+}
+
+TEST(Parallel, SrsGenerationIdenticalAcrossThreadCounts)
+{
+    auto gen = [&](size_t threads) {
+        ParallelismGuard guard(threads);
+        std::mt19937_64 rng(604);
+        return pcs::Srs::generate(5, rng);
+    };
+    pcs::Srs a = gen(1);
+    pcs::Srs b = gen(8);
+    ASSERT_EQ(a.lagrange.size(), b.lagrange.size());
+    for (size_t k = 0; k < a.lagrange.size(); ++k) {
+        ASSERT_EQ(a.lagrange[k].size(), b.lagrange[k].size());
+        for (size_t i = 0; i < a.lagrange[k].size(); ++i) {
+            EXPECT_EQ(a.lagrange[k][i], b.lagrange[k][i]);
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Serialization tests: round trips, strict validation (non-canonical
+ * field elements, off-curve points, truncation, trailing garbage) and
+ * end-to-end verification through the wire format.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hyperplonk/serialize.hpp"
+
+namespace {
+
+using namespace zkspeed::hyperplonk;
+using zkspeed::ff::Fr;
+using zkspeed::pcs::Srs;
+
+struct Fixture {
+    ProvingKey pk;
+    VerifyingKey vk;
+    Witness wit;
+    Proof proof;
+    std::vector<Fr> publics;
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f = [] {
+        std::mt19937_64 rng(301);
+        auto [index, wit] = random_circuit(4, rng);
+        auto srs = std::make_shared<Srs>(Srs::generate(4, rng));
+        auto [pk, vk] = keygen(std::move(index), srs);
+        Proof proof = prove(pk, wit);
+        auto publics = wit.public_inputs(pk.index);
+        return Fixture{std::move(pk), std::move(vk), std::move(wit),
+                       std::move(proof), std::move(publics)};
+    }();
+    return f;
+}
+
+TEST(Serialize, ProofRoundTrip)
+{
+    auto &f = fixture();
+    auto bytes = serde::serialize_proof(f.proof);
+    // Wire size tracks the logical proof size plus framing overhead.
+    EXPECT_GE(bytes.size(), f.proof.size_bytes());
+    EXPECT_LT(bytes.size(), f.proof.size_bytes() + 512);
+    auto back = serde::deserialize_proof(bytes);
+    ASSERT_TRUE(back.has_value());
+    // The decoded proof must verify exactly like the original.
+    EXPECT_TRUE(verify(f.vk, f.publics, *back));
+    // And re-serialize to identical bytes (canonical encoding).
+    EXPECT_EQ(serde::serialize_proof(*back), bytes);
+}
+
+TEST(Serialize, RejectsTruncationEverywhere)
+{
+    auto &f = fixture();
+    auto bytes = serde::serialize_proof(f.proof);
+    // Any prefix must fail to decode.
+    for (size_t len : {0ul, 1ul, 7ul, 8ul, bytes.size() / 2,
+                       bytes.size() - 1}) {
+        auto cut = std::span<const uint8_t>(bytes.data(), len);
+        EXPECT_FALSE(serde::deserialize_proof(cut).has_value())
+            << "len " << len;
+    }
+}
+
+TEST(Serialize, RejectsTrailingGarbage)
+{
+    auto &f = fixture();
+    auto bytes = serde::serialize_proof(f.proof);
+    bytes.push_back(0);
+    EXPECT_FALSE(serde::deserialize_proof(bytes).has_value());
+}
+
+TEST(Serialize, RejectsBadMagic)
+{
+    auto &f = fixture();
+    auto bytes = serde::serialize_proof(f.proof);
+    bytes[0] ^= 0xff;
+    EXPECT_FALSE(serde::deserialize_proof(bytes).has_value());
+}
+
+TEST(Serialize, RejectsNonCanonicalFieldElement)
+{
+    auto &f = fixture();
+    auto bytes = serde::serialize_proof(f.proof);
+    // The batch-evaluation block sits after the two sumchecks; rather
+    // than compute the offset, set a known Fr slot to the modulus:
+    // find the first 32-byte window after the witness commitments that
+    // we can overwrite with r (definitely >= modulus -> must reject).
+    // gprime_value is the 32 bytes before the final quotient block:
+    size_t quotients = f.proof.gprime_proof.quotients.size();
+    size_t quot_bytes = 8 + quotients * (1 + 2 * 48);
+    size_t off = bytes.size() - quot_bytes - 32;
+    uint8_t modulus_le[32];
+    (Fr::zero() - Fr::one()).to_bytes(modulus_le);  // r - 1 (valid)
+    // Bump to exactly r (invalid): r-1 ends in ...00000000, +1 works.
+    modulus_le[0] += 1;
+    std::copy(modulus_le, modulus_le + 32, bytes.begin() + off);
+    EXPECT_FALSE(serde::deserialize_proof(bytes).has_value());
+}
+
+TEST(Serialize, RejectsOffCurvePoint)
+{
+    auto &f = fixture();
+    auto bytes = serde::serialize_proof(f.proof);
+    // Witness commitment #0 starts right after the magic: flip a byte
+    // of its x coordinate (offset 8 + 1 flag byte).
+    bytes[9] ^= 0x01;
+    EXPECT_FALSE(serde::deserialize_proof(bytes).has_value());
+}
+
+TEST(Serialize, TamperedWireProofFailsVerification)
+{
+    auto &f = fixture();
+    auto bytes = serde::serialize_proof(f.proof);
+    // Corrupt one byte inside a sumcheck round message (the region
+    // between the commitments decodes as field elements; field-valid
+    // mutations must still be caught by the verifier).
+    // Flip a low-order byte of some round evaluation.
+    size_t off = 8 + 3 * (1 + 96) + 8 * 3 + 8;  // into zerocheck rounds
+    bytes[off + 10] ^= 0x01;
+    auto back = serde::deserialize_proof(bytes);
+    if (back.has_value()) {
+        EXPECT_FALSE(verify(f.vk, f.publics, *back));
+    }
+}
+
+TEST(Serialize, VerifyingKeyRoundTripSupportsPairingMode)
+{
+    auto &f = fixture();
+    auto bytes = serde::serialize_verifying_key(f.vk);
+    auto vk2 = serde::deserialize_verifying_key(bytes);
+    ASSERT_TRUE(vk2.has_value());
+    EXPECT_EQ(vk2->num_vars, f.vk.num_vars);
+    EXPECT_EQ(vk2->num_public, f.vk.num_public);
+    // The reconstructed key has no trapdoor, so use pairing mode.
+    EXPECT_TRUE(verify(*vk2, f.publics, f.proof, PcsCheckMode::pairing));
+    // Tampered proofs still rejected through the decoded key.
+    Proof bad = f.proof;
+    bad.gprime_value += Fr::one();
+    EXPECT_FALSE(verify(*vk2, f.publics, bad, PcsCheckMode::pairing));
+}
+
+TEST(Serialize, VerifyingKeyRejectsCorruption)
+{
+    auto &f = fixture();
+    auto bytes = serde::serialize_verifying_key(f.vk);
+    for (size_t off : {0ul, 8ul, 30ul, bytes.size() - 5}) {
+        auto bad = bytes;
+        bad[off] ^= 0x40;
+        auto vk2 = serde::deserialize_verifying_key(bad);
+        if (vk2.has_value()) {
+            // Decoded but semantically different: must not accept the
+            // original proof as-is AND match the original key.
+            bool same = vk2->num_vars == f.vk.num_vars &&
+                        vk2->num_public == f.vk.num_public;
+            if (same) {
+                EXPECT_FALSE(verify(*vk2, f.publics, f.proof,
+                                    PcsCheckMode::pairing))
+                    << "offset " << off;
+            }
+        }
+    }
+    auto cut = std::span<const uint8_t>(bytes.data(), bytes.size() / 2);
+    EXPECT_FALSE(serde::deserialize_verifying_key(cut).has_value());
+}
+
+}  // namespace
