@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Batch proving service throughput: proofs/sec vs worker count and
+ * batch size.
+ *
+ * Each configuration proves a batch of small-circuit jobs (a few
+ * distinct shapes, repeated, so the key cache behaves as in serving)
+ * and reports wall-clock throughput, speedup over the 1-worker run,
+ * mean latency and cache hit rate. The worker pool splits a fixed
+ * kernel-thread budget (two-level parallelism), so worker counts
+ * compete for the same hardware rather than oversubscribing it —
+ * scaling therefore tracks physical cores; on a single-core host the
+ * sweep degenerates to ~1x by construction.
+ */
+#include <random>
+#include <thread>
+
+#include "report.hpp"
+#include "runtime/service.hpp"
+#include "sim/replay.hpp"
+
+namespace {
+
+using namespace zkspeed;
+using namespace zkspeed::runtime;
+
+/** Encoded batch: `batch` jobs cycling over `distinct` circuit shapes. */
+std::vector<std::vector<uint8_t>>
+make_batch(size_t batch, size_t distinct, size_t mu)
+{
+    std::vector<JobRequest> shapes;
+    for (size_t c = 0; c < distinct; ++c) {
+        std::mt19937_64 rng(9000 + c);
+        auto [index, wit] = hyperplonk::random_circuit(mu, rng);
+        JobRequest req;
+        req.circuit = std::move(index);
+        req.witness = std::move(wit);
+        shapes.push_back(std::move(req));
+    }
+    std::vector<std::vector<uint8_t>> frames;
+    for (size_t i = 0; i < batch; ++i) {
+        JobRequest &req = shapes[i % distinct];
+        req.request_id = i + 1;
+        frames.push_back(wire::encode_request(req));
+    }
+    return frames;
+}
+
+struct RunResult {
+    double wall_ms = 0;
+    double proofs_per_s = 0;
+    double mean_latency_ms = 0;
+    double cache_hit_rate = 0;
+    std::vector<TraceEntry> trace;
+};
+
+RunResult
+run_batch(const std::vector<std::vector<uint8_t>> &frames, size_t workers,
+          size_t total_parallelism)
+{
+    ServiceConfig cfg;
+    cfg.num_workers = workers;
+    cfg.total_parallelism = total_parallelism;
+    cfg.queue_capacity = frames.size();
+    auto t0 = std::chrono::steady_clock::now();
+    RunResult res;
+    {
+        ProofService service(cfg);
+        std::vector<std::future<JobResponse>> futures;
+        for (const auto &frame : frames) {
+            futures.push_back(service.submit(frame));
+        }
+        for (auto &f : futures) {
+            auto resp = f.get();
+            if (!resp.ok()) {
+                std::fprintf(stderr, "job failed: %s\n", resp.error.c_str());
+                std::exit(1);
+            }
+        }
+        res.wall_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        res.mean_latency_ms = service.metrics().mean_latency_ms();
+        res.cache_hit_rate = service.cache_stats().hit_rate();
+        res.trace = service.trace();
+    }
+    res.proofs_per_s = 1000.0 * double(frames.size()) / res.wall_ms;
+    return res;
+}
+
+}  // namespace
+
+int
+main()
+{
+    size_t cores = std::max(1u, std::thread::hardware_concurrency());
+    bench::title("Batch proving service throughput");
+    std::printf("host: %zu hardware thread(s); kernel budget fixed at "
+                "%zu across all runs\n", cores, cores);
+
+    // --- Sweep 1: worker count at a fixed batch --------------------------
+    const size_t kBatch = 8, kDistinct = 2, kMu = 5;
+    auto frames = make_batch(kBatch, kDistinct, kMu);
+
+    bench::Table t({{"Workers", 9}, {"Batch", 7}, {"Wall (ms)", 11},
+                    {"Proofs/s", 10}, {"Speedup", 9}, {"Latency (ms)", 14},
+                    {"Cache hit", 10}});
+    double base_pps = 0;
+    RunResult last;
+    for (size_t workers : {size_t(1), size_t(2), size_t(4)}) {
+        auto res = run_batch(frames, workers, cores);
+        if (workers == 1) base_pps = res.proofs_per_s;
+        t.row({bench::fmt_int(workers), bench::fmt_int(kBatch),
+               bench::fmt(res.wall_ms, 1), bench::fmt(res.proofs_per_s, 1),
+               bench::fmt(res.proofs_per_s / base_pps, 2) + "x",
+               bench::fmt(res.mean_latency_ms, 1),
+               bench::fmt(100.0 * res.cache_hit_rate, 0) + "%"});
+        last = std::move(res);
+    }
+
+    // --- Sweep 2: batch size at 4 workers --------------------------------
+    bench::title("Batch size scaling (4 workers)");
+    bench::Table t2({{"Batch", 7}, {"Wall (ms)", 11}, {"Proofs/s", 10},
+                     {"Latency (ms)", 14}, {"Cache hit", 10}});
+    for (size_t batch : {size_t(4), size_t(8), size_t(16)}) {
+        auto res = run_batch(make_batch(batch, kDistinct, kMu), 4, cores);
+        t2.row({bench::fmt_int(batch), bench::fmt(res.wall_ms, 1),
+                bench::fmt(res.proofs_per_s, 1),
+                bench::fmt(res.mean_latency_ms, 1),
+                bench::fmt(100.0 * res.cache_hit_rate, 0) + "%"});
+    }
+
+    // --- Replay the 4-worker trace on the paper's accelerator ------------
+    bench::title("Same stream on zkSpeed (sim replay)");
+    auto report =
+        sim::replay_trace(last.trace, sim::DesignConfig::paper_default());
+    bench::Table t3({{"Prover", 22}, {"Busy (ms)", 12}, {"Proofs/s", 12}});
+    t3.row({"software (4 workers)", bench::fmt(report.sw_total_ms, 1),
+            bench::fmt(report.sw_jobs_per_s, 1)});
+    t3.row({"zkSpeed (366 mm^2)", bench::fmt(report.chip_total_ms, 3),
+            bench::fmt(report.chip_jobs_per_s, 1)});
+    std::printf("accelerator speedup on this stream: %.0fx\n",
+                report.speedup);
+    return 0;
+}

@@ -46,9 +46,9 @@ main()
                     {"Input (MB)", 12}, {"Output (MB)", 13},
                     {"Modmul/byte", 13}, {"Time (ms)", 11}});
     // Sort by arithmetic intensity, as the paper does.
+    auto kernels = Profiler::instance().kernels();
     std::vector<std::pair<std::string, KernelProfile>> rows(
-        Profiler::instance().kernels().begin(),
-        Profiler::instance().kernels().end());
+        kernels.begin(), kernels.end());
     std::sort(rows.begin(), rows.end(), [](auto &a, auto &b) {
         return a.second.arithmetic_intensity() >
                b.second.arithmetic_intensity();

@@ -29,16 +29,42 @@ parallel_threads()
 }
 
 /**
+ * Thread-local worker budget; 0 defers to the global parallel_threads().
+ *
+ * A runtime worker proving one job while other workers prove theirs sets
+ * a budget on its own thread (see WorkerBudgetScope) so the kernels it
+ * calls fan out to its share of the cores only. Being thread-local, the
+ * budget needs no synchronisation and cannot race the way mutating the
+ * global from concurrent proofs would.
+ */
+inline size_t &
+worker_budget()
+{
+    thread_local size_t n = 0;
+    return n;
+}
+
+/** Worker count after applying the calling thread's budget override. */
+inline size_t
+effective_parallelism()
+{
+    size_t budget = worker_budget();
+    return budget != 0 ? budget : parallel_threads();
+}
+
+/**
  * Run fn(begin, end) over a partition of [0, n). Falls back to a
  * single inline call when the range is small or workers are disabled.
  *
  * @param min_chunk smallest range worth a thread.
+ * @param workers explicit worker budget for this call; 0 uses the
+ *        calling thread's budget, falling back to the global count.
  */
 inline void
 parallel_for(size_t n, const std::function<void(size_t, size_t)> &fn,
-             size_t min_chunk = 4096)
+             size_t min_chunk = 4096, size_t workers = 0)
 {
-    size_t workers = parallel_threads();
+    if (workers == 0) workers = effective_parallelism();
     if (workers <= 1 || n <= min_chunk) {
         fn(0, n);
         return;
@@ -53,6 +79,10 @@ parallel_for(size_t n, const std::function<void(size_t, size_t)> &fn,
         size_t end = std::min(n, begin + per);
         if (begin >= end) break;
         threads.emplace_back([&, begin, end] {
+            // Kernels never nest parallel_for today, but if one ever
+            // does, its inner loops must run inline rather than fork a
+            // second level of threads.
+            worker_budget() = 1;
             ModmulScope scope;
             fn(begin, end);
             migrated_fr += scope.fr_delta();
@@ -74,6 +104,29 @@ class ParallelismGuard
         parallel_threads() = n;
     }
     ~ParallelismGuard() { parallel_threads() = saved_; }
+
+  private:
+    size_t saved_;
+};
+
+/**
+ * RAII override of the *calling thread's* worker budget. Unlike
+ * ParallelismGuard this touches no shared state, so concurrent proofs
+ * on different threads can carve up the machine without racing: a pool
+ * of W runtime workers on C cores gives each worker a budget of about
+ * C / W and the per-proof kernels stay within it.
+ */
+class WorkerBudgetScope
+{
+  public:
+    explicit WorkerBudgetScope(size_t n) : saved_(worker_budget())
+    {
+        worker_budget() = n;
+    }
+    ~WorkerBudgetScope() { worker_budget() = saved_; }
+
+    WorkerBudgetScope(const WorkerBudgetScope &) = delete;
+    WorkerBudgetScope &operator=(const WorkerBudgetScope &) = delete;
 
   private:
     size_t saved_;

@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "ff/counters.hpp"
@@ -46,12 +47,18 @@ class Profiler
         return p;
     }
 
-    void reset() { kernels_.clear(); }
+    void
+    reset()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        kernels_.clear();
+    }
 
     void
     record(const std::string &name, uint64_t modmuls, uint64_t bytes_in,
            uint64_t bytes_out, double seconds)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         auto &k = kernels_[name];
         k.modmuls += modmuls;
         k.bytes_in += bytes_in;
@@ -60,13 +67,16 @@ class Profiler
         ++k.calls;
     }
 
-    const std::map<std::string, KernelProfile> &
+    /** Snapshot of the registry (concurrent provers keep recording). */
+    std::map<std::string, KernelProfile>
     kernels() const
     {
+        std::lock_guard<std::mutex> lock(mu_);
         return kernels_;
     }
 
   private:
+    mutable std::mutex mu_;
     std::map<std::string, KernelProfile> kernels_;
 };
 

@@ -1,173 +1,16 @@
 #include "hyperplonk/serialize.hpp"
 
-#include <cstring>
+#include "hyperplonk/serde_bytes.hpp"
 
 namespace zkspeed::hyperplonk::serde {
 
 namespace {
 
-using curve::G1Affine;
 using ff::Fq;
 using ff::Fr;
 
-class ByteWriter
-{
-  public:
-    std::vector<uint8_t> buf;
-
-    void
-    u8(uint8_t v)
-    {
-        buf.push_back(v);
-    }
-
-    void
-    u64(uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i) buf.push_back(uint8_t(v >> (8 * i)));
-    }
-
-    void
-    fr(const Fr &x)
-    {
-        size_t off = buf.size();
-        buf.resize(off + Fr::kByteSize);
-        x.to_bytes(buf.data() + off);
-    }
-
-    void
-    fq(const Fq &x)
-    {
-        size_t off = buf.size();
-        buf.resize(off + Fq::kByteSize);
-        x.to_bytes(buf.data() + off);
-    }
-
-    void
-    g1(const G1Affine &p)
-    {
-        u8(p.infinity ? 1 : 0);
-        fq(p.infinity ? Fq::zero() : p.x);
-        fq(p.infinity ? Fq::zero() : p.y);
-    }
-
-    void
-    frs(std::span<const Fr> xs)
-    {
-        u64(xs.size());
-        for (const auto &x : xs) fr(x);
-    }
-};
-
-class ByteReader
-{
-  public:
-    explicit ByteReader(std::span<const uint8_t> bytes) : data_(bytes) {}
-
-    bool failed() const { return failed_; }
-    bool fully_consumed() const { return !failed_ && pos_ == data_.size(); }
-
-    uint8_t
-    u8()
-    {
-        if (pos_ + 1 > data_.size()) {
-            failed_ = true;
-            return 0;
-        }
-        return data_[pos_++];
-    }
-
-    uint64_t
-    u64()
-    {
-        if (pos_ + 8 > data_.size()) {
-            failed_ = true;
-            return 0;
-        }
-        uint64_t v = 0;
-        for (int i = 0; i < 8; ++i) {
-            v |= uint64_t(data_[pos_ + i]) << (8 * i);
-        }
-        pos_ += 8;
-        return v;
-    }
-
-    /** Strict field decode: value must be canonical (< modulus). */
-    template <typename F>
-    F
-    field()
-    {
-        if (pos_ + F::kByteSize > data_.size()) {
-            failed_ = true;
-            return F::zero();
-        }
-        typename F::Repr r;
-        for (size_t i = 0; i < F::kLimbs; ++i) {
-            uint64_t limb = 0;
-            for (size_t b = 0; b < 8; ++b) {
-                limb |= uint64_t(data_[pos_ + i * 8 + b]) << (8 * b);
-            }
-            r.limbs[i] = limb;
-        }
-        pos_ += F::kByteSize;
-        if (!(r < F::kModulus)) {
-            failed_ = true;
-            return F::zero();
-        }
-        return F::from_repr(r);
-    }
-
-    Fr fr() { return field<Fr>(); }
-
-    /** Strict point decode: must be on the curve. */
-    G1Affine
-    g1()
-    {
-        uint8_t inf = u8();
-        Fq x = field<Fq>();
-        Fq y = field<Fq>();
-        if (failed_) return G1Affine::identity();
-        if (inf == 1) {
-            if (!x.is_zero() || !y.is_zero()) failed_ = true;
-            return G1Affine::identity();
-        }
-        if (inf != 0) {
-            failed_ = true;
-            return G1Affine::identity();
-        }
-        G1Affine p(x, y);
-        if (!p.is_on_curve()) {
-            failed_ = true;
-            return G1Affine::identity();
-        }
-        return p;
-    }
-
-    std::vector<Fr>
-    frs(uint64_t max_len)
-    {
-        uint64_t n = u64();
-        if (n > max_len) {
-            failed_ = true;
-            return {};
-        }
-        std::vector<Fr> out;
-        out.reserve(n);
-        for (uint64_t i = 0; i < n && !failed_; ++i) out.push_back(fr());
-        return out;
-    }
-
-  private:
-    std::span<const uint8_t> data_;
-    size_t pos_ = 0;
-    bool failed_ = false;
-};
-
 constexpr uint64_t kProofMagic = 0x7a6b737065656401ULL;  // "zkspeed",1
 constexpr uint64_t kVkMagic = 0x7a6b737065656402ULL;
-/** Upper bound on accepted round counts / degrees (DoS hygiene). */
-constexpr uint64_t kMaxVars = 40;
-constexpr uint64_t kMaxDegree = 16;
 
 void
 write_sumcheck(ByteWriter &w, const SumcheckProof &sc)

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Job and response types for the batch proving service.
+ *
+ * A JobRequest carries everything needed to prove one statement: the
+ * preprocessed circuit and a claimed witness. The service answers with
+ * a JobResponse holding either canonical proof bytes (the exact
+ * serialize_proof encoding, ready to post) or a status describing why
+ * the job was rejected — malformed requests become error responses,
+ * never worker crashes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hyperplonk/circuit.hpp"
+
+namespace zkspeed::runtime {
+
+/** One proving request, decoded from the wire. */
+struct JobRequest {
+    /** Caller-chosen correlation id, echoed in the response. */
+    uint64_t request_id = 0;
+    hyperplonk::CircuitIndex circuit;
+    hyperplonk::Witness witness;
+};
+
+/** Why a job succeeded or failed. */
+enum class JobStatus : uint8_t {
+    ok = 0,
+    /** Request bytes failed strict decoding. */
+    malformed_request = 1,
+    /** Witness does not satisfy the circuit (caught before proving). */
+    unsatisfiable = 2,
+    /** Circuit exceeds the service's configured size cap. */
+    too_large = 3,
+    /** Worker caught an unexpected exception while proving. */
+    internal_error = 4,
+    /** Service shut down before the job ran. */
+    cancelled = 5,
+};
+
+const char *to_string(JobStatus s);
+
+/** Per-job measurements, folded into the service aggregates. */
+struct JobMetrics {
+    double queue_ms = 0;  ///< submit -> worker pickup
+    double prove_ms = 0;  ///< keygen (on cache miss) + prove + encode
+    double total_ms = 0;  ///< submit -> response ready
+    /** Modular multiplications spent by this job (ff counters). */
+    uint64_t modmul_fr = 0;
+    uint64_t modmul_fq = 0;
+    bool key_cache_hit = false;
+    uint32_t worker_id = 0;
+    uint64_t proof_bytes = 0;
+    /** log2 gate count of the proved circuit (0 when rejected early). */
+    uint32_t num_vars = 0;
+};
+
+/** One answered job. */
+struct JobResponse {
+    uint64_t request_id = 0;
+    JobStatus status = JobStatus::internal_error;
+    /** Canonical serialize_proof bytes; empty unless status == ok. */
+    std::vector<uint8_t> proof;
+    /** Human-readable detail for non-ok statuses. */
+    std::string error;
+    JobMetrics metrics;
+
+    bool ok() const { return status == JobStatus::ok; }
+};
+
+/**
+ * One line of the runtime trace: enough of a finished job to replay it
+ * through the zkSpeed chip model (sim/replay.hpp). Witness scalar
+ * statistics are measured on the real witness so the simulated Sparse
+ * MSMs see the job's true zero/one population.
+ */
+struct TraceEntry {
+    uint32_t num_vars = 0;
+    /** Witness scalar population across the three wire MLEs. */
+    uint64_t zero_scalars = 0;
+    uint64_t one_scalars = 0;
+    uint64_t total_scalars = 0;
+    double prove_ms = 0;
+    bool key_cache_hit = false;
+};
+
+}  // namespace zkspeed::runtime

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Proving-key / SRS cache for the batch proving service.
+ *
+ * keygen commits to every selector and sigma table (nine MSMs), which
+ * dwarfs proving time for small circuits, so a service proving the same
+ * circuit shape repeatedly must pay it once. Circuits are identified by
+ * a SHA3-256 hash over their canonical encoding (tables, sizes, flags);
+ * two requests carrying byte-identical circuits share one ProvingKey.
+ *
+ * SRS handling: the service simulates the universal setup locally, one
+ * SRS per variable count, derived from a configured seed so proofs are
+ * reproducible across service instances (and across cache hit / miss
+ * paths). Eviction is LRU over fully-built entries; in-flight keygens
+ * are never evicted and concurrent misses on the same circuit build the
+ * key once while other workers wait on that entry alone (the cache-wide
+ * lock is never held across a keygen).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "hash/keccak.hpp"
+#include "hyperplonk/prover.hpp"
+
+namespace zkspeed::runtime {
+
+/** Canonical SHA3-256 identity of a circuit (selectors + wiring). */
+hash::Digest circuit_fingerprint(const hyperplonk::CircuitIndex &circuit);
+
+struct KeyCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+
+    double
+    hit_rate() const
+    {
+        uint64_t n = hits + misses;
+        return n == 0 ? 0.0 : double(hits) / double(n);
+    }
+};
+
+class KeyCache
+{
+  public:
+    struct Keys {
+        std::shared_ptr<const hyperplonk::ProvingKey> pk;
+        std::shared_ptr<const hyperplonk::VerifyingKey> vk;
+    };
+
+    /**
+     * @param capacity max resident key pairs (>= 1).
+     * @param srs_seed seed for the per-size simulated SRS ceremonies.
+     */
+    explicit KeyCache(size_t capacity, uint64_t srs_seed = 0x7a6b5eedULL);
+
+    /**
+     * Look up the keys for `circuit`, running keygen on a miss. The
+     * bool is true on a cache hit. Thread-safe; concurrent misses on
+     * the same circuit run keygen exactly once.
+     */
+    std::pair<Keys, bool> get_or_create(
+        const hyperplonk::CircuitIndex &circuit);
+
+    /** The (lazily generated) SRS for a given variable count. */
+    std::shared_ptr<const pcs::Srs> srs_for(size_t num_vars);
+
+    KeyCacheStats stats() const;
+    size_t size() const;
+
+  private:
+    struct Entry {
+        std::mutex build_mu;   ///< serialises keygen for this circuit
+        Keys keys;             ///< empty until built
+        /** Atomic: written under build_mu but read under the cache-wide
+         * mu_ (hit accounting, eviction), which is a different lock. */
+        std::atomic<bool> built{false};
+    };
+
+    void touch_locked(const hash::Digest &key);
+    void evict_locked();
+
+    const size_t capacity_;
+    const uint64_t srs_seed_;
+
+    mutable std::mutex mu_;
+    std::map<hash::Digest, std::shared_ptr<Entry>> entries_;
+    /** LRU order, most recent at the front. */
+    std::list<hash::Digest> lru_;
+    std::map<size_t, std::shared_ptr<const pcs::Srs>> srs_by_vars_;
+    KeyCacheStats stats_;
+};
+
+}  // namespace zkspeed::runtime

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Aggregate service metrics: counts, latency distribution summary and
+ * the folded-in ff modmul counters, matching the Table-1 style of
+ * instrumentation so service throughput can sit next to the paper's
+ * kernel characterisation.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "runtime/job.hpp"
+
+namespace zkspeed::runtime {
+
+struct ServiceMetrics {
+    uint64_t jobs_ok = 0;
+    uint64_t jobs_rejected = 0;  ///< malformed / unsatisfiable / too large
+    uint64_t jobs_failed = 0;    ///< internal errors + cancellations
+
+    double total_prove_ms = 0;
+    double total_queue_ms = 0;
+    double min_latency_ms = 0;  ///< over completed ok jobs
+    double max_latency_ms = 0;
+    double sum_latency_ms = 0;
+
+    /** Modmuls across all jobs (ff::modmul_counters deltas, migrated). */
+    uint64_t modmul_fr = 0;
+    uint64_t modmul_fq = 0;
+
+    uint64_t key_cache_hits = 0;
+    uint64_t proof_bytes_total = 0;
+
+    uint64_t jobs_total() const { return jobs_ok + jobs_rejected + jobs_failed; }
+
+    double
+    mean_latency_ms() const
+    {
+        return jobs_ok == 0 ? 0.0 : sum_latency_ms / double(jobs_ok);
+    }
+
+    /** Fold one finished job in (caller holds the service lock). */
+    void
+    add(const JobResponse &resp)
+    {
+        const JobMetrics &m = resp.metrics;
+        switch (resp.status) {
+            case JobStatus::ok: ++jobs_ok; break;
+            case JobStatus::malformed_request:
+            case JobStatus::unsatisfiable:
+            case JobStatus::too_large: ++jobs_rejected; break;
+            case JobStatus::internal_error:
+            case JobStatus::cancelled: ++jobs_failed; break;
+        }
+        total_prove_ms += m.prove_ms;
+        total_queue_ms += m.queue_ms;
+        modmul_fr += m.modmul_fr;
+        modmul_fq += m.modmul_fq;
+        if (m.key_cache_hit) ++key_cache_hits;
+        proof_bytes_total += m.proof_bytes;
+        if (resp.status == JobStatus::ok) {
+            sum_latency_ms += m.total_ms;
+            max_latency_ms = std::max(max_latency_ms, m.total_ms);
+            min_latency_ms = jobs_ok == 1
+                                 ? m.total_ms
+                                 : std::min(min_latency_ms, m.total_ms);
+        }
+    }
+};
+
+}  // namespace zkspeed::runtime

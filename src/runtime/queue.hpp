@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bounded multi-producer / multi-consumer job queue with backpressure.
+ *
+ * Producers block in push() (or get an immediate refusal from
+ * try_push()) once the queue holds `capacity` items, so a flood of
+ * requests throttles the submitters instead of growing an unbounded
+ * backlog of multi-megabyte witnesses. close() wakes everyone: pending
+ * pops drain the remaining items and then return nullopt.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace zkspeed::runtime {
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+    /** Blocks while full. @return false iff the queue was closed. */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_full_.wait(lock,
+                       [&] { return closed_ || items_.size() < capacity_; });
+        if (closed_) return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /** Non-blocking push. @return false when full or closed. */
+    bool
+    try_push(T &item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (closed_ || items_.size() >= capacity_) return false;
+            items_.push_back(std::move(item));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /** Blocks while empty. @return nullopt once closed and drained. */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /** Non-blocking pop (shutdown drains). */
+    std::optional<T>
+    try_pop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /** Wake all waiters; pushes fail from here on, pops drain. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return items_.size();
+    }
+
+    size_t capacity() const { return capacity_; }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable not_full_, not_empty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace zkspeed::runtime

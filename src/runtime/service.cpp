@@ -1,0 +1,239 @@
+#include "runtime/service.hpp"
+
+#include <exception>
+
+#include "ff/parallel.hpp"
+#include "hyperplonk/serialize.hpp"
+
+namespace zkspeed::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+ms_since(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+}  // namespace
+
+ProofService::ProofService(ServiceConfig cfg)
+    : cfg_(cfg),
+      queue_(std::max<size_t>(1, cfg.queue_capacity)),
+      cache_(cfg.key_cache_capacity, cfg.srs_seed)
+{
+    cfg_.num_workers = std::max<size_t>(1, cfg_.num_workers);
+    size_t total = cfg_.total_parallelism != 0
+                       ? cfg_.total_parallelism
+                       : std::max<size_t>(
+                             1, std::thread::hardware_concurrency());
+    per_worker_budget_ = std::max<size_t>(1, total / cfg_.num_workers);
+    if (!cfg_.start_paused) start();
+}
+
+ProofService::~ProofService() { shutdown(); }
+
+void
+ProofService::start()
+{
+    if (started_) return;
+    started_ = true;
+    workers_.reserve(cfg_.num_workers);
+    for (size_t i = 0; i < cfg_.num_workers; ++i) {
+        workers_.emplace_back(
+            [this, i] { worker_loop(uint32_t(i)); });
+    }
+}
+
+std::future<JobResponse>
+ProofService::submit(std::vector<uint8_t> request_bytes)
+{
+    QueuedJob job;
+    job.request = std::move(request_bytes);
+    job.enqueued = Clock::now();
+    auto future = job.promise.get_future();
+    if (!queue_.push(std::move(job))) {
+        // Shutting down: answer directly instead of losing the promise.
+        // (push only fails after close(), which moved nothing.)
+        std::promise<JobResponse> p;
+        future = p.get_future();
+        JobResponse resp;
+        resp.status = JobStatus::cancelled;
+        resp.error = "service is shutting down";
+        {
+            // Same accounting as every other cancellation path.
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            metrics_.add(resp);
+        }
+        p.set_value(std::move(resp));
+    }
+    return future;
+}
+
+std::optional<std::future<JobResponse>>
+ProofService::try_submit(std::vector<uint8_t> request_bytes)
+{
+    QueuedJob job;
+    job.request = std::move(request_bytes);
+    job.enqueued = Clock::now();
+    auto future = job.promise.get_future();
+    if (!queue_.try_push(job)) return std::nullopt;
+    return future;
+}
+
+std::future<JobResponse>
+ProofService::submit(const JobRequest &request)
+{
+    return submit(wire::encode_request(request));
+}
+
+void
+ProofService::shutdown()
+{
+    if (stopped_) return;
+    stopped_ = true;
+    queue_.close();
+    if (!started_) {
+        // Paused service: nobody will drain the queue; cancel directly.
+        while (auto job = queue_.try_pop()) {
+            JobResponse resp;
+            resp.status = JobStatus::cancelled;
+            resp.error = "service shut down before the job ran";
+            finish(*job, std::move(resp));
+        }
+        return;
+    }
+    for (auto &t : workers_) {
+        if (t.joinable()) t.join();
+    }
+}
+
+void
+ProofService::worker_loop(uint32_t worker_id)
+{
+    // The worker's kernels fan out to this thread's budget only; with
+    // W workers on C cores that is ~C/W threads each, so concurrent
+    // proofs never oversubscribe the machine (two-level parallelism).
+    ff::WorkerBudgetScope budget(per_worker_budget_);
+    while (auto job = queue_.pop()) {
+        JobResponse resp;
+        try {
+            resp = process(*job);
+        } catch (const std::exception &e) {
+            resp = JobResponse{};
+            resp.status = JobStatus::internal_error;
+            resp.error = e.what();
+        } catch (...) {
+            resp = JobResponse{};
+            resp.status = JobStatus::internal_error;
+            resp.error = "unknown exception while proving";
+        }
+        resp.metrics.worker_id = worker_id;
+        resp.metrics.queue_ms = resp.metrics.total_ms - resp.metrics.prove_ms;
+        finish(*job, std::move(resp));
+    }
+}
+
+JobResponse
+ProofService::process(QueuedJob &job)
+{
+    JobResponse resp;
+    ff::ModmulScope muls;
+
+    auto decoded = wire::decode_request(job.request);
+    if (!decoded.has_value()) {
+        resp.status = JobStatus::malformed_request;
+        resp.error = "request failed strict decoding";
+        resp.metrics.total_ms = ms_since(job.enqueued);
+        return resp;
+    }
+    JobRequest &req = *decoded;
+    resp.request_id = req.request_id;
+    resp.metrics.num_vars = uint32_t(req.circuit.num_vars);
+
+    if (req.circuit.num_vars > cfg_.max_circuit_vars) {
+        resp.status = JobStatus::too_large;
+        resp.error = "circuit exceeds this instance's size cap";
+        resp.metrics.total_ms = ms_since(job.enqueued);
+        return resp;
+    }
+
+    if (cfg_.check_witness &&
+        (!req.witness.satisfies_gates(req.circuit) ||
+         !req.witness.satisfies_wiring(req.circuit))) {
+        resp.status = JobStatus::unsatisfiable;
+        resp.error = "witness does not satisfy the circuit";
+        resp.metrics.total_ms = ms_since(job.enqueued);
+        return resp;
+    }
+
+    auto prove_start = Clock::now();
+    bool cache_hit = false;
+    try {
+        auto [keys, hit] = cache_.get_or_create(req.circuit);
+        cache_hit = hit;
+        hyperplonk::Proof proof = hyperplonk::prove(*keys.pk, req.witness);
+        resp.proof = hyperplonk::serde::serialize_proof(proof);
+    } catch (const std::exception &e) {
+        // Catch here rather than in worker_loop so the response keeps
+        // the decoded request_id for correlation.
+        resp.status = JobStatus::internal_error;
+        resp.error = e.what();
+        resp.metrics.total_ms = ms_since(job.enqueued);
+        return resp;
+    }
+
+    resp.status = JobStatus::ok;
+    resp.metrics.prove_ms = ms_since(prove_start);
+    resp.metrics.total_ms = ms_since(job.enqueued);
+    resp.metrics.key_cache_hit = cache_hit;
+    resp.metrics.proof_bytes = resp.proof.size();
+    resp.metrics.modmul_fr = muls.fr_delta();
+    resp.metrics.modmul_fq = muls.fq_delta();
+
+    if (cfg_.record_trace) {
+        TraceEntry entry;
+        entry.num_vars = uint32_t(req.circuit.num_vars);
+        entry.prove_ms = resp.metrics.prove_ms;
+        entry.key_cache_hit = cache_hit;
+        for (const auto &w : req.witness.w) {
+            for (size_t i = 0; i < w.size(); ++i) {
+                if (w[i].is_zero()) ++entry.zero_scalars;
+                else if (w[i].is_one()) ++entry.one_scalars;
+                ++entry.total_scalars;
+            }
+        }
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        trace_.push_back(entry);
+    }
+    return resp;
+}
+
+void
+ProofService::finish(QueuedJob &job, JobResponse resp)
+{
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        metrics_.add(resp);
+    }
+    job.promise.set_value(std::move(resp));
+}
+
+ServiceMetrics
+ProofService::metrics() const
+{
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return metrics_;
+}
+
+std::vector<TraceEntry>
+ProofService::trace() const
+{
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return trace_;
+}
+
+}  // namespace zkspeed::runtime

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The batch proving service: a worker pool pulling encoded requests
+ * from a bounded queue and answering with canonical proof bytes.
+ *
+ * Two-level parallelism (see DESIGN.md "Runtime"): the pool schedules
+ * whole proofs across workers, and each worker carves its share of the
+ * machine out of a total core budget via ff::WorkerBudgetScope, so the
+ * per-proof kernels (`ff::parallel_for` inside MSM / sumcheck) never
+ * oversubscribe the host while concurrent proofs run.
+ *
+ * Workers are crash-isolated per job: decode failures, witness
+ * mismatches and unexpected exceptions all turn into error responses;
+ * the worker thread survives and moves to the next job.
+ */
+#pragma once
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "runtime/key_cache.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/queue.hpp"
+#include "runtime/wire.hpp"
+
+namespace zkspeed::runtime {
+
+struct ServiceConfig {
+    /** Proof-level workers. */
+    size_t num_workers = 1;
+    /** Jobs admitted before submitters feel backpressure. */
+    size_t queue_capacity = 64;
+    /**
+     * Total kernel-thread budget split across workers (two-level
+     * parallelism). 0 = one hardware thread per core. Each worker gets
+     * max(1, total / num_workers).
+     */
+    size_t total_parallelism = 0;
+    /** Resident proving keys (LRU beyond this). */
+    size_t key_cache_capacity = 16;
+    /** Largest circuit (log2 gates) this instance accepts. */
+    size_t max_circuit_vars = wire::kMaxRequestVars;
+    /** Seed of the simulated per-size SRS ceremonies. */
+    uint64_t srs_seed = 0x7a6b5eedULL;
+    /** Check the witness satisfies the circuit before proving. */
+    bool check_witness = true;
+    /** Record a TraceEntry per proved job for sim replay. */
+    bool record_trace = true;
+    /**
+     * Create the service with idle workers; call start() to run them.
+     * Lets tests fill the queue deterministically first.
+     */
+    bool start_paused = false;
+};
+
+class ProofService
+{
+  public:
+    explicit ProofService(ServiceConfig cfg);
+    ~ProofService();
+
+    ProofService(const ProofService &) = delete;
+    ProofService &operator=(const ProofService &) = delete;
+
+    /** Launch the worker threads (no-op unless start_paused). */
+    void start();
+
+    /**
+     * Enqueue encoded request bytes; blocks when the queue is full
+     * (backpressure). The future resolves when a worker answers.
+     */
+    std::future<JobResponse> submit(std::vector<uint8_t> request_bytes);
+
+    /**
+     * Non-blocking enqueue. @return empty optional when the queue is
+     * full or the service is shutting down.
+     */
+    std::optional<std::future<JobResponse>> try_submit(
+        std::vector<uint8_t> request_bytes);
+
+    /** Convenience: encode and enqueue a structured request. */
+    std::future<JobResponse> submit(const JobRequest &request);
+
+    /** Stop accepting work, drain the queue, join the workers. */
+    void shutdown();
+
+    ServiceMetrics metrics() const;
+    KeyCacheStats cache_stats() const { return cache_.stats(); }
+    /** Snapshot of the replayable trace (record_trace only). */
+    std::vector<TraceEntry> trace() const;
+    size_t queue_depth() const { return queue_.size(); }
+    const ServiceConfig &config() const { return cfg_; }
+    /** Kernel-thread budget each worker proves under. */
+    size_t worker_budget() const { return per_worker_budget_; }
+
+  private:
+    struct QueuedJob {
+        std::vector<uint8_t> request;
+        std::promise<JobResponse> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void worker_loop(uint32_t worker_id);
+    JobResponse process(QueuedJob &job);
+    void finish(QueuedJob &job, JobResponse resp);
+
+    ServiceConfig cfg_;
+    size_t per_worker_budget_ = 1;
+    BoundedQueue<QueuedJob> queue_;
+    KeyCache cache_;
+    std::vector<std::thread> workers_;
+    bool started_ = false;
+    bool stopped_ = false;
+
+    mutable std::mutex stats_mu_;
+    ServiceMetrics metrics_;
+    std::vector<TraceEntry> trace_;
+};
+
+}  // namespace zkspeed::runtime

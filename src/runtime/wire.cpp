@@ -1,0 +1,216 @@
+#include "runtime/wire.hpp"
+
+#include "hyperplonk/serde_bytes.hpp"
+
+namespace zkspeed::runtime {
+
+const char *
+to_string(JobStatus s)
+{
+    switch (s) {
+        case JobStatus::ok: return "ok";
+        case JobStatus::malformed_request: return "malformed_request";
+        case JobStatus::unsatisfiable: return "unsatisfiable";
+        case JobStatus::too_large: return "too_large";
+        case JobStatus::internal_error: return "internal_error";
+        case JobStatus::cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+namespace wire {
+
+namespace {
+
+using hyperplonk::serde::ByteReader;
+using hyperplonk::serde::ByteWriter;
+using mle::Mle;
+
+constexpr uint64_t kRequestMagic = 0x7a6b737065656410ULL;   // "zkspeed",16
+constexpr uint64_t kResponseMagic = 0x7a6b737065656411ULL;  // "zkspeed",17
+constexpr uint8_t kMaxStatus = uint8_t(JobStatus::cancelled);
+
+/** Raw (unprefixed) MLE table: the length is implied by num_vars. */
+void
+write_table(ByteWriter &w, const Mle &t)
+{
+    for (size_t i = 0; i < t.size(); ++i) w.fr(t[i]);
+}
+
+Mle
+read_table(ByteReader &r, size_t num_vars)
+{
+    std::vector<ff::Fr> evals(size_t(1) << num_vars);
+    for (auto &e : evals) e = r.fr();
+    return Mle::from_evals(std::move(evals));
+}
+
+/** True iff x is a small integer < bound (all high limbs zero). */
+bool
+fits_below(const ff::Fr &x, uint64_t bound)
+{
+    auto repr = x.to_repr();
+    for (size_t i = 1; i < ff::Fr::kLimbs; ++i) {
+        if (repr.limbs[i] != 0) return false;
+    }
+    return repr.limbs[0] < bound;
+}
+
+}  // namespace
+
+std::vector<uint8_t>
+encode_request(const JobRequest &req)
+{
+    ByteWriter w;
+    w.u64(kRequestMagic);
+    w.u64(req.request_id);
+    w.u64(req.circuit.num_vars);
+    w.u64(req.circuit.num_public);
+    w.u8(req.circuit.custom_gates ? 1 : 0);
+    for (const Mle *t : {&req.circuit.q_l, &req.circuit.q_r,
+                         &req.circuit.q_m, &req.circuit.q_o,
+                         &req.circuit.q_c, &req.circuit.q_h}) {
+        write_table(w, *t);
+    }
+    for (const auto &s : req.circuit.sigma) write_table(w, s);
+    for (const auto &wi : req.witness.w) write_table(w, wi);
+    return std::move(w.buf);
+}
+
+std::optional<JobRequest>
+decode_request(std::span<const uint8_t> bytes)
+{
+    ByteReader r(bytes);
+    if (r.u64() != kRequestMagic) return std::nullopt;
+    JobRequest req;
+    req.request_id = r.u64();
+    uint64_t num_vars = r.u64();
+    uint64_t num_public = r.u64();
+    uint8_t custom = r.u8();
+    if (r.failed() || num_vars < 1 || num_vars > kMaxRequestVars ||
+        custom > 1 || num_public > (uint64_t(1) << num_vars)) {
+        return std::nullopt;
+    }
+    // Size the frame before allocating: 12 tables of 2^mu elements
+    // follow the 33-byte header. Without this, a 33-byte frame claiming
+    // num_vars=20 would make us allocate ~400 MB of tables just to
+    // discover the bytes aren't there.
+    uint64_t expected = 33 + 12 * (uint64_t(1) << num_vars) *
+                                 uint64_t(ff::Fr::kByteSize);
+    if (bytes.size() != expected) return std::nullopt;
+    req.circuit.num_vars = num_vars;
+    req.circuit.num_public = num_public;
+    req.circuit.custom_gates = custom == 1;
+    for (Mle *t : {&req.circuit.q_l, &req.circuit.q_r, &req.circuit.q_m,
+                   &req.circuit.q_o, &req.circuit.q_c, &req.circuit.q_h}) {
+        *t = read_table(r, num_vars);
+    }
+    for (auto &s : req.circuit.sigma) s = read_table(r, num_vars);
+    for (auto &wi : req.witness.w) wi = read_table(r, num_vars);
+    if (!r.fully_consumed()) return std::nullopt;
+    // Shape consistency: the custom-gates flag decides the proof layout
+    // (23 vs 22 batch claims), so a clear q_H selector must not claim it.
+    if (!req.circuit.custom_gates) {
+        for (size_t i = 0; i < req.circuit.q_h.size(); ++i) {
+            if (!req.circuit.q_h[i].is_zero()) return std::nullopt;
+        }
+    }
+    // Sigma entries are wire-slot indices and get used as array indices
+    // (Witness::satisfies_wiring); an out-of-range value would read out
+    // of bounds, so reject it here.
+    uint64_t slot_bound = 3 * (uint64_t(1) << num_vars);
+    for (const auto &s : req.circuit.sigma) {
+        for (size_t i = 0; i < s.size(); ++i) {
+            if (!fits_below(s[i], slot_bound)) return std::nullopt;
+        }
+    }
+    return req;
+}
+
+std::vector<uint8_t>
+encode_response(const JobResponse &resp)
+{
+    ByteWriter w;
+    w.u64(kResponseMagic);
+    w.u64(resp.request_id);
+    w.u8(uint8_t(resp.status));
+    std::span<const uint8_t> err(
+        reinterpret_cast<const uint8_t *>(resp.error.data()),
+        std::min<size_t>(resp.error.size(), kMaxErrorBytes));
+    w.bytes(err);
+    w.bytes(resp.proof);
+    const JobMetrics &m = resp.metrics;
+    w.u64(uint64_t(m.queue_ms * 1000.0));
+    w.u64(uint64_t(m.prove_ms * 1000.0));
+    w.u64(uint64_t(m.total_ms * 1000.0));
+    w.u64(m.modmul_fr);
+    w.u64(m.modmul_fq);
+    w.u8(m.key_cache_hit ? 1 : 0);
+    w.u64(m.worker_id);
+    w.u64(m.proof_bytes);
+    w.u64(m.num_vars);
+    return std::move(w.buf);
+}
+
+std::optional<JobResponse>
+decode_response(std::span<const uint8_t> bytes)
+{
+    ByteReader r(bytes);
+    if (r.u64() != kResponseMagic) return std::nullopt;
+    JobResponse resp;
+    resp.request_id = r.u64();
+    uint8_t status = r.u8();
+    if (r.failed() || status > kMaxStatus) return std::nullopt;
+    resp.status = JobStatus(status);
+    auto err = r.bytes(kMaxErrorBytes);
+    resp.error.assign(err.begin(), err.end());
+    resp.proof = r.bytes(kMaxProofBytes);
+    JobMetrics &m = resp.metrics;
+    m.queue_ms = double(r.u64()) / 1000.0;
+    m.prove_ms = double(r.u64()) / 1000.0;
+    m.total_ms = double(r.u64()) / 1000.0;
+    m.modmul_fr = r.u64();
+    m.modmul_fq = r.u64();
+    uint8_t hit = r.u8();
+    m.key_cache_hit = hit == 1;
+    m.worker_id = uint32_t(r.u64());
+    m.proof_bytes = r.u64();
+    m.num_vars = uint32_t(r.u64());
+    if (!r.fully_consumed() || hit > 1) return std::nullopt;
+    if (resp.status == JobStatus::ok && resp.proof.empty()) {
+        return std::nullopt;
+    }
+    return resp;
+}
+
+void
+append_frame(std::vector<uint8_t> &stream, std::span<const uint8_t> frame)
+{
+    uint64_t n = frame.size();
+    for (int i = 0; i < 8; ++i) stream.push_back(uint8_t(n >> (8 * i)));
+    stream.insert(stream.end(), frame.begin(), frame.end());
+}
+
+std::optional<std::vector<std::vector<uint8_t>>>
+split_frames(std::span<const uint8_t> stream, uint64_t max_frame_bytes)
+{
+    std::vector<std::vector<uint8_t>> frames;
+    size_t pos = 0;
+    while (pos < stream.size()) {
+        if (pos + 8 > stream.size()) return std::nullopt;
+        uint64_t n = 0;
+        for (int i = 0; i < 8; ++i) {
+            n |= uint64_t(stream[pos + i]) << (8 * i);
+        }
+        pos += 8;
+        if (n > max_frame_bytes || n > stream.size() - pos) {
+            return std::nullopt;
+        }
+        frames.emplace_back(stream.begin() + pos, stream.begin() + pos + n);
+        pos += n;
+    }
+    return frames;
+}
+
+}  // namespace wire
+}  // namespace zkspeed::runtime

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Wire protocol for the batch proving service.
+ *
+ * Requests and responses reuse the strict serde byte codecs of
+ * hyperplonk/serde_bytes.hpp: fixed-width little-endian integers,
+ * canonical field elements (rejected when >= the modulus) and full
+ * consumption checks, so a malformed frame decodes to nullopt instead
+ * of a half-initialised job. See DESIGN.md "Runtime wire format" for
+ * the byte layout.
+ *
+ * Frames are self-delimiting given their length; streams carry them
+ * length-prefixed (u64 little-endian) — see read_frame/write_frame.
+ */
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "runtime/job.hpp"
+
+namespace zkspeed::runtime::wire {
+
+/** Largest circuit a request may carry (2^20 gates ~ 400 MB decoded). */
+constexpr uint64_t kMaxRequestVars = 20;
+/** Cap on response error-string length. */
+constexpr uint64_t kMaxErrorBytes = 1024;
+/** Cap on embedded proof blobs (generous: proofs are ~5 KB). */
+constexpr uint64_t kMaxProofBytes = 1 << 20;
+
+/** Encode a proving request. */
+std::vector<uint8_t> encode_request(const JobRequest &req);
+
+/** Decode and validate a request. @return nullopt on any malformation. */
+std::optional<JobRequest> decode_request(std::span<const uint8_t> bytes);
+
+/** Encode a response. */
+std::vector<uint8_t> encode_response(const JobResponse &resp);
+
+/** Decode and validate a response. */
+std::optional<JobResponse> decode_response(std::span<const uint8_t> bytes);
+
+/** Append one length-prefixed frame to a byte stream. */
+void append_frame(std::vector<uint8_t> &stream,
+                  std::span<const uint8_t> frame);
+
+/**
+ * Split a byte stream into length-prefixed frames. Returns nullopt if
+ * the stream is truncated or a frame exceeds max_frame_bytes.
+ */
+std::optional<std::vector<std::vector<uint8_t>>> split_frames(
+    std::span<const uint8_t> stream, uint64_t max_frame_bytes = 1ull << 32);
+
+}  // namespace zkspeed::runtime::wire

@@ -1,0 +1,52 @@
+#include "sim/replay.hpp"
+
+#include <map>
+#include <tuple>
+
+#include "sim/chip.hpp"
+
+namespace zkspeed::sim {
+
+ReplayReport
+replay_trace(const std::vector<runtime::TraceEntry> &trace,
+             const DesignConfig &design)
+{
+    ReplayReport report;
+    Chip chip(design);
+    // Jobs with identical size and scalar statistics have identical
+    // simulated latency; memoise so a cache-friendly job stream (many
+    // repeats of few circuits) replays in O(distinct jobs).
+    std::map<std::tuple<uint32_t, uint64_t, uint64_t, uint64_t>, double>
+        memo;
+    for (const auto &entry : trace) {
+        auto key = std::make_tuple(entry.num_vars, entry.zero_scalars,
+                                   entry.one_scalars, entry.total_scalars);
+        auto it = memo.find(key);
+        if (it == memo.end()) {
+            Workload wl = Workload::from_stats(
+                "replay", entry.num_vars, entry.zero_scalars,
+                entry.one_scalars,
+                std::max<uint64_t>(1, entry.total_scalars));
+            it = memo.emplace(key, chip.run(wl).runtime_ms).first;
+        }
+        ReplayedJob job;
+        job.mu = entry.num_vars;
+        job.sw_ms = entry.prove_ms;
+        job.chip_ms = it->second;
+        report.sw_total_ms += job.sw_ms;
+        report.chip_total_ms += job.chip_ms;
+        report.jobs.push_back(job);
+    }
+    if (report.sw_total_ms > 0) {
+        report.sw_jobs_per_s =
+            1000.0 * double(report.jobs.size()) / report.sw_total_ms;
+    }
+    if (report.chip_total_ms > 0) {
+        report.chip_jobs_per_s =
+            1000.0 * double(report.jobs.size()) / report.chip_total_ms;
+        report.speedup = report.sw_total_ms / report.chip_total_ms;
+    }
+    return report;
+}
+
+}  // namespace zkspeed::sim

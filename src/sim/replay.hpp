@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Replay a proving-service trace through the zkSpeed chip model.
+ *
+ * The runtime records, per proved job, its circuit size, measured
+ * witness scalar statistics and software prove time (runtime::TraceEntry).
+ * Replaying converts each entry into a calibrated sim::Workload (the
+ * Sparse MSMs see the job's real zero/one population) and runs it on a
+ * chip design, yielding the accelerator-side latency of the identical
+ * job stream. Comparing aggregate throughput answers the serving
+ * question the paper's Table 3 answers per proof: how many zkSpeed
+ * chips would this software deployment replace?
+ */
+#pragma once
+
+#include <vector>
+
+#include "runtime/job.hpp"
+#include "sim/config.hpp"
+
+namespace zkspeed::sim {
+
+/** One replayed job. */
+struct ReplayedJob {
+    size_t mu = 0;
+    double sw_ms = 0;    ///< measured software prove time
+    double chip_ms = 0;  ///< simulated zkSpeed latency
+};
+
+struct ReplayReport {
+    std::vector<ReplayedJob> jobs;
+
+    double sw_total_ms = 0;    ///< software busy time (sum of proves)
+    double chip_total_ms = 0;  ///< chip busy time, jobs run back-to-back
+    /** Throughput assuming each side runs its jobs back-to-back. */
+    double sw_jobs_per_s = 0;
+    double chip_jobs_per_s = 0;
+    /** chip throughput / software throughput on this exact stream. */
+    double speedup = 0;
+};
+
+/**
+ * Run every trace entry through a chip of the given design. Distinct
+ * (mu, stats) jobs are simulated individually; the chip processes the
+ * stream serially (the paper's chip proves one statement at a time).
+ */
+ReplayReport replay_trace(const std::vector<runtime::TraceEntry> &trace,
+                          const DesignConfig &design);
+
+}  // namespace zkspeed::sim
