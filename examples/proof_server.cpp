@@ -1,8 +1,9 @@
 /**
  * @file
  * Proof server driver: feed a stream of length-prefixed, wire-encoded
- * proving requests through the batch proving service and print the
- * responses, aggregate metrics and the accelerator replay.
+ * proving requests through the batch proving service, then round-trip
+ * the returned proofs as VERIFY jobs through the same worker pool, and
+ * print the responses, per-class metrics and the accelerator replay.
  *
  * Usage:
  *   proof_server [requests.bin|-] [num_workers]
@@ -13,6 +14,11 @@
  * (exercising the key cache) plus deliberately malformed frames
  * (exercising the reject-don't-crash path). Every frame — valid or not
  * — gets exactly one response on the output stream.
+ *
+ * The round-trip stage asserts the protocol end to end: every proof the
+ * service produced must verify (batched, one folded pairing check), and
+ * one deliberately corrupted proof must be rejected — isolated by the
+ * batch verifier's bisection, without dragging honest proofs down.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +26,7 @@
 #include <string_view>
 
 #include "hyperplonk/gadgets.hpp"
+#include "hyperplonk/serialize.hpp"
 #include "runtime/service.hpp"
 #include "sim/replay.hpp"
 
@@ -126,10 +133,13 @@ main(int argc, char **argv)
     std::vector<std::future<JobResponse>> futures;
     futures.reserve(frames->size());
     for (auto &frame : *frames) {
-        futures.push_back(service.submit(std::move(frame)));
+        // Copy: the frames are re-decoded below to rebuild client-side
+        // verifying keys for the VERIFY round-trip.
+        futures.push_back(service.submit(frame));
     }
 
     std::vector<uint8_t> response_stream;
+    std::vector<JobResponse> prove_responses;
     size_t ok = 0;
     for (auto &f : futures) {
         JobResponse resp = f.get();
@@ -143,16 +153,91 @@ main(int argc, char **argv)
                     resp.ok() ? "" : (" — " + resp.error).c_str());
         wire::append_frame(response_stream, wire::encode_response(resp));
         if (resp.ok()) ++ok;
+        prove_responses.push_back(std::move(resp));
     }
+
+    // ------------------------------------------------------------------
+    // Round-trip: feed every proof back as a VERIFY job, plus one
+    // deliberately corrupted copy that must be rejected via bisection.
+    // The client rebuilds each vk from the request's circuit (the vk is
+    // deterministic given the circuit and the service's SRS seed).
+    // ------------------------------------------------------------------
+    KeyCache client_keys(8, cfg.srs_seed);
+    std::vector<std::future<JobResponse>> verify_futures;
+    uint64_t corrupted_id = 0;
+    size_t expected_ok = 0;
+    for (size_t i = 0; i < frames->size(); ++i) {
+        const JobResponse &resp = prove_responses[i];
+        if (!resp.ok()) continue;
+        auto req = wire::decode_request((*frames)[i]);
+        if (!req.has_value()) continue;
+        auto keys = client_keys.get_or_create(req->circuit).first;
+        VerifyRequest vreq;
+        vreq.request_id = 1000 + resp.request_id;
+        vreq.vk = hyperplonk::serde::serialize_verifying_key(*keys.vk);
+        vreq.public_inputs = req->witness.public_inputs(req->circuit);
+        vreq.proof = resp.proof;
+        verify_futures.push_back(
+            service.submit(wire::encode_verify_request(vreq)));
+        ++expected_ok;
+        auto proof = hyperplonk::serde::deserialize_proof(resp.proof);
+        if (corrupted_id == 0 && proof.has_value() &&
+            !proof->gprime_proof.quotients.empty()) {
+            // One tampered copy: still decodes (the point stays on the
+            // curve) but the folded pairing check must reject it.
+            auto &q = proof->gprime_proof.quotients[0];
+            q = (curve::G1::from_affine(q) + curve::g1_generator())
+                    .to_affine();
+            vreq.request_id = corrupted_id = 2000 + resp.request_id;
+            vreq.proof = hyperplonk::serde::serialize_proof(*proof);
+            verify_futures.push_back(
+                service.submit(wire::encode_verify_request(vreq)));
+        }
+    }
+
+    std::printf("\nround-trip: %zu VERIFY job(s) (incl. 1 corrupted)\n",
+                verify_futures.size());
+    size_t verified_ok = 0;
+    bool corrupted_rejected = false;
+    for (auto &f : verify_futures) {
+        JobResponse resp = f.get();
+        std::printf("  request %-4llu %-14s batch=%-2u  %7.2f ms%s\n",
+                    (unsigned long long)resp.request_id,
+                    to_string(resp.status), resp.metrics.batch_size,
+                    resp.metrics.total_ms,
+                    resp.ok() ? "" : (" — " + resp.error).c_str());
+        wire::append_frame(response_stream, wire::encode_response(resp));
+        if (resp.ok()) ++verified_ok;
+        if (resp.request_id == corrupted_id &&
+            resp.status == JobStatus::invalid_proof) {
+            corrupted_rejected = true;
+        }
+    }
+    bool round_trip_ok =
+        verified_ok == expected_ok && corrupted_rejected;
+    std::printf("  => %zu/%zu accepted, corrupted proof %s\n",
+                verified_ok, expected_ok,
+                corrupted_rejected ? "rejected (bisection)"
+                                   : "NOT rejected");
 
     auto m = service.metrics();
     auto cache = service.cache_stats();
     std::printf("\naggregate: %llu ok, %llu rejected, %llu failed\n",
-                (unsigned long long)m.jobs_ok,
-                (unsigned long long)m.jobs_rejected,
-                (unsigned long long)m.jobs_failed);
-    std::printf("  latency  mean %.2f ms, min %.2f ms, max %.2f ms\n",
-                m.mean_latency_ms(), m.min_latency_ms, m.max_latency_ms);
+                (unsigned long long)m.jobs_ok(),
+                (unsigned long long)m.jobs_rejected(),
+                (unsigned long long)m.jobs_failed());
+    std::printf("  prove   %llu ok, mean %.2f ms\n",
+                (unsigned long long)m.prove_class.jobs_ok,
+                m.prove_class.mean_latency_ms());
+    std::printf("  verify  %llu ok, %llu rejected, mean %.2f ms "
+                "(%llu batch(es), %.1f proofs/batch, "
+                "%llu bisection probe(s))\n",
+                (unsigned long long)m.verify_class.jobs_ok,
+                (unsigned long long)m.verify_class.jobs_rejected,
+                m.verify_class.mean_latency_ms(),
+                (unsigned long long)m.verify_batches.batches,
+                m.verify_batches.mean_batch_size(),
+                (unsigned long long)m.verify_batches.bisection_steps);
     std::printf("  modmuls  %.1f M Fr, %.1f M Fq\n",
                 double(m.modmul_fr) / 1e6, double(m.modmul_fq) / 1e6);
     std::printf("  key cache: %llu hits / %llu misses (%.0f%% hit rate)\n",
@@ -160,21 +245,30 @@ main(int argc, char **argv)
                 (unsigned long long)cache.misses,
                 100.0 * cache.hit_rate());
     std::printf("  response stream: %zu bytes for %zu responses\n",
-                response_stream.size(), futures.size());
+                response_stream.size(),
+                futures.size() + verify_futures.size());
 
     // What would the paper's accelerator do with this exact job stream?
+    service.shutdown();  // flush any parked verify window into the trace
     auto trace = service.trace();
     if (!trace.empty()) {
         auto report =
             sim::replay_trace(trace, sim::DesignConfig::paper_default());
-        std::printf("\nzkSpeed replay (366 mm^2 design, same %zu jobs):\n",
-                    report.jobs.size());
-        std::printf("  software  %8.2f ms busy  -> %7.1f proofs/s\n",
+        std::printf("\nzkSpeed replay (366 mm^2 design, %zu prove job(s) "
+                    "+ %zu verify flush(es)):\n",
+                    report.prove_jobs, report.verify_flushes);
+        std::printf("  software  %8.2f ms busy  -> %7.1f units/s\n",
                     report.sw_total_ms, report.sw_jobs_per_s);
-        std::printf("  zkSpeed   %8.2f ms busy  -> %7.1f proofs/s "
+        std::printf("  zkSpeed   %8.2f ms busy  -> %7.1f units/s "
                     "(%.0fx)\n",
                     report.chip_total_ms, report.chip_jobs_per_s,
                     report.speedup);
+        if (report.verify_flushes > 0) {
+            std::printf("  verify    %8.2f ms sw vs %.2f ms chip for "
+                        "%llu proof(s) checked\n",
+                        report.sw_verify_ms, report.chip_verify_ms,
+                        (unsigned long long)report.proofs_verified);
+        }
     }
-    return ok > 0 ? 0 : 1;
+    return ok > 0 && round_trip_ok ? 0 : 1;
 }

@@ -97,14 +97,36 @@ hard_part_exponent()
 
 }  // namespace
 
+G2Prepared
+prepare_g2(const G2Affine &q)
+{
+    G2Prepared prep;
+    if (q.is_identity()) return prep;
+    prep.infinity = false;
+    G2Proj r{q.x, q.y, Fq2::one()};
+    BigInt<1> x(kAbsX);
+    // One doubling per bit plus one addition per set bit.
+    prep.coeffs.reserve(x.num_bits() + 9);
+    for (size_t bit = x.num_bits() - 1; bit-- > 0;) {
+        LineEval d = doubling_step(r);
+        prep.coeffs.push_back({d.c0, d.c1, d.c4});
+        if (x.bit(bit)) {
+            LineEval a = addition_step(r, q);
+            prep.coeffs.push_back({a.c0, a.c1, a.c4});
+        }
+    }
+    return prep;
+}
+
 Fq12
-multi_miller_loop(std::span<const G1Affine> ps, std::span<const G2Affine> qs)
+multi_miller_loop_prepared(std::span<const G1Affine> ps,
+                           std::span<const G2Prepared> qs)
 {
     // Collect the non-trivial pairs (identity in either slot contributes 1).
     std::vector<const G1Affine *> p_live;
-    std::vector<const G2Affine *> q_live;
+    std::vector<const G2Prepared *> q_live;
     for (size_t i = 0; i < ps.size(); ++i) {
-        if (!ps[i].is_identity() && !qs[i].is_identity()) {
+        if (!ps[i].is_identity() && !qs[i].infinity) {
             p_live.push_back(&ps[i]);
             q_live.push_back(&qs[i]);
         }
@@ -112,19 +134,18 @@ multi_miller_loop(std::span<const G1Affine> ps, std::span<const G2Affine> qs)
     Fq12 f = Fq12::one();
     if (p_live.empty()) return f;
 
-    std::vector<G2Proj> r(q_live.size());
-    for (size_t i = 0; i < q_live.size(); ++i) {
-        r[i] = {q_live[i]->x, q_live[i]->y, Fq2::one()};
-    }
+    std::vector<size_t> pos(q_live.size(), 0);
     BigInt<1> x(kAbsX);
     for (size_t bit = x.num_bits() - 1; bit-- > 0;) {
         f = f.square();
-        for (size_t i = 0; i < r.size(); ++i) {
-            ell(f, doubling_step(r[i]), *p_live[i]);
+        for (size_t i = 0; i < q_live.size(); ++i) {
+            const auto &c = q_live[i]->coeffs[pos[i]++];
+            ell(f, {c.c0, c.c1, c.c4}, *p_live[i]);
         }
         if (x.bit(bit)) {
-            for (size_t i = 0; i < r.size(); ++i) {
-                ell(f, addition_step(r[i], *q_live[i]), *p_live[i]);
+            for (size_t i = 0; i < q_live.size(); ++i) {
+                const auto &c = q_live[i]->coeffs[pos[i]++];
+                ell(f, {c.c0, c.c1, c.c4}, *p_live[i]);
             }
         }
     }
@@ -133,6 +154,18 @@ multi_miller_loop(std::span<const G1Affine> ps, std::span<const G2Affine> qs)
     // end of the loop equals conjugate in GT; pre-final-exp we must
     // conjugate f, which corresponds to the standard implementation).
     return f.conjugate();
+}
+
+Fq12
+multi_miller_loop(std::span<const G1Affine> ps, std::span<const G2Affine> qs)
+{
+    // Prepare-and-consume: the G2-only line computation runs once per
+    // point, the shared f accumulation consumes the coefficients in the
+    // identical order, so the result matches the fused loop exactly.
+    std::vector<G2Prepared> preps;
+    preps.reserve(qs.size());
+    for (const auto &q : qs) preps.push_back(prepare_g2(q));
+    return multi_miller_loop_prepared(ps, preps);
 }
 
 Fq12
@@ -163,6 +196,14 @@ pairing_product_is_one(std::span<const G1Affine> ps,
                        std::span<const G2Affine> qs)
 {
     return final_exponentiation(multi_miller_loop(ps, qs)).is_one();
+}
+
+bool
+pairing_product_is_one_prepared(std::span<const G1Affine> ps,
+                                std::span<const G2Prepared> qs)
+{
+    return final_exponentiation(multi_miller_loop_prepared(ps, qs))
+        .is_one();
 }
 
 }  // namespace zkspeed::curve

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "curve/fq12.hpp"
 #include "curve/g1.hpp"
@@ -32,6 +33,36 @@ Fq12 miller_loop(const G1Affine &p, const G2Affine &q);
 /** Product of Miller loops (shares one final exponentiation). */
 Fq12 multi_miller_loop(std::span<const G1Affine> ps,
                        std::span<const G2Affine> qs);
+
+/**
+ * Precomputed Miller-loop line coefficients for a fixed G2 point.
+ *
+ * The doubling/addition steps of the loop depend only on the G2 input;
+ * the G1 point enters through the (cheap) line evaluation. Preparing a
+ * G2 point once therefore removes all G2 arithmetic from subsequent
+ * pairings against it — the fast path for verifiers whose G2 side is a
+ * fixed SRS basis, and for the batch verifier's bisection, which
+ * re-pairs the same G2 points on every probe.
+ */
+struct G2Prepared {
+    /** (c0, c1, c4) triples feeding Fq12::mul_by_014, in loop order. */
+    struct Coeffs {
+        Fq2 c0, c1, c4;
+    };
+    std::vector<Coeffs> coeffs;
+    bool infinity = true;
+};
+
+/** Run the G2-only half of the Miller loop once. */
+G2Prepared prepare_g2(const G2Affine &q);
+
+/** Multi-Miller loop consuming precomputed G2 line coefficients. */
+Fq12 multi_miller_loop_prepared(std::span<const G1Affine> ps,
+                                std::span<const G2Prepared> qs);
+
+/** Product pairing check against prepared G2 points. */
+bool pairing_product_is_one_prepared(std::span<const G1Affine> ps,
+                                     std::span<const G2Prepared> qs);
 
 /** Final exponentiation to the r-th-power residue group. */
 Fq12 final_exponentiation(const Fq12 &f);

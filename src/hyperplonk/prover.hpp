@@ -108,4 +108,19 @@ enum class PcsCheckMode {
 bool verify(const VerifyingKey &vk, std::span<const Fr> public_inputs,
             const Proof &proof, PcsCheckMode mode = PcsCheckMode::ideal);
 
+/**
+ * Deferred verification for batching: run every algebraic check
+ * (transcript, sumchecks, claimed-evaluation consistency, public
+ * inputs) inline, but push the final PCS pairing check into `acc`
+ * instead of evaluating it.
+ *
+ * @return false when an algebraic check fails (nothing is accumulated
+ *   in that case); true means the proof is valid iff the accumulator's
+ *   eventual flush accepts. See verifier::BatchVerifier for the folded
+ *   multi-proof flush.
+ */
+bool verify_deferred(const VerifyingKey &vk,
+                     std::span<const Fr> public_inputs, const Proof &proof,
+                     zkspeed::verifier::PairingAccumulator &acc);
+
 }  // namespace zkspeed::hyperplonk

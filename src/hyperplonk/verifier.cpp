@@ -20,11 +20,15 @@ public_input_mle(std::span<const Fr> publics, size_t num_public)
     return m;
 }
 
-}  // namespace
-
+/**
+ * Shared verification body. With `acc` set the PCS check is deferred
+ * into the accumulator (mode is ignored); with `acc` null the check
+ * runs inline in the requested mode.
+ */
 bool
-verify(const VerifyingKey &vk, std::span<const Fr> public_inputs,
-       const Proof &proof, PcsCheckMode mode)
+verify_impl(const VerifyingKey &vk, std::span<const Fr> public_inputs,
+            const Proof &proof, PcsCheckMode mode,
+            zkspeed::verifier::PairingAccumulator *acc)
 {
     const size_t mu = vk.num_vars;
     const size_t n = size_t(1) << mu;
@@ -122,17 +126,14 @@ verify(const VerifyingKey &vk, std::span<const Fr> public_inputs,
     for (size_t c = 0; c < claims.size(); ++c) {
         coeff[claims[c].poly] += pw[c] * k_vals[claims[c].point];
     }
-    const G1Affine *comms[kNumPolys] = {
-        &vk.selector_comms[0], &vk.selector_comms[1], &vk.selector_comms[2],
-        &vk.selector_comms[3], &vk.selector_comms[4], &vk.selector_comms[5],
-        &proof.witness_comms[0], &proof.witness_comms[1],
-        &proof.witness_comms[2],
-        &vk.sigma_comms[0], &vk.sigma_comms[1], &vk.sigma_comms[2],
-        &proof.phi_comm, &proof.pi_comm};
-    curve::G1 c_gprime = curve::G1::identity();
-    for (size_t p = 0; p < kNumPolys; ++p) {
-        c_gprime += curve::G1::from_affine(*comms[p]).mul(coeff[p]);
-    }
+    const std::array<G1Affine, kNumPolys> comms = {
+        vk.selector_comms[0], vk.selector_comms[1], vk.selector_comms[2],
+        vk.selector_comms[3], vk.selector_comms[4], vk.selector_comms[5],
+        proof.witness_comms[0], proof.witness_comms[1],
+        proof.witness_comms[2],
+        vk.sigma_comms[0], vk.sigma_comms[1], vk.sigma_comms[2],
+        proof.phi_comm, proof.pi_comm};
+    curve::G1 c_gprime = curve::msm(comms, coeff);
 
     tr.append_fr("gprime_value", proof.gprime_value);
     for (const auto &q : proof.gprime_proof.quotients) {
@@ -140,6 +141,10 @@ verify(const VerifyingKey &vk, std::span<const Fr> public_inputs,
     }
 
     G1Affine c_aff = c_gprime.to_affine();
+    if (acc != nullptr) {
+        return pcs::accumulate(*vk.srs, c_aff, r_o, proof.gprime_value,
+                               proof.gprime_proof, *acc);
+    }
     if (mode == PcsCheckMode::ideal) {
         assert(!vk.srs->trapdoor.empty() &&
                "ideal mode requires a test-mode SRS");
@@ -149,6 +154,23 @@ verify(const VerifyingKey &vk, std::span<const Fr> public_inputs,
     return pcs::verify(*vk.srs, c_aff, r_o, proof.gprime_value,
                        proof.gprime_proof);
     (void)n;
+}
+
+}  // namespace
+
+bool
+verify(const VerifyingKey &vk, std::span<const Fr> public_inputs,
+       const Proof &proof, PcsCheckMode mode)
+{
+    return verify_impl(vk, public_inputs, proof, mode, nullptr);
+}
+
+bool
+verify_deferred(const VerifyingKey &vk, std::span<const Fr> public_inputs,
+                const Proof &proof, zkspeed::verifier::PairingAccumulator &acc)
+{
+    return verify_impl(vk, public_inputs, proof, PcsCheckMode::pairing,
+                       &acc);
 }
 
 }  // namespace zkspeed::hyperplonk

@@ -85,30 +85,39 @@ open(const Srs &srs, const Mle &poly, std::span<const Fr> point)
 }
 
 bool
-verify(const Srs &srs, const G1Affine &comm, std::span<const Fr> point,
-       const Fr &value, const OpeningProof &proof)
+accumulate(const Srs &srs, const G1Affine &comm, std::span<const Fr> point,
+           const Fr &value, const OpeningProof &proof,
+           zkspeed::verifier::PairingAccumulator &acc)
 {
     const size_t mu = point.size();
     if (proof.quotients.size() != mu) return false;
-    // Product form: e(C - v g, -h) * prod_k e(Pi_k, h^{tau_k} - z_k h) = 1.
-    std::vector<G1Affine> ps;
-    std::vector<G2Affine> qs;
-    ps.reserve(mu + 1);
-    qs.reserve(mu + 1);
-    G1 c_minus_v =
-        G1::from_affine(comm) + curve::g1_generator().mul(value).neg();
-    ps.push_back(c_minus_v.to_affine());
-    qs.push_back(srs.h.neg());
+    if (srs.num_vars < mu) return false;
+    // Product form  e(C - v g, -h) * prod_k e(Pi_k, h^{tau_k} - z_k h) = 1
+    // decomposed onto the fixed basis {h, h^{tau_k}}:
+    //   slot h:        -(C - v g) - sum_k z_k Pi_k
+    //   slot h^{tau_k}: Pi_k
+    const Fr minus_one = -Fr::one();
+    acc.add_term(minus_one, comm, srs.h);
+    acc.add_term(value, srs.g, srs.h);
     // Polynomials smaller than the SRS are committed against the suffix
     // taus, so the matching tau_h entries start at this offset.
     const size_t off = srs.num_vars - mu;
     for (size_t k = 0; k < mu; ++k) {
-        ps.push_back(proof.quotients[k]);
-        G2 t = G2::from_affine(srs.tau_h[off + k]) +
-               curve::g2_generator().mul(point[k]).neg();
-        qs.push_back(t.to_affine());
+        acc.add_term(-point[k], proof.quotients[k], srs.h);
+        acc.add_pair(proof.quotients[k], srs.tau_h[off + k]);
     }
-    return curve::pairing_product_is_one(ps, qs);
+    return true;
+}
+
+bool
+verify(const Srs &srs, const G1Affine &comm, std::span<const Fr> point,
+       const Fr &value, const OpeningProof &proof)
+{
+    // Accumulate then flush: same equation, but the h-slot terms merge
+    // into one small G1 MSM and no G2 scalar muls are performed.
+    zkspeed::verifier::PairingAccumulator acc;
+    if (!accumulate(srs, comm, point, value, proof, acc)) return false;
+    return acc.check();
 }
 
 bool

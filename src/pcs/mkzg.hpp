@@ -28,6 +28,7 @@
 #include "curve/msm.hpp"
 #include "curve/pairing.hpp"
 #include "mle/mle.hpp"
+#include "verify/accumulator.hpp"
 
 namespace zkspeed::pcs {
 
@@ -82,9 +83,29 @@ G1Affine commit_sparse(const Srs &srs, const Mle &poly,
 std::pair<OpeningProof, Fr> open(const Srs &srs, const Mle &poly,
                                  std::span<const Fr> point);
 
-/** Pairing-based verification of an opening. */
+/**
+ * Pairing-based verification of an opening: accumulate then flush
+ * (one G1 MSM per distinct G2 point, one product-of-pairings check).
+ */
 bool verify(const Srs &srs, const G1Affine &comm, std::span<const Fr> point,
             const Fr &value, const OpeningProof &proof);
+
+/**
+ * Deferred verification: push the pairing terms this opening would
+ * check into `acc` instead of pairing inline. The terms are decomposed
+ * onto the SRS's fixed G2 basis {h, h^{tau_k}} —
+ *   e(Pi_k, h^{tau_k - z_k}) = e(Pi_k, h^{tau_k}) * e(-z_k Pi_k, h)
+ * — so no G2 scalar multiplication is ever performed, and openings
+ * against the same SRS share their pairing slots when batch-flushed.
+ *
+ * @return false when the proof shape is wrong (nothing accumulated);
+ *   true means "accumulated" — the opening is valid iff the flush
+ *   accepts.
+ */
+bool accumulate(const Srs &srs, const G1Affine &comm,
+                std::span<const Fr> point, const Fr &value,
+                const OpeningProof &proof,
+                zkspeed::verifier::PairingAccumulator &acc);
 
 /**
  * Trapdoor ("ideal") verification: same equation checked in G1 using the

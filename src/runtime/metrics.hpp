@@ -14,23 +14,15 @@
 
 namespace zkspeed::runtime {
 
-struct ServiceMetrics {
+/** Latency/count aggregates for one job class (prove or verify). */
+struct ClassMetrics {
     uint64_t jobs_ok = 0;
     uint64_t jobs_rejected = 0;  ///< malformed / unsatisfiable / too large
     uint64_t jobs_failed = 0;    ///< internal errors + cancellations
 
-    double total_prove_ms = 0;
-    double total_queue_ms = 0;
     double min_latency_ms = 0;  ///< over completed ok jobs
     double max_latency_ms = 0;
     double sum_latency_ms = 0;
-
-    /** Modmuls across all jobs (ff::modmul_counters deltas, migrated). */
-    uint64_t modmul_fr = 0;
-    uint64_t modmul_fq = 0;
-
-    uint64_t key_cache_hits = 0;
-    uint64_t proof_bytes_total = 0;
 
     uint64_t jobs_total() const { return jobs_ok + jobs_rejected + jobs_failed; }
 
@@ -40,32 +32,127 @@ struct ServiceMetrics {
         return jobs_ok == 0 ? 0.0 : sum_latency_ms / double(jobs_ok);
     }
 
+    void
+    add(JobStatus status, double total_ms)
+    {
+        switch (status) {
+            case JobStatus::ok: ++jobs_ok; break;
+            case JobStatus::malformed_request:
+            case JobStatus::unsatisfiable:
+            case JobStatus::too_large:
+            case JobStatus::invalid_proof: ++jobs_rejected; break;
+            case JobStatus::internal_error:
+            case JobStatus::cancelled: ++jobs_failed; break;
+        }
+        if (status == JobStatus::ok) {
+            sum_latency_ms += total_ms;
+            max_latency_ms = std::max(max_latency_ms, total_ms);
+            min_latency_ms = jobs_ok == 1
+                                 ? total_ms
+                                 : std::min(min_latency_ms, total_ms);
+        }
+    }
+};
+
+/** Aggregates for the verify class's batch-window behaviour. */
+struct VerifyBatchMetrics {
+    uint64_t batches = 0;
+    uint64_t flushed_on_size = 0;
+    uint64_t flushed_on_timeout = 0;   ///< includes shutdown drains
+    uint64_t proofs_accepted = 0;
+    uint64_t proofs_rejected = 0;      ///< invalid_proof verdicts
+    uint64_t pairing_checks = 0;       ///< incl. bisection probes
+    uint64_t bisection_steps = 0;
+    uint64_t msm_points = 0;           ///< folded RLC MSM points, summed
+    double total_flush_ms = 0;
+
+    double
+    mean_batch_size() const
+    {
+        uint64_t n = proofs_accepted + proofs_rejected;
+        return batches == 0 ? 0.0 : double(n) / double(batches);
+    }
+};
+
+struct ServiceMetrics {
+    /** Per-class breakdowns (VERIFY jobs land in `verify_class`). */
+    ClassMetrics prove_class;
+    ClassMetrics verify_class;
+    VerifyBatchMetrics verify_batches;
+
+    double total_prove_ms = 0;
+    double total_queue_ms = 0;
+
+    /** Modmuls across all jobs (ff::modmul_counters deltas, migrated). */
+    uint64_t modmul_fr = 0;
+    uint64_t modmul_fq = 0;
+
+    uint64_t key_cache_hits = 0;
+    uint64_t proof_bytes_total = 0;
+
+    // Cross-class views, derived so they cannot drift from the
+    // per-class accumulation.
+    uint64_t
+    jobs_ok() const
+    {
+        return prove_class.jobs_ok + verify_class.jobs_ok;
+    }
+    uint64_t
+    jobs_rejected() const
+    {
+        return prove_class.jobs_rejected + verify_class.jobs_rejected;
+    }
+    uint64_t
+    jobs_failed() const
+    {
+        return prove_class.jobs_failed + verify_class.jobs_failed;
+    }
+    uint64_t
+    jobs_total() const
+    {
+        return prove_class.jobs_total() + verify_class.jobs_total();
+    }
+
+    double
+    mean_latency_ms() const
+    {
+        uint64_t ok = jobs_ok();
+        return ok == 0 ? 0.0
+                       : (prove_class.sum_latency_ms +
+                          verify_class.sum_latency_ms) /
+                             double(ok);
+    }
+
+    double
+    min_latency_ms() const
+    {
+        if (prove_class.jobs_ok == 0) return verify_class.min_latency_ms;
+        if (verify_class.jobs_ok == 0) return prove_class.min_latency_ms;
+        return std::min(prove_class.min_latency_ms,
+                        verify_class.min_latency_ms);
+    }
+
+    double
+    max_latency_ms() const
+    {
+        return std::max(prove_class.max_latency_ms,
+                        verify_class.max_latency_ms);
+    }
+
     /** Fold one finished job in (caller holds the service lock). */
     void
     add(const JobResponse &resp)
     {
         const JobMetrics &m = resp.metrics;
-        switch (resp.status) {
-            case JobStatus::ok: ++jobs_ok; break;
-            case JobStatus::malformed_request:
-            case JobStatus::unsatisfiable:
-            case JobStatus::too_large: ++jobs_rejected; break;
-            case JobStatus::internal_error:
-            case JobStatus::cancelled: ++jobs_failed; break;
-        }
+        ClassMetrics &cls = resp.kind == JobKind::verify ? verify_class
+                                                         : prove_class;
+        cls.add(resp.status, m.total_ms);
         total_prove_ms += m.prove_ms;
         total_queue_ms += m.queue_ms;
         modmul_fr += m.modmul_fr;
         modmul_fq += m.modmul_fq;
         if (m.key_cache_hit) ++key_cache_hits;
         proof_bytes_total += m.proof_bytes;
-        if (resp.status == JobStatus::ok) {
-            sum_latency_ms += m.total_ms;
-            max_latency_ms = std::max(max_latency_ms, m.total_ms);
-            min_latency_ms = jobs_ok == 1
-                                 ? m.total_ms
-                                 : std::min(min_latency_ms, m.total_ms);
-        }
     }
 };
 

@@ -26,6 +26,7 @@ ProofService::ProofService(ServiceConfig cfg)
       cache_(cfg.key_cache_capacity, cfg.srs_seed)
 {
     cfg_.num_workers = std::max<size_t>(1, cfg_.num_workers);
+    cfg_.verify_batch_size = std::max<size_t>(1, cfg_.verify_batch_size);
     size_t total = cfg_.total_parallelism != 0
                        ? cfg_.total_parallelism
                        : std::max<size_t>(
@@ -46,21 +47,27 @@ ProofService::start()
         workers_.emplace_back(
             [this, i] { worker_loop(uint32_t(i)); });
     }
+    flusher_ = std::thread([this] { flusher_loop(); });
 }
 
 std::future<JobResponse>
 ProofService::submit(std::vector<uint8_t> request_bytes)
 {
+    // Classify before the push: push takes the job by value, so the
+    // request bytes are gone (moved) whether or not it succeeds.
+    JobKind kind =
+        wire::classify_request(request_bytes).value_or(JobKind::prove);
     QueuedJob job;
     job.request = std::move(request_bytes);
     job.enqueued = Clock::now();
     auto future = job.promise.get_future();
     if (!queue_.push(std::move(job))) {
-        // Shutting down: answer directly instead of losing the promise.
-        // (push only fails after close(), which moved nothing.)
+        // Shutting down (push only fails after close()): answer
+        // directly instead of losing the promise.
         std::promise<JobResponse> p;
         future = p.get_future();
         JobResponse resp;
+        resp.kind = kind;
         resp.status = JobStatus::cancelled;
         resp.error = "service is shutting down";
         {
@@ -100,6 +107,8 @@ ProofService::shutdown()
         // Paused service: nobody will drain the queue; cancel directly.
         while (auto job = queue_.try_pop()) {
             JobResponse resp;
+            resp.kind = wire::classify_request(job->request)
+                            .value_or(JobKind::prove);
             resp.status = JobStatus::cancelled;
             resp.error = "service shut down before the job ran";
             finish(*job, std::move(resp));
@@ -109,6 +118,14 @@ ProofService::shutdown()
     for (auto &t : workers_) {
         if (t.joinable()) t.join();
     }
+    // Workers are gone, so no new verify jobs can be parked; tell the
+    // flusher to drain whatever is left in the window and exit.
+    {
+        std::lock_guard<std::mutex> lock(window_mu_);
+        draining_ = true;
+    }
+    window_cv_.notify_all();
+    if (flusher_.joinable()) flusher_.join();
 }
 
 void
@@ -119,26 +136,61 @@ ProofService::worker_loop(uint32_t worker_id)
     // proofs never oversubscribe the machine (two-level parallelism).
     ff::WorkerBudgetScope budget(per_worker_budget_);
     while (auto job = queue_.pop()) {
-        JobResponse resp;
-        try {
-            resp = process(*job);
-        } catch (const std::exception &e) {
-            resp = JobResponse{};
-            resp.status = JobStatus::internal_error;
-            resp.error = e.what();
-        } catch (...) {
-            resp = JobResponse{};
-            resp.status = JobStatus::internal_error;
-            resp.error = "unknown exception while proving";
-        }
-        resp.metrics.worker_id = worker_id;
-        resp.metrics.queue_ms = resp.metrics.total_ms - resp.metrics.prove_ms;
-        finish(*job, std::move(resp));
+        handle(std::move(*job), worker_id);
     }
 }
 
+void
+ProofService::handle(QueuedJob &&job, uint32_t worker_id)
+{
+    auto kind = wire::classify_request(job.request);
+    if (kind == JobKind::verify) {
+        JobResponse resp;
+        resp.kind = JobKind::verify;
+        std::optional<PendingVerify> parked;
+        try {
+            parked = process_verify(job, resp);
+        } catch (const std::exception &e) {
+            parked.reset();
+            resp.status = JobStatus::internal_error;
+            resp.error = e.what();
+        } catch (...) {
+            parked.reset();
+            resp.status = JobStatus::internal_error;
+            resp.error = "unknown exception while verifying";
+        }
+        if (parked.has_value()) {
+            parked->metrics.worker_id = worker_id;
+            park_verify(std::move(*parked));
+            return;
+        }
+        resp.metrics.worker_id = worker_id;
+        resp.metrics.total_ms = ms_since(job.enqueued);
+        finish(job, std::move(resp));
+        return;
+    }
+    // PROVE, or an unknown magic (which fails strict decoding below and
+    // is answered malformed_request — bad job kinds never kill workers).
+    JobResponse resp;
+    try {
+        resp = process_prove(job);
+    } catch (const std::exception &e) {
+        resp = JobResponse{};
+        resp.status = JobStatus::internal_error;
+        resp.error = e.what();
+    } catch (...) {
+        resp = JobResponse{};
+        resp.status = JobStatus::internal_error;
+        resp.error = "unknown exception while proving";
+    }
+    resp.kind = JobKind::prove;
+    resp.metrics.worker_id = worker_id;
+    resp.metrics.queue_ms = resp.metrics.total_ms - resp.metrics.prove_ms;
+    finish(job, std::move(resp));
+}
+
 JobResponse
-ProofService::process(QueuedJob &job)
+ProofService::process_prove(QueuedJob &job)
 {
     JobResponse resp;
     ff::ModmulScope muls;
@@ -178,7 +230,7 @@ ProofService::process(QueuedJob &job)
         hyperplonk::Proof proof = hyperplonk::prove(*keys.pk, req.witness);
         resp.proof = hyperplonk::serde::serialize_proof(proof);
     } catch (const std::exception &e) {
-        // Catch here rather than in worker_loop so the response keeps
+        // Catch here rather than in handle() so the response keeps
         // the decoded request_id for correlation.
         resp.status = JobStatus::internal_error;
         resp.error = e.what();
@@ -196,6 +248,7 @@ ProofService::process(QueuedJob &job)
 
     if (cfg_.record_trace) {
         TraceEntry entry;
+        entry.kind = JobKind::prove;
         entry.num_vars = uint32_t(req.circuit.num_vars);
         entry.prove_ms = resp.metrics.prove_ms;
         entry.key_cache_hit = cache_hit;
@@ -212,14 +265,223 @@ ProofService::process(QueuedJob &job)
     return resp;
 }
 
+std::optional<ProofService::PendingVerify>
+ProofService::process_verify(QueuedJob &job, JobResponse &resp)
+{
+    ff::ModmulScope muls;
+
+    auto decoded = wire::decode_verify_request(job.request);
+    if (!decoded.has_value()) {
+        resp.status = JobStatus::malformed_request;
+        resp.error = "verify request failed strict decoding";
+        return std::nullopt;
+    }
+    VerifyRequest &req = *decoded;
+    resp.request_id = req.request_id;
+
+    auto vk = hyperplonk::serde::deserialize_verifying_key(req.vk);
+    if (!vk.has_value()) {
+        resp.status = JobStatus::malformed_request;
+        resp.error = "verifying key failed strict decoding";
+        return std::nullopt;
+    }
+    resp.metrics.num_vars = uint32_t(vk->num_vars);
+    if (vk->num_vars > cfg_.max_circuit_vars) {
+        resp.status = JobStatus::too_large;
+        resp.error = "verifying key exceeds this instance's size cap";
+        return std::nullopt;
+    }
+
+    auto proof = hyperplonk::serde::deserialize_proof(req.proof);
+    if (!proof.has_value()) {
+        resp.status = JobStatus::malformed_request;
+        resp.error = "proof failed strict decoding";
+        return std::nullopt;
+    }
+
+    // Algebraic stage (transcript, sumchecks, claimed evaluations) runs
+    // inline on this worker; only the pairing check is deferred.
+    auto alg_start = Clock::now();
+    verifier::PairingAccumulator acc;
+    bool algebraic_ok =
+        hyperplonk::verify_deferred(*vk, req.public_inputs, *proof, acc);
+    double alg_ms = ms_since(alg_start);
+    if (!algebraic_ok) {
+        resp.status = JobStatus::invalid_proof;
+        resp.error = "algebraic verification checks failed";
+        resp.metrics.prove_ms = alg_ms;
+        resp.metrics.modmul_fr = muls.fr_delta();
+        resp.metrics.modmul_fq = muls.fq_delta();
+        return std::nullopt;
+    }
+
+    PendingVerify pending;
+    pending.request_id = req.request_id;
+    pending.promise = std::move(job.promise);
+    pending.acc = std::move(acc);
+    pending.enqueued = job.enqueued;
+    pending.metrics.num_vars = uint32_t(vk->num_vars);
+    pending.metrics.prove_ms = alg_ms;
+    pending.metrics.modmul_fr = muls.fr_delta();
+    pending.metrics.modmul_fq = muls.fq_delta();
+    return pending;
+}
+
+void
+ProofService::park_verify(PendingVerify pending)
+{
+    std::vector<PendingVerify> batch;
+    {
+        std::lock_guard<std::mutex> lock(window_mu_);
+        if (window_.empty()) window_opened_ = Clock::now();
+        window_.push_back(std::move(pending));
+        if (window_.size() >= cfg_.verify_batch_size) {
+            batch.swap(window_);
+        }
+    }
+    if (!batch.empty()) {
+        flush_verify_batch(std::move(batch), /*timed_out=*/false);
+    } else {
+        // Wake the flusher so it arms the window deadline.
+        window_cv_.notify_one();
+    }
+}
+
+void
+ProofService::flusher_loop()
+{
+    std::unique_lock<std::mutex> lock(window_mu_);
+    for (;;) {
+        if (window_.empty()) {
+            if (draining_) return;
+            window_cv_.wait(lock, [this] {
+                return draining_ || !window_.empty();
+            });
+            continue;
+        }
+        auto deadline =
+            window_opened_ +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    cfg_.verify_batch_window_ms));
+        if (!draining_ && Clock::now() < deadline) {
+            window_cv_.wait_until(lock, deadline);
+            continue;  // re-evaluate: batch may have been size-flushed
+        }
+        std::vector<PendingVerify> batch;
+        batch.swap(window_);
+        lock.unlock();
+        flush_verify_batch(std::move(batch), /*timed_out=*/true);
+        lock.lock();
+    }
+}
+
+void
+ProofService::flush_verify_batch(std::vector<PendingVerify> batch,
+                                 bool timed_out)
+{
+    if (batch.empty()) return;
+    auto flush_start = Clock::now();
+    std::optional<verifier::BatchResult> result;
+    std::string flush_error;
+    try {
+        verifier::BatchVerifier bv;
+        for (auto &p : batch) bv.add(std::move(p.acc));
+        result = bv.flush();
+    } catch (const std::exception &e) {
+        flush_error = e.what();
+    } catch (...) {
+        flush_error = "unknown exception while flushing verify batch";
+    }
+    if (!result.has_value()) {
+        // Flush blew up (e.g. allocation failure): every parked job
+        // still gets a response — the flush runs on worker and flusher
+        // threads, where an escaped exception would kill the process.
+        for (auto &p : batch) {
+            JobResponse resp;
+            resp.kind = JobKind::verify;
+            resp.request_id = p.request_id;
+            resp.metrics = p.metrics;
+            resp.metrics.batch_size = uint32_t(batch.size());
+            resp.metrics.total_ms = ms_since(p.enqueued);
+            resp.status = JobStatus::internal_error;
+            resp.error = flush_error;
+            finish_response(p.promise, std::move(resp));
+        }
+        return;
+    }
+    double flush_ms = ms_since(flush_start);
+
+    uint32_t max_vars = 0;
+    size_t accepted = 0;
+    for (const auto &p : batch) {
+        max_vars = std::max(max_vars, p.metrics.num_vars);
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+        if (result->verdicts[i]) ++accepted;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        auto &vb = metrics_.verify_batches;
+        ++vb.batches;
+        if (timed_out) ++vb.flushed_on_timeout;
+        else ++vb.flushed_on_size;
+        vb.proofs_accepted += accepted;
+        vb.proofs_rejected += batch.size() - accepted;
+        vb.pairing_checks += result->stats.pairing_checks;
+        vb.bisection_steps += result->stats.bisection_steps;
+        vb.msm_points += result->stats.msm_points;
+        vb.total_flush_ms += flush_ms;
+        if (cfg_.record_trace) {
+            TraceEntry entry;
+            entry.kind = JobKind::verify;
+            entry.num_vars = max_vars;
+            entry.batch_size = uint32_t(batch.size());
+            entry.msm_points = result->stats.msm_points;
+            entry.num_pairings = uint32_t(result->stats.num_pairings);
+            entry.verify_ms = flush_ms;
+            entry.pairing_ms = result->stats.pairing_ms;
+            trace_.push_back(entry);
+        }
+    }
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+        JobResponse resp;
+        resp.kind = JobKind::verify;
+        resp.request_id = batch[i].request_id;
+        resp.metrics = batch[i].metrics;
+        resp.metrics.verify_ms = flush_ms;
+        resp.metrics.batch_size = uint32_t(batch.size());
+        resp.metrics.total_ms = ms_since(batch[i].enqueued);
+        resp.metrics.queue_ms = std::max(
+            0.0, resp.metrics.total_ms - resp.metrics.prove_ms - flush_ms);
+        if (result->verdicts[i]) {
+            resp.status = JobStatus::ok;
+        } else {
+            resp.status = JobStatus::invalid_proof;
+            resp.error = "batch pairing check rejected this proof "
+                         "(isolated by bisection)";
+        }
+        finish_response(batch[i].promise, std::move(resp));
+    }
+}
+
 void
 ProofService::finish(QueuedJob &job, JobResponse resp)
+{
+    finish_response(job.promise, std::move(resp));
+}
+
+void
+ProofService::finish_response(std::promise<JobResponse> &promise,
+                              JobResponse resp)
 {
     {
         std::lock_guard<std::mutex> lock(stats_mu_);
         metrics_.add(resp);
     }
-    job.promise.set_value(std::move(resp));
+    promise.set_value(std::move(resp));
 }
 
 ServiceMetrics

@@ -1,7 +1,7 @@
 /**
  * @file
- * The batch proving service: a worker pool pulling encoded requests
- * from a bounded queue and answering with canonical proof bytes.
+ * The batch proving/verification service: a worker pool pulling encoded
+ * requests from a bounded queue and serving mixed PROVE/VERIFY traffic.
  *
  * Two-level parallelism (see DESIGN.md "Runtime"): the pool schedules
  * whole proofs across workers, and each worker carves its share of the
@@ -9,12 +9,21 @@
  * per-proof kernels (`ff::parallel_for` inside MSM / sumcheck) never
  * oversubscribe the host while concurrent proofs run.
  *
+ * VERIFY jobs are coalesced in a batch window: a worker runs the
+ * per-proof algebraic checks inline (parallel across workers), parks
+ * the deferred pairing accumulator, and the window flushes through one
+ * folded BatchVerifier check when it reaches `verify_batch_size` or
+ * when the oldest parked job has waited `verify_batch_window_ms` (a
+ * dedicated flusher thread enforces the deadline, so a lone verify job
+ * never waits for traffic that isn't coming).
+ *
  * Workers are crash-isolated per job: decode failures, witness
  * mismatches and unexpected exceptions all turn into error responses;
  * the worker thread survives and moves to the next job.
  */
 #pragma once
 
+#include <condition_variable>
 #include <future>
 #include <thread>
 #include <vector>
@@ -23,6 +32,7 @@
 #include "runtime/metrics.hpp"
 #include "runtime/queue.hpp"
 #include "runtime/wire.hpp"
+#include "verify/batch_verifier.hpp"
 
 namespace zkspeed::runtime {
 
@@ -45,8 +55,12 @@ struct ServiceConfig {
     uint64_t srs_seed = 0x7a6b5eedULL;
     /** Check the witness satisfies the circuit before proving. */
     bool check_witness = true;
-    /** Record a TraceEntry per proved job for sim replay. */
+    /** Record a TraceEntry per proved job / verify flush for sim replay. */
     bool record_trace = true;
+    /** VERIFY jobs folded per batch flush (the size trigger). */
+    size_t verify_batch_size = 16;
+    /** Max time a parked VERIFY job waits before a timeout flush. */
+    double verify_batch_window_ms = 25.0;
     /**
      * Create the service with idle workers; call start() to run them.
      * Lets tests fill the queue deterministically first.
@@ -101,17 +115,44 @@ class ProofService
         std::chrono::steady_clock::time_point enqueued;
     };
 
+    /** A VERIFY job parked in the batch window, algebraic checks done. */
+    struct PendingVerify {
+        uint64_t request_id = 0;
+        std::promise<JobResponse> promise;
+        verifier::PairingAccumulator acc;
+        JobMetrics metrics;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
     void worker_loop(uint32_t worker_id);
-    JobResponse process(QueuedJob &job);
+    /** Answer or park one job (VERIFY jobs park in the batch window). */
+    void handle(QueuedJob &&job, uint32_t worker_id);
+    JobResponse process_prove(QueuedJob &job);
+    /** @return the parked job, or nullopt with `resp` filled in. */
+    std::optional<PendingVerify> process_verify(QueuedJob &job,
+                                               JobResponse &resp);
+    void park_verify(PendingVerify pending);
+    void flush_verify_batch(std::vector<PendingVerify> batch,
+                            bool timed_out);
+    void flusher_loop();
     void finish(QueuedJob &job, JobResponse resp);
+    void finish_response(std::promise<JobResponse> &promise,
+                         JobResponse resp);
 
     ServiceConfig cfg_;
     size_t per_worker_budget_ = 1;
     BoundedQueue<QueuedJob> queue_;
     KeyCache cache_;
     std::vector<std::thread> workers_;
+    std::thread flusher_;
     bool started_ = false;
     bool stopped_ = false;
+
+    std::mutex window_mu_;
+    std::condition_variable window_cv_;
+    std::vector<PendingVerify> window_;
+    std::chrono::steady_clock::time_point window_opened_;
+    bool draining_ = false;
 
     mutable std::mutex stats_mu_;
     ServiceMetrics metrics_;

@@ -14,6 +14,17 @@ to_string(JobStatus s)
         case JobStatus::too_large: return "too_large";
         case JobStatus::internal_error: return "internal_error";
         case JobStatus::cancelled: return "cancelled";
+        case JobStatus::invalid_proof: return "invalid_proof";
+    }
+    return "unknown";
+}
+
+const char *
+to_string(JobKind k)
+{
+    switch (k) {
+        case JobKind::prove: return "prove";
+        case JobKind::verify: return "verify";
     }
     return "unknown";
 }
@@ -27,8 +38,12 @@ using hyperplonk::serde::ByteWriter;
 using mle::Mle;
 
 constexpr uint64_t kRequestMagic = 0x7a6b737065656410ULL;   // "zkspeed",16
-constexpr uint64_t kResponseMagic = 0x7a6b737065656411ULL;  // "zkspeed",17
-constexpr uint8_t kMaxStatus = uint8_t(JobStatus::cancelled);
+constexpr uint64_t kVerifyRequestMagic = 0x7a6b737065656412ULL;  // ..,18
+// Response layout v2 (kind byte + verify metrics): new magic so a PR 1
+// peer rejects the frame outright instead of misparsing it.
+constexpr uint64_t kResponseMagic = 0x7a6b737065656413ULL;  // ..,19
+constexpr uint8_t kMaxStatus = uint8_t(JobStatus::invalid_proof);
+constexpr uint8_t kMaxKind = uint8_t(JobKind::verify);
 
 /** Raw (unprefixed) MLE table: the length is implied by num_vars. */
 void
@@ -127,12 +142,51 @@ decode_request(std::span<const uint8_t> bytes)
     return req;
 }
 
+std::optional<JobKind>
+classify_request(std::span<const uint8_t> bytes)
+{
+    ByteReader r(bytes);
+    uint64_t magic = r.u64();
+    if (r.failed()) return std::nullopt;
+    if (magic == kRequestMagic) return JobKind::prove;
+    if (magic == kVerifyRequestMagic) return JobKind::verify;
+    return std::nullopt;
+}
+
+std::vector<uint8_t>
+encode_verify_request(const VerifyRequest &req)
+{
+    ByteWriter w;
+    w.u64(kVerifyRequestMagic);
+    w.u64(req.request_id);
+    w.bytes(req.vk);
+    w.frs(req.public_inputs);
+    w.bytes(req.proof);
+    return std::move(w.buf);
+}
+
+std::optional<VerifyRequest>
+decode_verify_request(std::span<const uint8_t> bytes)
+{
+    ByteReader r(bytes);
+    if (r.u64() != kVerifyRequestMagic) return std::nullopt;
+    VerifyRequest req;
+    req.request_id = r.u64();
+    req.vk = r.bytes(kMaxVkBytes);
+    req.public_inputs = r.frs(uint64_t(1) << kMaxRequestVars);
+    req.proof = r.bytes(kMaxProofBytes);
+    if (!r.fully_consumed()) return std::nullopt;
+    if (req.vk.empty() || req.proof.empty()) return std::nullopt;
+    return req;
+}
+
 std::vector<uint8_t>
 encode_response(const JobResponse &resp)
 {
     ByteWriter w;
     w.u64(kResponseMagic);
     w.u64(resp.request_id);
+    w.u8(uint8_t(resp.kind));
     w.u8(uint8_t(resp.status));
     std::span<const uint8_t> err(
         reinterpret_cast<const uint8_t *>(resp.error.data()),
@@ -149,6 +203,8 @@ encode_response(const JobResponse &resp)
     w.u64(m.worker_id);
     w.u64(m.proof_bytes);
     w.u64(m.num_vars);
+    w.u64(uint64_t(m.verify_ms * 1000.0));
+    w.u64(m.batch_size);
     return std::move(w.buf);
 }
 
@@ -159,8 +215,12 @@ decode_response(std::span<const uint8_t> bytes)
     if (r.u64() != kResponseMagic) return std::nullopt;
     JobResponse resp;
     resp.request_id = r.u64();
+    uint8_t kind = r.u8();
     uint8_t status = r.u8();
-    if (r.failed() || status > kMaxStatus) return std::nullopt;
+    if (r.failed() || status > kMaxStatus || kind > kMaxKind) {
+        return std::nullopt;
+    }
+    resp.kind = JobKind(kind);
     resp.status = JobStatus(status);
     auto err = r.bytes(kMaxErrorBytes);
     resp.error.assign(err.begin(), err.end());
@@ -176,8 +236,21 @@ decode_response(std::span<const uint8_t> bytes)
     m.worker_id = uint32_t(r.u64());
     m.proof_bytes = r.u64();
     m.num_vars = uint32_t(r.u64());
+    m.verify_ms = double(r.u64()) / 1000.0;
+    m.batch_size = uint32_t(r.u64());
     if (!r.fully_consumed() || hit > 1) return std::nullopt;
-    if (resp.status == JobStatus::ok && resp.proof.empty()) {
+    // A PROVE success always carries the proof bytes; a VERIFY job's
+    // verdict is its status and the blob stays empty.
+    if (resp.kind == JobKind::prove && resp.status == JobStatus::ok &&
+        resp.proof.empty()) {
+        return std::nullopt;
+    }
+    if (resp.kind == JobKind::verify && !resp.proof.empty()) {
+        return std::nullopt;
+    }
+    // invalid_proof is a verification verdict, not a proving status.
+    if (resp.kind == JobKind::prove &&
+        resp.status == JobStatus::invalid_proof) {
         return std::nullopt;
     }
     return resp;

@@ -29,12 +29,31 @@ constexpr uint64_t kMaxRequestVars = 20;
 constexpr uint64_t kMaxErrorBytes = 1024;
 /** Cap on embedded proof blobs (generous: proofs are ~5 KB). */
 constexpr uint64_t kMaxProofBytes = 1 << 20;
+/** Cap on embedded verifying-key blobs (scales with num_vars only). */
+constexpr uint64_t kMaxVkBytes = 1 << 16;
+
+/**
+ * Classify a frame by its leading magic without decoding the payload.
+ * @return nullopt when the magic matches no known job class.
+ */
+std::optional<JobKind> classify_request(std::span<const uint8_t> bytes);
 
 /** Encode a proving request. */
 std::vector<uint8_t> encode_request(const JobRequest &req);
 
 /** Decode and validate a request. @return nullopt on any malformation. */
 std::optional<JobRequest> decode_request(std::span<const uint8_t> bytes);
+
+/** Encode a verification request. */
+std::vector<uint8_t> encode_verify_request(const VerifyRequest &req);
+
+/**
+ * Decode and validate a verification request's framing (blob bounds,
+ * canonical public inputs, full consumption). The embedded vk/proof
+ * blobs are validated by their own strict decoders in the worker.
+ */
+std::optional<VerifyRequest> decode_verify_request(
+    std::span<const uint8_t> bytes);
 
 /** Encode a response. */
 std::vector<uint8_t> encode_response(const JobResponse &resp);

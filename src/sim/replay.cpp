@@ -1,11 +1,35 @@
 #include "sim/replay.hpp"
 
+#include <algorithm>
 #include <map>
 #include <tuple>
 
 #include "sim/chip.hpp"
+#include "sim/msm_unit.hpp"
+#include "sim/tech.hpp"
 
 namespace zkspeed::sim {
+
+namespace {
+
+/**
+ * Chip-side latency of one verify flush: the folded RLC MSM runs on the
+ * MSM unit (compute overlapped with streaming the points from HBM, as
+ * in the chip model), the multi-pairing keeps its measured CPU time.
+ */
+double
+verify_flush_chip_ms(const runtime::TraceEntry &entry, const MsmUnit &msm,
+                     double bandwidth_gbps)
+{
+    uint64_t n = std::max<uint64_t>(1, entry.msm_points);
+    double compute_ms =
+        double(msm.dense_cycles(n, msm.total_pes())) / (kClockGhz * 1e6);
+    double transfer_ms =
+        msm.dense_bytes(n) / (bandwidth_gbps * 1e9) * 1e3;
+    return std::max(compute_ms, transfer_ms) + entry.pairing_ms;
+}
+
+}  // namespace
 
 ReplayReport
 replay_trace(const std::vector<runtime::TraceEntry> &trace,
@@ -13,26 +37,43 @@ replay_trace(const std::vector<runtime::TraceEntry> &trace,
 {
     ReplayReport report;
     Chip chip(design);
-    // Jobs with identical size and scalar statistics have identical
-    // simulated latency; memoise so a cache-friendly job stream (many
-    // repeats of few circuits) replays in O(distinct jobs).
+    MsmUnit msm(design);
+    // Prove jobs with identical size and scalar statistics have
+    // identical simulated latency; memoise so a cache-friendly job
+    // stream (many repeats of few circuits) replays in O(distinct jobs).
     std::map<std::tuple<uint32_t, uint64_t, uint64_t, uint64_t>, double>
         memo;
     for (const auto &entry : trace) {
-        auto key = std::make_tuple(entry.num_vars, entry.zero_scalars,
-                                   entry.one_scalars, entry.total_scalars);
-        auto it = memo.find(key);
-        if (it == memo.end()) {
-            Workload wl = Workload::from_stats(
-                "replay", entry.num_vars, entry.zero_scalars,
-                entry.one_scalars,
-                std::max<uint64_t>(1, entry.total_scalars));
-            it = memo.emplace(key, chip.run(wl).runtime_ms).first;
-        }
         ReplayedJob job;
+        job.kind = entry.kind;
         job.mu = entry.num_vars;
-        job.sw_ms = entry.prove_ms;
-        job.chip_ms = it->second;
+        if (entry.kind == runtime::JobKind::verify) {
+            job.sw_ms = entry.verify_ms;
+            job.chip_ms =
+                verify_flush_chip_ms(entry, msm, design.bandwidth_gbps);
+            job.batch_size = entry.batch_size;
+            ++report.verify_flushes;
+            report.proofs_verified += entry.batch_size;
+            report.sw_verify_ms += job.sw_ms;
+            report.chip_verify_ms += job.chip_ms;
+        } else {
+            auto key = std::make_tuple(entry.num_vars, entry.zero_scalars,
+                                       entry.one_scalars,
+                                       entry.total_scalars);
+            auto it = memo.find(key);
+            if (it == memo.end()) {
+                Workload wl = Workload::from_stats(
+                    "replay", entry.num_vars, entry.zero_scalars,
+                    entry.one_scalars,
+                    std::max<uint64_t>(1, entry.total_scalars));
+                it = memo.emplace(key, chip.run(wl).runtime_ms).first;
+            }
+            job.sw_ms = entry.prove_ms;
+            job.chip_ms = it->second;
+            ++report.prove_jobs;
+            report.sw_prove_ms += job.sw_ms;
+            report.chip_prove_ms += job.chip_ms;
+        }
         report.sw_total_ms += job.sw_ms;
         report.chip_total_ms += job.chip_ms;
         report.jobs.push_back(job);

@@ -1,15 +1,25 @@
 /**
  * @file
- * Replay a proving-service trace through the zkSpeed chip model.
+ * Replay a proving/verification-service trace through the zkSpeed chip
+ * model.
  *
  * The runtime records, per proved job, its circuit size, measured
- * witness scalar statistics and software prove time (runtime::TraceEntry).
- * Replaying converts each entry into a calibrated sim::Workload (the
- * Sparse MSMs see the job's real zero/one population) and runs it on a
- * chip design, yielding the accelerator-side latency of the identical
- * job stream. Comparing aggregate throughput answers the serving
- * question the paper's Table 3 answers per proof: how many zkSpeed
- * chips would this software deployment replace?
+ * witness scalar statistics and software prove time, and per verify
+ * batch flush, the folded RLC MSM size, multi-pairing width and
+ * measured software timings (runtime::TraceEntry). Replaying converts
+ * each entry into the accelerator-side latency of the identical work:
+ *
+ *  - PROVE entries become calibrated sim::Workloads (the Sparse MSMs
+ *    see the job's real zero/one population) and run on the full chip.
+ *  - VERIFY entries run their folded MSM on the chip's MSM unit
+ *    (compute overlapped with HBM streaming of the points), while the
+ *    Miller loops + final exponentiation keep their measured CPU time —
+ *    the paper leaves pairings on the host, so the chip only
+ *    accelerates the MSM side of verification.
+ *
+ * Comparing aggregate throughput answers the serving question the
+ * paper's Table 3 answers per proof: how many zkSpeed chips would this
+ * software deployment replace, now for both sides of the protocol?
  */
 #pragma once
 
@@ -20,29 +30,42 @@
 
 namespace zkspeed::sim {
 
-/** One replayed job. */
+/** One replayed unit of work (a proved job or a verify batch flush). */
 struct ReplayedJob {
+    runtime::JobKind kind = runtime::JobKind::prove;
     size_t mu = 0;
-    double sw_ms = 0;    ///< measured software prove time
+    double sw_ms = 0;    ///< measured software time
     double chip_ms = 0;  ///< simulated zkSpeed latency
+    /** VERIFY flushes: proofs decided by this unit of work. */
+    uint32_t batch_size = 0;
 };
 
 struct ReplayReport {
     std::vector<ReplayedJob> jobs;
 
-    double sw_total_ms = 0;    ///< software busy time (sum of proves)
-    double chip_total_ms = 0;  ///< chip busy time, jobs run back-to-back
-    /** Throughput assuming each side runs its jobs back-to-back. */
+    double sw_total_ms = 0;    ///< software busy time (all entries)
+    double chip_total_ms = 0;  ///< chip busy time, entries back-to-back
+    /** Throughput assuming each side runs its entries back-to-back. */
     double sw_jobs_per_s = 0;
     double chip_jobs_per_s = 0;
     /** chip throughput / software throughput on this exact stream. */
     double speedup = 0;
+
+    // Per-class breakdown.
+    size_t prove_jobs = 0;
+    double sw_prove_ms = 0;
+    double chip_prove_ms = 0;
+    size_t verify_flushes = 0;
+    /** Proofs decided across all verify flushes. */
+    uint64_t proofs_verified = 0;
+    double sw_verify_ms = 0;
+    double chip_verify_ms = 0;
 };
 
 /**
  * Run every trace entry through a chip of the given design. Distinct
- * (mu, stats) jobs are simulated individually; the chip processes the
- * stream serially (the paper's chip proves one statement at a time).
+ * (mu, stats) prove jobs are simulated individually; the chip processes
+ * the stream serially (the paper's chip proves one statement at a time).
  */
 ReplayReport replay_trace(const std::vector<runtime::TraceEntry> &trace,
                           const DesignConfig &design);

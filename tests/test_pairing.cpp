@@ -73,6 +73,60 @@ TEST(Pairing, ProductCheckDetectsEquality)
     EXPECT_FALSE(pairing_product_is_one(ps, qs));
 }
 
+TEST(Pairing, PreparedMatchesUnprepared)
+{
+    std::mt19937_64 rng(25);
+    std::vector<G1Affine> ps;
+    std::vector<G2Affine> qs;
+    std::vector<G2Prepared> preps;
+    for (int i = 0; i < 3; ++i) {
+        Fr a = Fr::random(rng), b = Fr::random(rng);
+        ps.push_back(g1_generator().mul(a).to_affine());
+        qs.push_back(g2_generator().mul(b).to_affine());
+        preps.push_back(prepare_g2(qs.back()));
+    }
+    EXPECT_EQ(multi_miller_loop_prepared(ps, preps),
+              multi_miller_loop(ps, qs));
+    // Re-using the same preparation for a different G1 side agrees too
+    // (the point of preparing: the G2 work is done once).
+    std::vector<G1Affine> ps2 = {ps[1], ps[2], ps[0]};
+    EXPECT_EQ(multi_miller_loop_prepared(ps2, preps),
+              multi_miller_loop(ps2, qs));
+}
+
+TEST(Pairing, PreparedHandlesIdentities)
+{
+    std::mt19937_64 rng(26);
+    Fr a = Fr::random(rng);
+    G2Prepared inf = prepare_g2(G2Affine::identity());
+    EXPECT_TRUE(inf.infinity);
+    EXPECT_TRUE(inf.coeffs.empty());
+    std::vector<G1Affine> ps = {g1_generator().mul(a).to_affine(),
+                                G1Affine::identity()};
+    std::vector<G2Prepared> preps = {inf, prepare_g2(G2Params::generator())};
+    // Both pairs degenerate: the product is 1 before final exp.
+    EXPECT_TRUE(multi_miller_loop_prepared(ps, preps).is_one());
+    EXPECT_TRUE(pairing_product_is_one_prepared(ps, preps));
+}
+
+TEST(Pairing, PreparedProductCheckDetectsEquality)
+{
+    // e(aG, H) * e(-G, aH) == 1 through the prepared path.
+    std::mt19937_64 rng(27);
+    Fr a = Fr::random(rng);
+    std::vector<G1Affine> ps = {
+        g1_generator().mul(a).to_affine(),
+        g1_generator().neg().to_affine(),
+    };
+    std::vector<G2Prepared> preps = {
+        prepare_g2(G2Params::generator()),
+        prepare_g2(g2_generator().mul(a).to_affine()),
+    };
+    EXPECT_TRUE(pairing_product_is_one_prepared(ps, preps));
+    preps[1] = prepare_g2(g2_generator().mul(a + Fr::one()).to_affine());
+    EXPECT_FALSE(pairing_product_is_one_prepared(ps, preps));
+}
+
 TEST(Pairing, MultiMillerMatchesProductOfPairings)
 {
     std::mt19937_64 rng(24);

@@ -307,9 +307,9 @@ TEST(Service, MalformedRequestsGetErrorResponsesAndWorkerSurvives)
     EXPECT_FALSE(resp.proof.empty());
 
     auto metrics = service.metrics();
-    EXPECT_EQ(metrics.jobs_ok, 1u);
-    EXPECT_EQ(metrics.jobs_rejected, bad.size() + 1);
-    EXPECT_EQ(metrics.jobs_failed, 0u);
+    EXPECT_EQ(metrics.jobs_ok(), 1u);
+    EXPECT_EQ(metrics.jobs_rejected(), bad.size() + 1);
+    EXPECT_EQ(metrics.jobs_failed(), 0u);
 }
 
 TEST(Service, TraceReplaysThroughChipModel)
