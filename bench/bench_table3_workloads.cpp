@@ -6,10 +6,37 @@
  *
  * Expected shape: speedups in the 700-900x range, rising with problem
  * size, geomean ~800x.
+ *
+ * A second table drives the scenario workload library (src/scenarios/)
+ * through the same design: every honest registry family is built, its
+ * real witness scalar population measured, and the resulting calibrated
+ * workload run on the chip model — so new scenario families
+ * automatically show up in the paper-style reporting.
  */
 #include "report.hpp"
+#include "scenarios/registry.hpp"
 #include "sim/chip.hpp"
 #include "sim/cpu_model.hpp"
+
+namespace {
+
+/** Measure the witness scalar population across the three wire MLEs. */
+zkspeed::sim::Workload
+workload_from_instance(const zkspeed::scenarios::Instance &inst)
+{
+    size_t zeros = 0, ones = 0, total = 0;
+    for (const auto &w : inst.witness.w) {
+        for (size_t i = 0; i < w.size(); ++i) {
+            if (w[i].is_zero()) ++zeros;
+            else if (w[i].is_one()) ++ones;
+            ++total;
+        }
+    }
+    return zkspeed::sim::Workload::from_stats(
+        inst.spec.name, inst.circuit.num_vars, zeros, ones, total);
+}
+
+}  // namespace
 
 int
 main()
@@ -47,5 +74,29 @@ main()
     AreaBreakdown a = chip.area();
     std::printf("Total area: %.1f mm^2 (paper: 366.46 mm^2)\n",
                 a.total());
+
+    // ------------------------------------------------------------------
+    // Scenario registry on the same design: measured witness sparsity
+    // per family, calibrated Sparse-MSM profile on the chip.
+    // ------------------------------------------------------------------
+    bench::title("Scenario library on the highlighted design");
+    bench::Table st({{"Scenario", 24}, {"Size", 7}, {"zeros", 8},
+                     {"ones", 8}, {"CPU ms (model)", 16},
+                     {"zkSpeed ms", 12}, {"Speedup", 10}});
+    const auto &reg = scenarios::Registry::global();
+    for (const auto &spec : reg.default_suite(/*seed=*/1,
+                                              /*log_size=*/8)) {
+        const auto *family = reg.find(spec.name);
+        if (family->adversarial()) continue;  // no honest witness stats
+        auto inst = reg.build(spec);
+        Workload wl = workload_from_instance(inst);
+        double cpu = CpuModel::total_ms(wl.mu);
+        auto rep = chip.run(wl);
+        st.row({wl.name, "2^" + std::to_string(wl.mu),
+                bench::fmt(100.0 * wl.zeros_fraction, 1) + "%",
+                bench::fmt(100.0 * wl.ones_fraction, 1) + "%",
+                bench::fmt(cpu, 2), bench::fmt(rep.runtime_ms, 3),
+                bench::fmt(cpu / rep.runtime_ms, 0) + "x"});
+    }
     return 0;
 }

@@ -4,96 +4,41 @@
  * HyperPlonk's small proofs (paper Section 1: one proof per transaction
  * is posted on chain and checked by every node).
  *
- * A sender proves, without revealing any balance or amount:
- *   - the new balances are consistent:
- *       sender_after   = sender_before  - amount
- *       receiver_after = receiver_before + amount
- *   - the transferred amount is a valid 16-bit value (bit-decomposed
- *     with boolean gates, so no wrap-around "negative" transfer), and
- *   - the sender balance does not go negative (sender_after also
- *     range-checked to 16 bits).
- * Only commitments-in-the-clear (here: the public transaction id) are
- * exposed.
+ * A sender proves, without revealing any balance or amount, that the
+ * new balances are consistent, the amount fits 16 bits, and the sender
+ * balance does not go negative. The circuit is the scenario library's
+ * `private-transaction` family (scenarios::circuits::private_transaction);
+ * the overdraft attempt below is the same library's adversarial
+ * `overdraft-transaction` variant, whose witness violates its own range
+ * gates — the canonical corrupted-witness workload.
  */
 #include <cstdio>
 #include <random>
 
 #include "hyperplonk/prover.hpp"
-
-namespace {
-
-using namespace zkspeed::hyperplonk;
-using zkspeed::ff::Fr;
-
-/**
- * Constrain `value` to `bits` bits: allocate the bits as boolean
- * variables and assert the weighted sum reconstructs the value.
- * @return the bit variables.
- */
-std::vector<Var>
-range_check(CircuitBuilder &cb, Var value, unsigned bits, uint64_t v)
-{
-    std::vector<Var> bit_vars;
-    Var acc = cb.add_variable(Fr::zero());
-    cb.assert_constant(acc, Fr::zero());
-    for (unsigned i = 0; i < bits; ++i) {
-        uint64_t bit = (v >> i) & 1;
-        Var b = cb.add_variable(Fr::from_uint(bit));
-        cb.assert_boolean(b);
-        bit_vars.push_back(b);
-        // acc += b * 2^i  via a custom gate: acc_next = acc + (2^i) b.
-        Var next = cb.add_variable(cb.value(acc) +
-                                   Fr::from_uint(uint64_t(1) << i) *
-                                       cb.value(b));
-        cb.add_custom_gate(Fr::one(), Fr::from_uint(uint64_t(1) << i),
-                           Fr::zero(), Fr::one(), Fr::zero(), acc, b,
-                           next);
-        acc = next;
-    }
-    cb.assert_equal(acc, value);
-    return bit_vars;
-}
-
-}  // namespace
+#include "scenarios/circuits.hpp"
 
 int
 main()
 {
-    // Secret state.
-    const uint64_t sender_before = 50000;
-    const uint64_t receiver_before = 1200;
-    const uint64_t amount = 1750;
-    const uint64_t tx_id = 0xC0FFEE;  // public
+    using namespace zkspeed;
 
-    CircuitBuilder cb;
-    Var pub_tx = cb.add_public_input(Fr::from_uint(tx_id));
-    (void)pub_tx;
-
-    Var s0 = cb.add_variable(Fr::from_uint(sender_before));
-    Var r0 = cb.add_variable(Fr::from_uint(receiver_before));
-    Var amt = cb.add_variable(Fr::from_uint(amount));
-
-    // Balance equations.
-    Var s1 = cb.add_subtraction(s0, amt);
-    Var r1 = cb.add_addition(r0, amt);
-    (void)r1;
-
-    // Range checks: amount and the post-transfer sender balance.
-    range_check(cb, amt, 16, amount);
-    range_check(cb, s1, 16, sender_before - amount);
-
-    auto [index, witness] = cb.build();
+    scenarios::circuits::TransferParams params;
+    params.bits = 16;
+    std::mt19937_64 circuit_rng(7);
+    auto [index, witness] =
+        scenarios::circuits::private_transaction(params, circuit_rng);
     std::printf("Private-transaction circuit: %zu gates (2^%zu)\n",
                 index.num_gates(), index.num_vars);
 
     std::mt19937_64 rng(7);
-    auto srs = std::make_shared<zkspeed::pcs::Srs>(
-        zkspeed::pcs::Srs::generate(index.num_vars, rng));
-    auto [pk, vk] = keygen(std::move(index), srs);
+    auto srs = std::make_shared<pcs::Srs>(
+        pcs::Srs::generate(index.num_vars, rng));
+    auto publics = witness.public_inputs(index);
+    auto [pk, vk] = hyperplonk::keygen(std::move(index), srs);
 
-    Proof proof = prove(pk, witness);
-    auto publics = witness.public_inputs(pk.index);
-    bool ok = verify(vk, publics, proof);
+    hyperplonk::Proof proof = hyperplonk::prove(pk, witness);
+    bool ok = hyperplonk::verify(vk, publics, proof);
     std::printf("Proof: %zu bytes — the chain never sees balances or "
                 "amount.\nVerifier: %s\n",
                 proof.size_bytes(), ok ? "ACCEPT" : "REJECT");
@@ -102,13 +47,11 @@ main()
     // the 16-bit range check rejects (the witness no longer satisfies
     // the boolean/range gates, so any forged proof fails).
     {
-        CircuitBuilder evil;
-        evil.add_public_input(Fr::from_uint(tx_id));
-        Var es0 = evil.add_variable(Fr::from_uint(100));
-        Var eamt = evil.add_variable(Fr::from_uint(5000));
-        Var es1 = evil.add_subtraction(es0, eamt);  // "negative"
-        range_check(evil, es1, 16, 100 - 5000);     // wraps mod p
-        auto [eindex, ewit] = evil.build();
+        scenarios::circuits::TransferParams evil = params;
+        evil.overdraft = true;
+        std::mt19937_64 evil_rng(7);
+        auto [eindex, ewit] =
+            scenarios::circuits::private_transaction(evil, evil_rng);
         std::printf("Overdraft witness satisfies gates: %s "
                     "(expected no)\n",
                     ewit.satisfies_gates(eindex) ? "yes" : "no");

@@ -25,9 +25,9 @@
 #include <random>
 #include <string_view>
 
-#include "hyperplonk/gadgets.hpp"
 #include "hyperplonk/serialize.hpp"
 #include "runtime/service.hpp"
+#include "scenarios/registry.hpp"
 #include "sim/replay.hpp"
 
 using namespace zkspeed;
@@ -36,22 +36,18 @@ using ff::Fr;
 
 namespace {
 
-/** A small Rescue-preimage job, the Table-3 style workload. */
+/** A job drawn from the scenario workload library. */
 JobRequest
-rescue_request(uint64_t id, std::mt19937_64 &rng)
+scenario_request(uint64_t id, const char *family, uint64_t seed)
 {
-    namespace g = hyperplonk::gadgets;
-    hyperplonk::CircuitBuilder cb;
-    Fr a = Fr::random(rng), b = Fr::random(rng);
-    Fr h = g::rescue_hash2_value(a, b);
-    auto pub = cb.add_public_input(h);
-    auto out = g::rescue_hash2(cb, cb.add_variable(a), cb.add_variable(b));
-    cb.assert_equal(out, pub);
-    auto [index, witness] = cb.build();
+    scenarios::Spec spec;
+    spec.name = family;
+    spec.seed = seed;
+    auto inst = scenarios::Registry::global().build(spec);
     JobRequest req;
     req.request_id = id;
-    req.circuit = std::move(index);
-    req.witness = std::move(witness);
+    req.circuit = std::move(inst.circuit);
+    req.witness = std::move(inst.witness);
     return req;
 }
 
@@ -61,13 +57,12 @@ demo_stream()
 {
     std::vector<uint8_t> stream;
     uint64_t id = 1;
-    std::mt19937_64 rng(2025);
-    // Four Rescue jobs (distinct witnesses, one shared circuit *shape*
-    // each — shapes differ because the witness is baked into selectors
-    // only via constants; the key cache keys on circuit bytes).
-    for (int i = 0; i < 2; ++i) {
-        wire::append_frame(stream, wire::encode_request(rescue_request(id++, rng)));
-    }
+    // Two scenario-library jobs: a Rescue hash chain and a Merkle
+    // membership proof (distinct seeds, distinct circuit shapes).
+    wire::append_frame(stream, wire::encode_request(
+        scenario_request(id++, "rescue-chain", 2025)));
+    wire::append_frame(stream, wire::encode_request(
+        scenario_request(id++, "merkle-membership", 2026)));
     // The same random circuit proved three times: cache hits.
     std::mt19937_64 circuit_rng(7);
     auto [index, witness] = hyperplonk::random_circuit(5, circuit_rng);
@@ -79,7 +74,8 @@ demo_stream()
         wire::append_frame(stream, wire::encode_request(req));
     }
     // A malformed frame: truncated request.
-    auto victim = wire::encode_request(rescue_request(id++, rng));
+    auto victim = wire::encode_request(
+        scenario_request(id++, "range-bank", 2027));
     victim.resize(victim.size() / 3);
     wire::append_frame(stream, victim);
     // A garbage frame.
@@ -177,8 +173,7 @@ main(int argc, char **argv)
         vreq.vk = hyperplonk::serde::serialize_verifying_key(*keys.vk);
         vreq.public_inputs = req->witness.public_inputs(req->circuit);
         vreq.proof = resp.proof;
-        verify_futures.push_back(
-            service.submit(wire::encode_verify_request(vreq)));
+        verify_futures.push_back(service.submit(vreq));
         ++expected_ok;
         auto proof = hyperplonk::serde::deserialize_proof(resp.proof);
         if (corrupted_id == 0 && proof.has_value() &&
@@ -190,8 +185,7 @@ main(int argc, char **argv)
                     .to_affine();
             vreq.request_id = corrupted_id = 2000 + resp.request_id;
             vreq.proof = hyperplonk::serde::serialize_proof(*proof);
-            verify_futures.push_back(
-                service.submit(wire::encode_verify_request(vreq)));
+            verify_futures.push_back(service.submit(vreq));
         }
     }
 

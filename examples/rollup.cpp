@@ -8,102 +8,42 @@
  * ledger checksums plus a proof. Every chain node verifies the batch in
  * milliseconds instead of re-executing it; the proof stays a few KB no
  * matter how many transfers are batched (HyperPlonk's succinctness).
+ *
+ * The circuit itself lives in the scenario workload library
+ * (scenarios::circuits::rollup) so this example, the benches and the
+ * conformance harness all prove the same construction.
  */
 #include <cstdio>
 #include <random>
-#include <vector>
 
 #include "hyperplonk/prover.hpp"
-
-namespace {
-
-using namespace zkspeed::hyperplonk;
-using zkspeed::ff::Fr;
-
-struct Transfer {
-    size_t from, to;
-    uint64_t amount;
-};
-
-}  // namespace
+#include "scenarios/circuits.hpp"
 
 int
 main()
 {
-    // The operator's private ledger (8 accounts) and a transfer batch.
-    std::vector<uint64_t> balances = {9000, 2500, 770,  10,
-                                      4400, 125,  6100, 42};
-    std::vector<Transfer> batch = {
-        {0, 1, 1200}, {1, 2, 300}, {4, 0, 2000}, {6, 5, 999},
-        {0, 7, 123},  {2, 3, 15},  {6, 4, 2500}, {1, 6, 450},
-        {4, 2, 77},   {0, 6, 800},
-    };
+    using namespace zkspeed;
+    using zkspeed::ff::Fr;
 
-    CircuitBuilder cb;
-
-    // Ledger variables, plus a running weighted checksum the verifier
-    // can recompute from the public pre/post states.
-    std::vector<Var> acct;
-    acct.reserve(balances.size());
-    for (uint64_t b : balances) {
-        acct.push_back(cb.add_variable(Fr::from_uint(b)));
-    }
-    auto checksum = [&](const std::vector<Var> &accounts) {
-        // sum_i 3^i * balance_i, built with constant-mul gates.
-        Var acc = cb.add_variable(Fr::zero());
-        cb.assert_constant(acc, Fr::zero());
-        Fr w = Fr::one();
-        for (Var a : accounts) {
-            Var next =
-                cb.add_variable(cb.value(acc) + w * cb.value(a));
-            cb.add_custom_gate(Fr::one(), w, Fr::zero(), Fr::one(),
-                               Fr::zero(), acc, a, next);
-            acc = next;
-            w *= Fr::from_uint(3);
-        }
-        return acc;
-    };
-
-    Var pre_checksum = checksum(acct);
-
-    // Apply every transfer with in-circuit arithmetic.
-    for (const Transfer &t : batch) {
-        acct[t.from] =
-            cb.add_subtraction(acct[t.from],
-                               [&] {
-                                   Var a = cb.add_variable(
-                                       Fr::from_uint(t.amount));
-                                   cb.assert_constant(
-                                       a, Fr::from_uint(t.amount));
-                                   return a;
-                               }());
-        Var amt = cb.add_variable(Fr::from_uint(t.amount));
-        cb.assert_constant(amt, Fr::from_uint(t.amount));
-        acct[t.to] = cb.add_addition(acct[t.to], amt);
-    }
-
-    Var post_checksum = checksum(acct);
-
-    // Publish the checksums: bind them to public inputs.
-    Var pub_pre = cb.add_public_input(cb.value(pre_checksum));
-    Var pub_post = cb.add_public_input(cb.value(post_checksum));
-    cb.assert_equal(pub_pre, pre_checksum);
-    cb.assert_equal(pub_post, post_checksum);
-
-    auto [index, witness] = cb.build();
+    scenarios::circuits::RollupParams params;
+    params.accounts = 8;
+    params.transfers = 10;
+    std::mt19937_64 circuit_rng(11);
+    auto [index, witness] =
+        scenarios::circuits::rollup(params, circuit_rng);
     std::printf("Rollup circuit: %zu transfers -> %zu gates (2^%zu)\n",
-                batch.size(), index.num_gates(), index.num_vars);
+                params.transfers, index.num_gates(), index.num_vars);
 
     std::mt19937_64 rng(11);
-    auto srs = std::make_shared<zkspeed::pcs::Srs>(
-        zkspeed::pcs::Srs::generate(index.num_vars, rng));
-    auto [pk, vk] = keygen(std::move(index), srs);
-    Proof proof = prove(pk, witness);
-    auto publics = witness.public_inputs(pk.index);
+    auto srs = std::make_shared<pcs::Srs>(
+        pcs::Srs::generate(index.num_vars, rng));
+    auto publics = witness.public_inputs(index);
+    auto [pk, vk] = hyperplonk::keygen(std::move(index), srs);
+    hyperplonk::Proof proof = hyperplonk::prove(pk, witness);
 
     std::printf("Proof size: %zu bytes for the whole batch\n",
                 proof.size_bytes());
-    bool ok = verify(vk, publics, proof);
+    bool ok = hyperplonk::verify(vk, publics, proof);
     std::printf("Verifier: %s\n", ok ? "ACCEPT" : "REJECT");
 
     // Value conservation is a consequence of balanced transfers: the
@@ -112,6 +52,7 @@ main()
     std::vector<Fr> forged = publics;
     forged[1] += Fr::one();
     std::printf("Forged post-state: %s (expected REJECT)\n",
-                verify(vk, forged, proof) ? "ACCEPT" : "REJECT");
+                hyperplonk::verify(vk, forged, proof) ? "ACCEPT"
+                                                      : "REJECT");
     return ok ? 0 : 1;
 }

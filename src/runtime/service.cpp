@@ -97,6 +97,12 @@ ProofService::submit(const JobRequest &request)
     return submit(wire::encode_request(request));
 }
 
+std::future<JobResponse>
+ProofService::submit(const VerifyRequest &request)
+{
+    return submit(wire::encode_verify_request(request));
+}
+
 void
 ProofService::shutdown()
 {
@@ -145,8 +151,13 @@ ProofService::handle(QueuedJob &&job, uint32_t worker_id)
 {
     auto kind = wire::classify_request(job.request);
     if (kind == JobKind::verify) {
+        // True queue time: submit -> this worker picking the job up.
+        // Rejected verify jobs short-circuit below and would otherwise
+        // report queue_ms = 0, hiding queue pressure from the metrics.
+        double queue_ms = ms_since(job.enqueued);
         JobResponse resp;
         resp.kind = JobKind::verify;
+        resp.metrics.queue_ms = queue_ms;
         std::optional<PendingVerify> parked;
         try {
             parked = process_verify(job, resp);
@@ -321,6 +332,9 @@ ProofService::process_verify(QueuedJob &job, JobResponse &resp)
     pending.acc = std::move(acc);
     pending.enqueued = job.enqueued;
     pending.metrics.num_vars = uint32_t(vk->num_vars);
+    // Queue time was measured at worker pickup (handle()); keep that
+    // one definition whether the job is answered now or after a flush.
+    pending.metrics.queue_ms = resp.metrics.queue_ms;
     pending.metrics.prove_ms = alg_ms;
     pending.metrics.modmul_fr = muls.fr_delta();
     pending.metrics.modmul_fq = muls.fq_delta();
@@ -454,8 +468,9 @@ ProofService::flush_verify_batch(std::vector<PendingVerify> batch,
         resp.metrics.verify_ms = flush_ms;
         resp.metrics.batch_size = uint32_t(batch.size());
         resp.metrics.total_ms = ms_since(batch[i].enqueued);
-        resp.metrics.queue_ms = std::max(
-            0.0, resp.metrics.total_ms - resp.metrics.prove_ms - flush_ms);
+        // queue_ms stays the submit -> worker-pickup time measured in
+        // handle() (carried through PendingVerify); batch-window idle
+        // is total - queue - prove - verify, not queue pressure.
         if (result->verdicts[i]) {
             resp.status = JobStatus::ok;
         } else {

@@ -96,6 +96,9 @@ class ProofService
     /** Convenience: encode and enqueue a structured request. */
     std::future<JobResponse> submit(const JobRequest &request);
 
+    /** Convenience: encode and enqueue a structured verify request. */
+    std::future<JobResponse> submit(const VerifyRequest &request);
+
     /** Stop accepting work, drain the queue, join the workers. */
     void shutdown();
 

@@ -1,0 +1,187 @@
+#include "scenarios/harness.hpp"
+
+#include "hyperplonk/serialize.hpp"
+
+namespace zkspeed::scenarios {
+
+using runtime::JobResponse;
+using runtime::JobStatus;
+using runtime::VerifyRequest;
+namespace wire = runtime::wire;
+
+Harness::Harness(HarnessConfig cfg)
+    : cfg_(cfg),
+      service_(cfg.service),
+      client_keys_(cfg.service.key_cache_capacity, cfg.service.srs_seed)
+{
+}
+
+ScenarioResult
+Harness::run(const Instance &inst)
+{
+    ScenarioResult res;
+    res.spec = inst.spec;
+    res.expected = inst.expected;
+
+    auto fail = [&res](std::string why) {
+        res.conformant = false;
+        res.detail = std::move(why);
+        return res;
+    };
+
+    // ------------------------------------------------------------------
+    // 1. PROVE through the service. Unsatisfiable witnesses must be
+    //    refused here and never reach a verifier.
+    // ------------------------------------------------------------------
+    runtime::JobRequest prove_req;
+    prove_req.request_id = inst.spec.seed;
+    prove_req.circuit = inst.circuit;
+    prove_req.witness = inst.witness;
+    JobResponse proved = service_.submit(prove_req).get();
+
+    if (inst.expected == Outcome::reject_witness) {
+        res.observed = proved.status == JobStatus::unsatisfiable
+                           ? Outcome::reject_witness
+                           : Outcome::accept;
+        // Mirror the service front door: a witness is bad when it
+        // violates its gates OR its copy constraints.
+        res.conformant =
+            res.observed == Outcome::reject_witness &&
+            !(inst.witness.satisfies_gates(inst.circuit) &&
+              inst.witness.satisfies_wiring(inst.circuit));
+        if (!res.conformant) {
+            res.detail = "corrupted witness was not refused at the "
+                         "proving front door (status " +
+                         std::string(to_string(proved.status)) + ")";
+        }
+        return res;
+    }
+    if (!proved.ok()) {
+        return fail("prove failed: " + proved.error);
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Client-side vk (same simulated SRS ceremony as the service)
+    //    and the adversarially transformed material.
+    // ------------------------------------------------------------------
+    auto keys = client_keys_.get_or_create(inst.circuit).first;
+    std::vector<ff::Fr> publics = inst.witness.public_inputs(inst.circuit);
+    if (inst.tamper_publics) inst.tamper_publics(publics);
+    res.presented_proof = inst.tamper_proof
+                              ? inst.tamper_proof(proved.proof)
+                              : proved.proof;
+
+    // ------------------------------------------------------------------
+    // 3. Direct and deferred verification.
+    // ------------------------------------------------------------------
+    auto decoded = hyperplonk::serde::deserialize_proof(res.presented_proof);
+    if (!decoded.has_value()) {
+        return fail("presented proof failed strict decoding; proof "
+                    "tampering must stay decodable (use a frame family "
+                    "for undecodable payloads)");
+    }
+    res.direct_verdict = hyperplonk::verify(
+        *keys.vk, publics, *decoded, hyperplonk::PcsCheckMode::pairing);
+
+    verifier::PairingAccumulator acc;
+    bool algebra_ok =
+        hyperplonk::verify_deferred(*keys.vk, publics, *decoded, acc);
+    if (algebra_ok) {
+        res.deferred_verdict = acc.check();
+        res.batch_index = batch_.add(std::move(acc));
+        predicted_.push_back(res.direct_verdict);
+    } else {
+        res.deferred_verdict = false;
+    }
+
+    // ------------------------------------------------------------------
+    // 4. VERIFY through the service (frame families corrupt the frame
+    //    on the way in and must bounce off strict decoding).
+    // ------------------------------------------------------------------
+    VerifyRequest vreq;
+    vreq.request_id = inst.spec.seed + (uint64_t(1) << 32);
+    vreq.vk = hyperplonk::serde::serialize_verifying_key(*keys.vk);
+    vreq.public_inputs = publics;
+    vreq.proof = res.presented_proof;
+    JobResponse verified =
+        inst.tamper_frame
+            ? service_
+                  .submit(inst.tamper_frame(
+                      wire::encode_verify_request(vreq)))
+                  .get()
+            : service_.submit(vreq).get();
+
+    switch (verified.status) {
+        case JobStatus::ok:
+            res.service_verdict = true;
+            res.observed = Outcome::accept;
+            break;
+        case JobStatus::invalid_proof:
+            res.service_verdict = false;
+            res.observed = Outcome::reject_proof;
+            break;
+        case JobStatus::malformed_request:
+            res.service_verdict = false;
+            res.observed = Outcome::reject_frame;
+            break;
+        default:
+            return fail(std::string("unexpected verify status ") +
+                        to_string(verified.status) + ": " +
+                        verified.error);
+    }
+
+    // ------------------------------------------------------------------
+    // 5. Conformance: observed matches declared, and every verification
+    //    path that saw the proof reached the same verdict.
+    // ------------------------------------------------------------------
+    if (res.observed != inst.expected) {
+        return fail(std::string("expected ") + to_string(inst.expected) +
+                    " but observed " + to_string(res.observed));
+    }
+    if (inst.expected == Outcome::reject_frame) {
+        // The frame died in decoding; the proof itself was honest, so
+        // the out-of-band paths must have accepted it.
+        res.conformant = res.direct_verdict && res.deferred_verdict;
+        if (!res.conformant) {
+            res.detail = "frame-family proof rejected out of band";
+        }
+        return res;
+    }
+    if (res.direct_verdict != res.service_verdict ||
+        res.direct_verdict != res.deferred_verdict) {
+        return fail("verification paths disagree: direct=" +
+                    std::to_string(res.direct_verdict) + " deferred=" +
+                    std::to_string(res.deferred_verdict) + " service=" +
+                    std::to_string(res.service_verdict));
+    }
+    res.conformant = true;
+    return res;
+}
+
+SuiteResult
+Harness::finish()
+{
+    SuiteResult suite;
+    suite.predicted_verdicts = predicted_;
+    suite.batch = batch_.flush();
+    suite.batch_matches_direct =
+        suite.batch.verdicts.size() == predicted_.size();
+    if (suite.batch_matches_direct) {
+        for (size_t i = 0; i < predicted_.size(); ++i) {
+            if (suite.batch.verdicts[i] != predicted_[i]) {
+                suite.batch_matches_direct = false;
+                break;
+            }
+        }
+    }
+    suite.service_metrics = service_.metrics();
+    service_.shutdown();
+    if (cfg_.replay) {
+        suite.replay = sim::replay_trace(service_.trace(),
+                                         sim::DesignConfig::paper_default());
+    }
+    predicted_.clear();
+    return suite;
+}
+
+}  // namespace zkspeed::scenarios

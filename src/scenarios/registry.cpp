@@ -1,0 +1,320 @@
+#include "scenarios/registry.hpp"
+
+#include <stdexcept>
+
+#include "curve/g1.hpp"
+#include "hyperplonk/serialize.hpp"
+#include "scenarios/circuits.hpp"
+
+namespace zkspeed::scenarios {
+
+using ff::Fr;
+
+const char *
+to_string(Outcome o)
+{
+    switch (o) {
+        case Outcome::accept: return "ACCEPT";
+        case Outcome::reject_witness: return "REJECT_WITNESS";
+        case Outcome::reject_proof: return "REJECT_PROOF";
+        case Outcome::reject_frame: return "REJECT_FRAME";
+    }
+    return "unknown";
+}
+
+std::string
+Spec::describe() const
+{
+    std::string s = name + "{log_size=" + std::to_string(log_size) +
+                    ", seed=" + std::to_string(seed);
+    for (const auto &[k, v] : knobs) {
+        s += ", " + k + "=" + std::to_string(v);
+    }
+    return s + "}";
+}
+
+namespace {
+
+/** Decorrelate family RNG streams drawn from one suite seed. */
+std::mt19937_64
+family_rng(const Spec &spec, uint64_t salt)
+{
+    return std::mt19937_64(spec.seed * 0x9e3779b97f4a7c15ULL + salt);
+}
+
+Instance
+honest(const Spec &spec,
+       std::pair<hyperplonk::CircuitIndex, hyperplonk::Witness> built)
+{
+    Instance inst;
+    inst.spec = spec;
+    inst.expected = Outcome::accept;
+    inst.circuit = std::move(built.first);
+    inst.witness = std::move(built.second);
+    return inst;
+}
+
+/** Add a generator to the first opening quotient: the proof still
+ * decodes and passes every algebraic check, but the pairing-side check
+ * must reject — the mutation only the deferred/batched flush can see. */
+std::vector<uint8_t>
+corrupt_pairing_side(std::vector<uint8_t> proof_bytes)
+{
+    auto proof = hyperplonk::serde::deserialize_proof(proof_bytes);
+    if (!proof.has_value() || proof->gprime_proof.quotients.empty()) {
+        // Returning the honest bytes here would surface as a baffling
+        // "expected REJECT_PROOF but observed ACCEPT" downstream; fail
+        // at the actual fault instead.
+        throw std::logic_error(
+            "corrupt_pairing_side: proof bytes undecodable or without "
+            "quotients — tamper helper out of sync with proof layout");
+    }
+    auto &q = proof->gprime_proof.quotients[0];
+    q = (curve::G1::from_affine(q) + curve::g1_generator()).to_affine();
+    return hyperplonk::serde::serialize_proof(*proof);
+}
+
+}  // namespace
+
+Registry::Registry()
+{
+    using circuits::RollupParams;
+    using circuits::TransferParams;
+
+    families_.push_back(Family{
+        "rollup", "transfer batch over a small ledger, public checksums",
+        Outcome::accept, [](const Spec &s) {
+            RollupParams p;
+            p.accounts = s.knob("accounts", 4);
+            p.transfers = s.knob("transfers", 6);
+            auto rng = family_rng(s, 1);
+            return honest(s, circuits::rollup(p, rng, s.log_size));
+        }});
+
+    families_.push_back(Family{
+        "private-transaction",
+        "balance transfer with 16-bit range checks on amount and balance",
+        Outcome::accept, [](const Spec &s) {
+            TransferParams p;
+            p.bits = unsigned(s.knob("bits", 16));
+            auto rng = family_rng(s, 2);
+            return honest(s,
+                          circuits::private_transaction(p, rng, s.log_size));
+        }});
+
+    families_.push_back(Family{
+        "rescue-chain", "chained Rescue sponge hashes, digest public",
+        Outcome::accept, [](const Spec &s) {
+            auto rng = family_rng(s, 3);
+            return honest(s, circuits::rescue_chain(s.knob("links", 1),
+                                                    false, rng,
+                                                    s.log_size));
+        }});
+
+    families_.push_back(Family{
+        "rescue-custom-gates",
+        "Rescue chain on q_H x^5 custom gates (23-claim proof shape)",
+        Outcome::accept, [](const Spec &s) {
+            auto rng = family_rng(s, 4);
+            return honest(s, circuits::rescue_chain(s.knob("links", 1),
+                                                    true, rng,
+                                                    s.log_size));
+        }});
+
+    families_.push_back(Family{
+        "merkle-membership",
+        "keccak-derived leaf under a Rescue-hashed Merkle root",
+        Outcome::accept, [](const Spec &s) {
+            auto rng = family_rng(s, 5);
+            return honest(s, circuits::merkle_membership(
+                                 s.knob("depth", 2), rng, s.log_size));
+        }});
+
+    families_.push_back(Family{
+        "range-bank", "bank of range decompositions, sum public",
+        Outcome::accept, [](const Spec &s) {
+            auto rng = family_rng(s, 6);
+            return honest(s, circuits::range_bank(s.knob("values", 4),
+                                                  unsigned(s.knob("bits", 8)),
+                                                  rng, s.log_size));
+        }});
+
+    families_.push_back(Family{
+        "shuffle", "copy-constraint-heavy shuffled vector (PermCheck)",
+        Outcome::accept, [](const Spec &s) {
+            auto rng = family_rng(s, 7);
+            return honest(s, circuits::shuffle(s.knob("n", 12), rng,
+                                               s.log_size));
+        }});
+
+    families_.push_back(Family{
+        "dense-arithmetic",
+        "random circuit with a dense witness scalar population",
+        Outcome::accept, [](const Spec &s) {
+            auto rng = family_rng(s, 8);
+            double dense = double(s.knob("dense_pct", 80)) / 100.0;
+            return honest(s, hyperplonk::random_circuit(s.log_size, rng,
+                                                        dense));
+        }});
+
+    families_.push_back(Family{
+        "sparse-arithmetic",
+        "random circuit with the paper's 0/1-heavy witness statistics",
+        Outcome::accept, [](const Spec &s) {
+            auto rng = family_rng(s, 9);
+            double dense = double(s.knob("dense_pct", 5)) / 100.0;
+            return honest(s, hyperplonk::random_circuit(s.log_size, rng,
+                                                        dense));
+        }});
+
+    // ------------------------------------------------------------------
+    // Adversarial families. Each declares the exact layer that must
+    // reject it; the conformance harness asserts nothing else does.
+    // ------------------------------------------------------------------
+
+    families_.push_back(Family{
+        "overdraft-transaction",
+        "transfer amount exceeds the balance: witness violates its own "
+        "range gates",
+        Outcome::reject_witness, [](const Spec &s) {
+            TransferParams p;
+            p.bits = unsigned(s.knob("bits", 16));
+            p.overdraft = true;
+            auto rng = family_rng(s, 10);
+            Instance inst = honest(
+                s, circuits::private_transaction(p, rng, s.log_size));
+            return inst;
+        }});
+
+    families_.push_back(Family{
+        "tampered-witness",
+        "honest circuit with one output wire flipped at an active gate",
+        Outcome::reject_witness, [](const Spec &s) {
+            auto rng = family_rng(s, 11);
+            Instance inst = honest(
+                s, circuits::rescue_chain(1, false, rng, s.log_size));
+            for (size_t i = 0; i < inst.circuit.q_o.size(); ++i) {
+                if (!inst.circuit.q_o[i].is_zero()) {
+                    inst.witness.w[2][i] += Fr::one();
+                    break;
+                }
+            }
+            return inst;
+        }});
+
+    families_.push_back(Family{
+        "tampered-proof",
+        "valid proof with a pairing-side corruption only the deferred "
+        "flush can catch",
+        Outcome::reject_proof, [](const Spec &s) {
+            auto rng = family_rng(s, 12);
+            Instance inst = honest(
+                s, circuits::range_bank(s.knob("values", 3),
+                                        unsigned(s.knob("bits", 8)), rng,
+                                        s.log_size));
+            inst.tamper_proof = corrupt_pairing_side;
+            return inst;
+        }});
+
+    families_.push_back(Family{
+        "forged-publics",
+        "valid proof presented against forged public inputs",
+        Outcome::reject_proof, [](const Spec &s) {
+            RollupParams p;
+            p.accounts = s.knob("accounts", 4);
+            p.transfers = s.knob("transfers", 4);
+            auto rng = family_rng(s, 13);
+            Instance inst =
+                honest(s, circuits::rollup(p, rng, s.log_size));
+            inst.tamper_publics = [](std::vector<Fr> &publics) {
+                if (!publics.empty()) publics.back() += Fr::one();
+            };
+            return inst;
+        }});
+
+    families_.push_back(Family{
+        "malformed-frame",
+        "valid verify job inside a corrupted wire frame (truncation, "
+        "bad magic, or an oversized blob length)",
+        Outcome::reject_frame, [](const Spec &s) {
+            auto rng = family_rng(s, 14);
+            Instance inst = honest(
+                s, circuits::shuffle(s.knob("n", 8), rng, s.log_size));
+            // Corruption kind: overridable via the `variant` knob so a
+            // sweep can deterministically cover all three paths.
+            uint64_t variant = s.knob("variant", s.seed % 3);
+            inst.tamper_frame =
+                [variant](std::vector<uint8_t> frame) {
+                    switch (variant) {
+                        case 0:  // truncate mid-payload
+                            frame.resize(frame.size() * 2 / 3);
+                            break;
+                        case 1:  // break the job-class magic
+                            frame[0] ^= 0xff;
+                            break;
+                        default:  // oversize the vk length prefix
+                            for (size_t i = 0; i < 8; ++i) {
+                                frame[16 + i] = 0xff;
+                            }
+                            break;
+                    }
+                    return frame;
+                };
+            return inst;
+        }});
+}
+
+const Registry &
+Registry::global()
+{
+    static const Registry kRegistry;
+    return kRegistry;
+}
+
+const Family *
+Registry::find(const std::string &name) const
+{
+    for (const Family &f : families_) {
+        if (f.name == name) return &f;
+    }
+    return nullptr;
+}
+
+Instance
+Registry::build(const Spec &spec) const
+{
+    const Family *f = find(spec.name);
+    if (f == nullptr) {
+        throw std::out_of_range("unregistered scenario family: " +
+                                spec.name);
+    }
+    Instance inst = f->build(spec);
+    inst.expected = f->expected;
+    return inst;
+}
+
+std::vector<std::string>
+Registry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(families_.size());
+    for (const Family &f : families_) out.push_back(f.name);
+    return out;
+}
+
+std::vector<Spec>
+Registry::default_suite(uint64_t seed, size_t log_size) const
+{
+    std::vector<Spec> suite;
+    suite.reserve(families_.size());
+    for (size_t i = 0; i < families_.size(); ++i) {
+        Spec spec;
+        spec.name = families_[i].name;
+        spec.log_size = log_size;
+        spec.seed = seed + i;
+        suite.push_back(std::move(spec));
+    }
+    return suite;
+}
+
+}  // namespace zkspeed::scenarios

@@ -190,6 +190,171 @@ TEST(BatchVerifier, SingleBadProofBatchRejects)
 }
 
 // ---------------------------------------------------------------------
+// Systematic proof mutation: corrupt every structural field of a proof
+// in turn. Each mutated proof must still decode (the mutations keep
+// points on-curve and scalars canonical), and then be rejected — either
+// by the inline algebraic checks, or, for pairing-side fields, by the
+// batch fold with bisection fingering exactly the mutated proof.
+// ---------------------------------------------------------------------
+
+struct ProofMutation {
+    const char *field;
+    std::function<void(hyperplonk::Proof &)> apply;
+};
+
+std::vector<ProofMutation>
+proof_mutations()
+{
+    auto bump_g1 = [](curve::G1Affine &p) {
+        p = (curve::G1::from_affine(p) + curve::g1_generator()).to_affine();
+    };
+    std::vector<ProofMutation> muts;
+    muts.push_back({"witness_comms[0]", [bump_g1](hyperplonk::Proof &p) {
+                        bump_g1(p.witness_comms[0]);
+                    }});
+    muts.push_back({"zerocheck.round_evals[0][0]",
+                    [](hyperplonk::Proof &p) {
+                        p.zerocheck.round_evals[0][0] += Fr::one();
+                    }});
+    muts.push_back({"phi_comm", [bump_g1](hyperplonk::Proof &p) {
+                        bump_g1(p.phi_comm);
+                    }});
+    muts.push_back({"pi_comm", [bump_g1](hyperplonk::Proof &p) {
+                        bump_g1(p.pi_comm);
+                    }});
+    muts.push_back({"permcheck.round_evals[0][0]",
+                    [](hyperplonk::Proof &p) {
+                        p.permcheck.round_evals[0][0] += Fr::one();
+                    }});
+    muts.push_back({"evals.at_gate[5]", [](hyperplonk::Proof &p) {
+                        p.evals.at_gate[5] += Fr::one();
+                    }});
+    muts.push_back({"evals.at_perm[3]", [](hyperplonk::Proof &p) {
+                        p.evals.at_perm[3] += Fr::one();
+                    }});
+    muts.push_back({"evals.at_u0[0]", [](hyperplonk::Proof &p) {
+                        p.evals.at_u0[0] += Fr::one();
+                    }});
+    muts.push_back({"evals.at_u1[1]", [](hyperplonk::Proof &p) {
+                        p.evals.at_u1[1] += Fr::one();
+                    }});
+    muts.push_back({"evals.pi_at_root", [](hyperplonk::Proof &p) {
+                        p.evals.pi_at_root += Fr::one();
+                    }});
+    muts.push_back({"evals.w1_at_pub", [](hyperplonk::Proof &p) {
+                        p.evals.w1_at_pub += Fr::one();
+                    }});
+    muts.push_back({"opencheck.round_evals[0][0]",
+                    [](hyperplonk::Proof &p) {
+                        p.opencheck.round_evals[0][0] += Fr::one();
+                    }});
+    muts.push_back({"gprime_value", [](hyperplonk::Proof &p) {
+                        p.gprime_value += Fr::one();
+                    }});
+    muts.push_back({"gprime_proof.quotients[0]",
+                    [bump_g1](hyperplonk::Proof &p) {
+                        bump_g1(p.gprime_proof.quotients[0]);
+                    }});
+    muts.push_back({"gprime_proof.quotients.back()",
+                    [bump_g1](hyperplonk::Proof &p) {
+                        bump_g1(p.gprime_proof.quotients.back());
+                    }});
+    return muts;
+}
+
+TEST(ProofMutation, EveryFieldMutationIsRejectedAndBisectionFingersIt)
+{
+    auto honest_a = prove_random(3, 800);
+    auto honest_b = prove_random(3, 801);
+    auto victim = prove_random(3, 802);
+
+    size_t algebra_rejections = 0, batch_rejections = 0;
+    for (const ProofMutation &mut : proof_mutations()) {
+        SCOPED_TRACE(mut.field);
+        auto mutated = victim.proof;
+        mut.apply(mutated);
+
+        // The mutation must survive the serialization boundary: this
+        // sweep tests verification soundness, not decode strictness.
+        auto bytes = hyperplonk::serde::serialize_proof(mutated);
+        auto decoded = hyperplonk::serde::deserialize_proof(bytes);
+        ASSERT_TRUE(decoded.has_value());
+
+        verifier::PairingAccumulator acc;
+        bool algebra_ok = hyperplonk::verify_deferred(
+            victim.vk, victim.publics, *decoded, acc);
+        EXPECT_FALSE(hyperplonk::verify(victim.vk, victim.publics,
+                                        *decoded,
+                                        hyperplonk::PcsCheckMode::pairing));
+        if (!algebra_ok) {
+            // Caught inline before any pairing work.
+            EXPECT_TRUE(acc.empty());
+            ++algebra_rejections;
+            continue;
+        }
+
+        // Algebraically clean: only the folded pairing check can catch
+        // it. Sandwich it between honest proofs and demand bisection
+        // isolate exactly the mutated one.
+        verifier::BatchVerifier bv;
+        for (const ProvenStatement *st : {&honest_a, &victim, &honest_b}) {
+            verifier::PairingAccumulator a;
+            const hyperplonk::Proof &pr =
+                st == &victim ? *decoded : st->proof;
+            ASSERT_TRUE(
+                hyperplonk::verify_deferred(st->vk, st->publics, pr, a));
+            bv.add(std::move(a));
+        }
+        auto result = bv.flush();
+        ASSERT_EQ(result.verdicts.size(), 3u);
+        EXPECT_TRUE(result.verdicts[0]) << "honest batch-mate rejected";
+        EXPECT_FALSE(result.verdicts[1]) << "mutation not detected";
+        EXPECT_TRUE(result.verdicts[2]) << "honest batch-mate rejected";
+        EXPECT_GT(result.stats.bisection_steps, 0u);
+        ++batch_rejections;
+    }
+    // The transcript binds everything except the opening quotients, so
+    // most mutations die algebraically; the quotient mutations are the
+    // pairing-side corruptions the batch path exists to catch.
+    EXPECT_GE(algebra_rejections, 10u);
+    EXPECT_GE(batch_rejections, 2u);
+}
+
+TEST(ProofMutation, SerializedBitFlipsNeverVerify)
+{
+    auto st = prove_random(3, 810);
+    auto bytes = hyperplonk::serde::serialize_proof(st.proof);
+    // A sparse deterministic sweep across the whole byte range (every
+    // byte would re-run pairing checks thousands of times).
+    const size_t step = bytes.size() / 48 + 1;
+    size_t decode_rejections = 0, verify_rejections = 0;
+    for (size_t off = 0; off < bytes.size(); off += step) {
+        SCOPED_TRACE("bit flip at byte " + std::to_string(off));
+        auto flipped = bytes;
+        flipped[off] ^= uint8_t(1u << (off % 8));
+        auto decoded = hyperplonk::serde::deserialize_proof(flipped);
+        if (!decoded.has_value()) {
+            ++decode_rejections;  // strict decoding caught it
+            continue;
+        }
+        EXPECT_FALSE(hyperplonk::verify(st.vk, st.publics, *decoded,
+                                        hyperplonk::PcsCheckMode::pairing));
+        ++verify_rejections;
+    }
+    // The sweep must exercise both rejection layers: point bytes die in
+    // strict decoding (off-curve), scalar bytes decode but fail
+    // verification — if either count drops to zero, a layer has started
+    // accepting corrupted material.
+    EXPECT_GE(decode_rejections, 1u);
+    EXPECT_GE(verify_rejections, 1u);
+    EXPECT_EQ(decode_rejections + verify_rejections,
+              (bytes.size() + step - 1) / step);
+    // The original still verifies: the sweep mutated copies only.
+    EXPECT_TRUE(hyperplonk::verify(st.vk, st.publics, st.proof,
+                                   hyperplonk::PcsCheckMode::pairing));
+}
+
+// ---------------------------------------------------------------------
 // VERIFY wire frames.
 // ---------------------------------------------------------------------
 

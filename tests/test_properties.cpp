@@ -2,6 +2,11 @@
  * @file
  * Property-based sweeps: randomized algebraic laws and protocol
  * invariants exercised across seed/size grids with parameterized gtest.
+ *
+ * Every seed grid is offset by ZKSPEED_TEST_SEED (default 0), and each
+ * randomized test announces its effective seed via SCOPED_TRACE, so any
+ * red run reproduces with a single `ZKSPEED_TEST_SEED=<seed> ctest -R
+ * test_properties`.
  */
 #include <gtest/gtest.h>
 
@@ -9,6 +14,7 @@
 
 #include "hyperplonk/prover.hpp"
 #include "pcs/mkzg.hpp"
+#include "scenarios/seed.hpp"
 #include "sim/chip.hpp"
 
 namespace {
@@ -17,6 +23,15 @@ using namespace zkspeed;
 using ff::Fr;
 using ff::Fq;
 using hyperplonk::PcsCheckMode;
+
+/** Base offset applied to every seed grid below. */
+const uint64_t kSeedBase = scenarios::test_seed(0);
+
+#define ZKSPEED_TRACE_SEED(seed)                                        \
+    SCOPED_TRACE(::testing::Message()                                   \
+                 << "rerun with: ZKSPEED_TEST_SEED=" << kSeedBase       \
+                 << " ctest -R test_properties  (effective seed "       \
+                 << (seed) << ")")
 
 // ---------------------------------------------------------------------
 // Field laws over many seeds.
@@ -27,6 +42,7 @@ class FieldLaws : public ::testing::TestWithParam<uint64_t>
 
 TEST_P(FieldLaws, RandomizedAlgebra)
 {
+    ZKSPEED_TRACE_SEED(GetParam());
     std::mt19937_64 rng(GetParam());
     for (int i = 0; i < 20; ++i) {
         Fr a = Fr::random(rng), b = Fr::random(rng), c = Fr::random(rng);
@@ -48,7 +64,8 @@ TEST_P(FieldLaws, RandomizedAlgebra)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FieldLaws,
-                         ::testing::Range<uint64_t>(1, 9));
+                         ::testing::Range<uint64_t>(kSeedBase + 1,
+                                                    kSeedBase + 9));
 
 // ---------------------------------------------------------------------
 // MSM linearity in the scalar vector.
@@ -59,6 +76,7 @@ class MsmLinearity : public ::testing::TestWithParam<uint64_t>
 
 TEST_P(MsmLinearity, LinearInScalars)
 {
+    ZKSPEED_TRACE_SEED(GetParam());
     std::mt19937_64 rng(GetParam());
     const size_t n = 24;
     std::vector<curve::G1Affine> pts(n);
@@ -76,7 +94,8 @@ TEST_P(MsmLinearity, LinearInScalars)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MsmLinearity,
-                         ::testing::Range<uint64_t>(10, 16));
+                         ::testing::Range<uint64_t>(kSeedBase + 10,
+                                                    kSeedBase + 16));
 
 // ---------------------------------------------------------------------
 // PCS: opening value equals direct evaluation at random points, and
@@ -90,6 +109,7 @@ class PcsProperties
 TEST_P(PcsProperties, OpeningConsistency)
 {
     auto [mu, seed] = GetParam();
+    ZKSPEED_TRACE_SEED(seed);
     std::mt19937_64 rng(seed);
     pcs::Srs srs = pcs::Srs::generate(mu, rng);
     mle::Mle f = mle::Mle::random(mu, rng);
@@ -111,7 +131,8 @@ TEST_P(PcsProperties, OpeningConsistency)
 INSTANTIATE_TEST_SUITE_P(
     Grid, PcsProperties,
     ::testing::Combine(::testing::Values(2, 4, 6),
-                       ::testing::Values(21, 22, 23)));
+                       ::testing::Values(kSeedBase + 21, kSeedBase + 22,
+                                         kSeedBase + 23)));
 
 // ---------------------------------------------------------------------
 // End-to-end prove/verify across a (size, seed) grid.
@@ -124,6 +145,7 @@ class E2eGrid
 TEST_P(E2eGrid, ProveVerifyAndSingleBitTamper)
 {
     auto [mu, seed] = GetParam();
+    ZKSPEED_TRACE_SEED(seed);
     std::mt19937_64 rng(seed);
     auto [index, wit] = hyperplonk::random_circuit(mu, rng);
     auto srs =
@@ -146,14 +168,16 @@ TEST_P(E2eGrid, ProveVerifyAndSingleBitTamper)
 INSTANTIATE_TEST_SUITE_P(
     Grid, E2eGrid,
     ::testing::Combine(::testing::Values(3, 4, 5),
-                       ::testing::Values(31, 32, 33)));
+                       ::testing::Values(kSeedBase + 31, kSeedBase + 32,
+                                         kSeedBase + 33)));
 
 // ---------------------------------------------------------------------
 // Production-mode SRS (no trapdoor) still verifies via pairings.
 // ---------------------------------------------------------------------
 TEST(Pcs, ProductionSrsHasNoTrapdoorButVerifies)
 {
-    std::mt19937_64 rng(41);
+    ZKSPEED_TRACE_SEED(kSeedBase + 41);
+    std::mt19937_64 rng(kSeedBase + 41);
     pcs::Srs srs = pcs::Srs::generate(3, rng, /*keep_trapdoor=*/false);
     EXPECT_TRUE(srs.trapdoor.empty());
     mle::Mle f = mle::Mle::random(3, rng);
