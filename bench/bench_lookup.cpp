@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Lookup argument vs. gate-based range checks: the constraint-count
+ * and prover-time win the lookup subsystem exists for.
+ *
+ * Proves the same statement twice at the same bit width — a bank of
+ * `values` range-checked words with their sum public — once through
+ * the gate-based bit-decomposition bank (scenarios::circuits::
+ * range_bank) and once through one LogUp lookup gate per value
+ * (range_bank_lookup). Reports gate counts (pre-padding and padded
+ * 2^mu), prover wall time, verification agreement, and the simulated
+ * zkSpeed latency of both circuits (the LookupUnit prices the helper
+ * passes and LookupCheck).
+ *
+ * Usage: bench_lookup [--values N] [--bits B] [--quick] [--json PATH]
+ * Exit status is non-zero unless the lookup circuit shows >= 2x fewer
+ * constraints AND lower prover time (the PR's acceptance gate).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <random>
+
+#include "hyperplonk/prover.hpp"
+#include "report.hpp"
+#include "scenarios/circuits.hpp"
+#include "sim/chip.hpp"
+#include "sim/replay.hpp"
+
+using namespace zkspeed;
+using ff::Fr;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+ms_since(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+struct Side {
+    const char *label = "";
+    size_t raw_gates = 0;  ///< active (pre-padding) gate rows
+    size_t mu = 0;
+    double keygen_ms = 0;
+    double prove_ms = 0;
+    double verify_ms = 0;
+    bool verified = false;
+    double chip_ms = 0;  ///< simulated zkSpeed latency
+    size_t proof_bytes = 0;
+};
+
+/** Count rows with any active selector (incl. q_lookup). */
+size_t
+active_gates(const hyperplonk::CircuitIndex &index)
+{
+    size_t n = 0;
+    for (size_t i = 0; i < index.num_gates(); ++i) {
+        bool active = !index.q_l[i].is_zero() ||
+                      !index.q_r[i].is_zero() ||
+                      !index.q_m[i].is_zero() ||
+                      !index.q_o[i].is_zero() ||
+                      !index.q_c[i].is_zero() || !index.q_h[i].is_zero();
+        if (index.has_lookup && !index.q_lookup[i].is_zero()) {
+            active = true;
+        }
+        if (active) ++n;
+    }
+    return n;
+}
+
+Side
+run_side(const char *label,
+         std::pair<hyperplonk::CircuitIndex, hyperplonk::Witness> built,
+         const sim::DesignConfig &design)
+{
+    Side side;
+    side.label = label;
+    auto [index, witness] = std::move(built);
+    side.raw_gates = active_gates(index);
+    side.mu = index.num_vars;
+
+    std::mt19937_64 srs_rng(0x5eed ^ index.num_vars);
+    auto srs = std::make_shared<pcs::Srs>(
+        pcs::Srs::generate(index.num_vars, srs_rng));
+    auto t0 = Clock::now();
+    auto [pk, vk] = hyperplonk::keygen(index, srs);
+    side.keygen_ms = ms_since(t0);
+
+    t0 = Clock::now();
+    auto proof = hyperplonk::prove(pk, witness);
+    side.prove_ms = ms_since(t0);
+    side.proof_bytes = proof.size_bytes();
+
+    auto publics = witness.public_inputs(pk.index);
+    t0 = Clock::now();
+    side.verified = hyperplonk::verify(vk, publics, proof,
+                                       hyperplonk::PcsCheckMode::pairing);
+    side.verify_ms = ms_since(t0);
+
+    // Chip-side pricing of the same job (LookupUnit models the lookup
+    // circuit's extra step).
+    size_t zeros = 0, ones = 0, total = 0;
+    for (const auto &w : witness.w) {
+        for (size_t i = 0; i < w.size(); ++i) {
+            if (w[i].is_zero()) ++zeros;
+            else if (w[i].is_one()) ++ones;
+            ++total;
+        }
+    }
+    sim::Workload wl =
+        sim::Workload::from_stats(label, side.mu, zeros, ones, total);
+    wl.table_rows = pk.index.table_rows;
+    wl.lookup_gates = pk.index.num_lookup_gates();
+    side.chip_ms = sim::Chip(design).run(wl).runtime_ms;
+    return side;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t values = 256;
+    unsigned bits = 8;
+    const char *json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--values") && i + 1 < argc) {
+            values = size_t(std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--bits") && i + 1 < argc) {
+            bits = unsigned(std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            values = 32;
+            bits = 8;
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+    if (values == 0 || bits == 0 || bits > 16) {
+        std::fprintf(stderr, "--values must be positive, --bits in 1..16\n");
+        return 2;
+    }
+
+    bench::title("Lookup argument vs. gate-based range bank: " +
+                 std::to_string(values) + " values x " +
+                 std::to_string(bits) + " bits");
+
+    auto design = sim::DesignConfig::paper_default();
+    std::mt19937_64 rng_gates(42), rng_lookup(42);
+    Side gate_side = run_side(
+        "gate-based",
+        scenarios::circuits::range_bank(values, bits, rng_gates), design);
+    Side lookup_side = run_side(
+        "lookup",
+        scenarios::circuits::range_bank_lookup(values, bits, rng_lookup),
+        design);
+
+    bench::Table table({{"path", 12}, {"gates", 10}, {"2^mu", 8},
+                        {"prove ms", 10}, {"verify ms", 10},
+                        {"chip ms", 10}, {"proof B", 9}});
+    for (const Side *s : {&gate_side, &lookup_side}) {
+        table.row({s->label, std::to_string(s->raw_gates),
+                   std::to_string(size_t(1) << s->mu),
+                   bench::fmt(s->prove_ms), bench::fmt(s->verify_ms),
+                   bench::fmt(s->chip_ms, 4),
+                   std::to_string(s->proof_bytes)});
+    }
+
+    double constraint_ratio =
+        double(size_t(1) << gate_side.mu) /
+        double(size_t(1) << lookup_side.mu);
+    double raw_ratio =
+        double(gate_side.raw_gates) / double(lookup_side.raw_gates);
+    double prove_speedup = lookup_side.prove_ms > 0
+                               ? gate_side.prove_ms / lookup_side.prove_ms
+                               : 0;
+    std::printf(
+        "\nconstraints: %.1fx fewer padded (%.1fx fewer active), "
+        "prover: %.2fx faster, chip: %.2fx faster\n",
+        constraint_ratio, raw_ratio, prove_speedup,
+        lookup_side.chip_ms > 0 ? gate_side.chip_ms / lookup_side.chip_ms
+                                : 0);
+
+    bool ok = gate_side.verified && lookup_side.verified &&
+              constraint_ratio >= 2.0 && prove_speedup > 1.0;
+
+    if (json_path != nullptr) {
+        FILE *f = std::fopen(json_path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", json_path);
+            return 2;
+        }
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"lookup\",\n"
+            "  \"values\": %zu,\n"
+            "  \"bits\": %u,\n"
+            "  \"gate_based\": {\"active_gates\": %zu, \"mu\": %zu, "
+            "\"prove_ms\": %.3f, \"verify_ms\": %.3f, \"chip_ms\": %.5f, "
+            "\"proof_bytes\": %zu},\n"
+            "  \"lookup\": {\"active_gates\": %zu, \"mu\": %zu, "
+            "\"prove_ms\": %.3f, \"verify_ms\": %.3f, \"chip_ms\": %.5f, "
+            "\"proof_bytes\": %zu},\n"
+            "  \"constraint_ratio\": %.3f,\n"
+            "  \"active_gate_ratio\": %.3f,\n"
+            "  \"prover_speedup\": %.3f,\n"
+            "  \"both_verified\": %s,\n"
+            "  \"meets_2x_constraint_target\": %s\n"
+            "}\n",
+            values, bits, gate_side.raw_gates, gate_side.mu,
+            gate_side.prove_ms, gate_side.verify_ms, gate_side.chip_ms,
+            gate_side.proof_bytes, lookup_side.raw_gates, lookup_side.mu,
+            lookup_side.prove_ms, lookup_side.verify_ms,
+            lookup_side.chip_ms, lookup_side.proof_bytes,
+            constraint_ratio, raw_ratio, prove_speedup,
+            (gate_side.verified && lookup_side.verified) ? "true"
+                                                         : "false",
+            constraint_ratio >= 2.0 ? "true" : "false");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path);
+    }
+
+    if (!ok) {
+        std::fprintf(stderr,
+                     "FAILED: lookup did not beat the gate-based bank "
+                     "(verified=%d/%d, constraint_ratio=%.2f, "
+                     "prover_speedup=%.2f)\n",
+                     gate_side.verified, lookup_side.verified,
+                     constraint_ratio, prove_speedup);
+        return 1;
+    }
+    return 0;
+}

@@ -32,8 +32,12 @@ workload_from_instance(const zkspeed::scenarios::Instance &inst)
             ++total;
         }
     }
-    return zkspeed::sim::Workload::from_stats(
+    auto wl = zkspeed::sim::Workload::from_stats(
         inst.spec.name, inst.circuit.num_vars, zeros, ones, total);
+    // Lookup circuits carry an extra protocol step; price it.
+    wl.table_rows = inst.circuit.table_rows;
+    wl.lookup_gates = inst.circuit.num_lookup_gates();
+    return wl;
 }
 
 }  // namespace

@@ -57,12 +57,15 @@ demo_stream()
 {
     std::vector<uint8_t> stream;
     uint64_t id = 1;
-    // Two scenario-library jobs: a Rescue hash chain and a Merkle
-    // membership proof (distinct seeds, distinct circuit shapes).
+    // Three scenario-library jobs: a Rescue hash chain, a Merkle
+    // membership proof, and a lookup-argument range bank (the wire
+    // frame carries the table; the proof carries the LogUp artifacts).
     wire::append_frame(stream, wire::encode_request(
         scenario_request(id++, "rescue-chain", 2025)));
     wire::append_frame(stream, wire::encode_request(
         scenario_request(id++, "merkle-membership", 2026)));
+    wire::append_frame(stream, wire::encode_request(
+        scenario_request(id++, "range-via-lookup", 2028)));
     // The same random circuit proved three times: cache hits.
     std::mt19937_64 circuit_rng(7);
     auto [index, witness] = hyperplonk::random_circuit(5, circuit_rng);

@@ -159,13 +159,41 @@ multi_miller_loop_prepared(std::span<const G1Affine> ps,
 Fq12
 multi_miller_loop(std::span<const G1Affine> ps, std::span<const G2Affine> qs)
 {
-    // Prepare-and-consume: the G2-only line computation runs once per
-    // point, the shared f accumulation consumes the coefficients in the
-    // identical order, so the result matches the fused loop exactly.
-    std::vector<G2Prepared> preps;
-    preps.reserve(qs.size());
-    for (const auto &q : qs) preps.push_back(prepare_g2(q));
-    return multi_miller_loop_prepared(ps, preps);
+    // Fused in-place loop: the doubling/addition steps run interleaved
+    // with the shared f accumulation, so one-shot pairings never
+    // materialise the ~20 KB/point coefficient vectors of G2Prepared.
+    // Callers that pair the same G2 points repeatedly (BatchVerifier
+    // bisection probes, fixed-SRS verification) should prepare_g2 once
+    // and use the *_prepared overloads instead. Step order matches
+    // prepare_g2 exactly, so both paths produce identical Fq12 values
+    // (asserted by test_pairing's PreparedMatchesUnprepared).
+    std::vector<const G1Affine *> p_live;
+    std::vector<G2Proj> r_live;
+    std::vector<const G2Affine *> q_live;
+    for (size_t i = 0; i < ps.size(); ++i) {
+        if (!ps[i].is_identity() && !qs[i].is_identity()) {
+            p_live.push_back(&ps[i]);
+            r_live.push_back(G2Proj{qs[i].x, qs[i].y, Fq2::one()});
+            q_live.push_back(&qs[i]);
+        }
+    }
+    Fq12 f = Fq12::one();
+    if (p_live.empty()) return f;
+
+    BigInt<1> x(kAbsX);
+    for (size_t bit = x.num_bits() - 1; bit-- > 0;) {
+        f = f.square();
+        for (size_t i = 0; i < r_live.size(); ++i) {
+            ell(f, doubling_step(r_live[i]), *p_live[i]);
+        }
+        if (x.bit(bit)) {
+            for (size_t i = 0; i < r_live.size(); ++i) {
+                ell(f, addition_step(r_live[i], *q_live[i]), *p_live[i]);
+            }
+        }
+    }
+    // Negative BLS parameter: conjugate, as in the prepared loop.
+    return f.conjugate();
 }
 
 Fq12

@@ -1,7 +1,10 @@
 #include "hyperplonk/circuit.hpp"
 
 #include <cassert>
+#include <stdexcept>
 #include <unordered_map>
+
+#include "lookup/logup.hpp"
 
 namespace zkspeed::hyperplonk {
 
@@ -47,6 +50,15 @@ Witness::satisfies_wiring(const CircuitIndex &index) const
         }
     }
     return true;
+}
+
+bool
+Witness::satisfies_lookups(const CircuitIndex &index) const
+{
+    if (!index.has_lookup) return true;
+    return lookup::rows_satisfy(index.q_lookup, index.table,
+                                index.table_rows,
+                                {&w[0], &w[1], &w[2]});
 }
 
 std::vector<Fr>
@@ -154,6 +166,31 @@ CircuitBuilder::add_custom_gate(const Fr &ql, const Fr &qr, const Fr &qm,
     gates_.push_back(Gate{ql, qr, qm, qo, qc, a, b, c});
 }
 
+void
+CircuitBuilder::set_table(lookup::Table table)
+{
+    if (!table_.empty()) {
+        throw std::logic_error("CircuitBuilder: one table per circuit");
+    }
+    if (table.empty()) {
+        throw std::logic_error("CircuitBuilder: empty lookup table");
+    }
+    table_ = std::move(table);
+}
+
+void
+CircuitBuilder::add_lookup_gate(Var a, Var b, Var c)
+{
+    if (table_.empty()) {
+        throw std::logic_error(
+            "CircuitBuilder: set_table before add_lookup_gate");
+    }
+    Gate g{Fr::zero(), Fr::zero(), Fr::zero(), Fr::zero(), Fr::zero(),
+           a, b, c};
+    g.lookup = true;
+    gates_.push_back(g);
+}
+
 std::pair<CircuitIndex, Witness>
 CircuitBuilder::build(size_t min_vars) const
 {
@@ -167,8 +204,13 @@ CircuitBuilder::build(size_t min_vars) const
     }
     all.insert(all.end(), gates_.begin(), gates_.end());
 
+    // The table shares the hypercube index space with the gates, so the
+    // circuit must be at least as tall as the table.
     size_t mu = min_vars;
-    while ((size_t(1) << mu) < all.size()) ++mu;
+    while ((size_t(1) << mu) < all.size() ||
+           (size_t(1) << mu) < table_.size()) {
+        ++mu;
+    }
     const size_t n = size_t(1) << mu;
 
     CircuitIndex index;
@@ -180,6 +222,18 @@ CircuitBuilder::build(size_t min_vars) const
     index.q_o = Mle(mu);
     index.q_c = Mle(mu);
     index.q_h = Mle(mu);
+    if (!table_.empty()) {
+        index.has_lookup = true;
+        index.table_rows = table_.size();
+        index.q_lookup = Mle(mu);
+        for (auto &t : index.table) t = Mle(mu);
+        for (size_t j = 0; j < n; ++j) {
+            // Padding rows repeat row 0: duplicates only add poles the
+            // multiplicity MLE can leave at zero.
+            const auto &row = table_.rows[j < table_.size() ? j : 0];
+            for (size_t k = 0; k < 3; ++k) index.table[k][j] = row[k];
+        }
+    }
     Witness wit;
     for (auto &w : wit.w) w = Mle(mu);
 
@@ -195,6 +249,7 @@ CircuitBuilder::build(size_t min_vars) const
         index.q_c[i] = g.qc;
         index.q_h[i] = g.qh;
         if (!g.qh.is_zero()) index.custom_gates = true;
+        if (g.lookup) index.q_lookup[i] = Fr::one();
         wit.w[0][i] = values_[g.a];
         wit.w[1][i] = values_[g.b];
         wit.w[2][i] = values_[g.c];

@@ -17,6 +17,7 @@
 #include <random>
 #include <vector>
 
+#include "lookup/table.hpp"
 #include "mle/mle.hpp"
 
 namespace zkspeed::hyperplonk {
@@ -45,7 +46,34 @@ struct CircuitIndex {
     /** Number of public inputs, stored in w1 of the first gates. */
     size_t num_public = 0;
 
+    /**
+     * Lookup argument (src/lookup, DESIGN.md Section 8). When enabled,
+     * rows with q_lookup = 1 assert their wire triple (w1, w2, w3)
+     * equals some row of the 3-column table MLEs. The table occupies
+     * the same hypercube index space as the gates but consumes no gate
+     * slots; rows past `table_rows` are padding (copies of row 0).
+     * Changes the proof shape: 3 extra commitments, a degree-3
+     * LookupCheck sumcheck, a 7th opening point and 10 extra claims.
+     */
+    bool has_lookup = false;
+    Mle q_lookup;
+    std::array<Mle, 3> table;
+    /** Real table rows before padding (0 when has_lookup is false). */
+    size_t table_rows = 0;
+
     size_t num_gates() const { return size_t(1) << num_vars; }
+
+    /** Active lookup rows (0 when the circuit has no lookup argument). */
+    size_t
+    num_lookup_gates() const
+    {
+        if (!has_lookup) return 0;
+        size_t n = 0;
+        for (size_t i = 0; i < q_lookup.size(); ++i) {
+            if (!q_lookup[i].is_zero()) ++n;
+        }
+        return n;
+    }
 
     /** Identity MLE for wire set j: id_j[i] = j * 2^mu + i. */
     Mle identity_mle(size_t j) const;
@@ -60,6 +88,10 @@ struct Witness {
 
     /** Check the copy constraints directly (test helper). */
     bool satisfies_wiring(const CircuitIndex &index) const;
+
+    /** Check every active lookup row's triple is in the table (true
+     * when the circuit has no lookup argument). */
+    bool satisfies_lookups(const CircuitIndex &index) const;
 
     /** The public-input values (first entries of w1). */
     std::vector<Fr> public_inputs(const CircuitIndex &index) const;
@@ -114,6 +146,22 @@ class CircuitBuilder
     void add_custom_gate(const Fr &ql, const Fr &qr, const Fr &qm,
                          const Fr &qo, const Fr &qc, Var a, Var b, Var c);
 
+    /**
+     * Install the circuit's lookup table (one per circuit; must be
+     * called before the first add_lookup_gate). The built circuit's
+     * size covers the table: 2^mu >= max(gates, table rows).
+     */
+    void set_table(lookup::Table table);
+
+    /**
+     * Lookup gate: assert the triple (a, b, c) equals some table row.
+     * All arithmetic selectors stay zero; the row is claimed by the
+     * q_lookup selector and proved by the LogUp argument.
+     */
+    void add_lookup_gate(Var a, Var b, Var c);
+
+    const lookup::Table &table() const { return table_; }
+
     /** Value currently assigned to a variable. */
     const Fr &value(Var v) const { return values_[v]; }
 
@@ -132,6 +180,8 @@ class CircuitBuilder
         /** Custom-gate selector (kept last so plain-gate aggregate
          * initialisation leaves it zero). */
         Fr qh{};
+        /** Lookup gate: triple must be in the table. */
+        bool lookup = false;
     };
 
     Var new_gate_output(const Fr &ql, const Fr &qr, const Fr &qm,
@@ -140,6 +190,7 @@ class CircuitBuilder
     std::vector<Fr> values_;
     std::vector<Gate> gates_;
     std::vector<Var> public_inputs_;  ///< variables exposed publicly
+    lookup::Table table_;             ///< empty when no lookups are used
 };
 
 /**

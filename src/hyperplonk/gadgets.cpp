@@ -137,6 +137,26 @@ range_check(CircuitBuilder &cb, Var v, unsigned bits)
     (void)bit_decompose(cb, v, bits);
 }
 
+void
+range_via_lookup(CircuitBuilder &cb, Var v)
+{
+    // The lookup constrains the whole triple, so the zero wires need no
+    // gates of their own: (v, z1, z2) in {(x, 0, 0)} forces z1 = z2 = 0.
+    Var z1 = cb.add_variable(Fr::zero());
+    Var z2 = cb.add_variable(Fr::zero());
+    cb.add_lookup_gate(v, z1, z2);
+}
+
+Var
+xor_via_lookup(CircuitBuilder &cb, Var a, Var b)
+{
+    uint64_t va = cb.value(a).to_repr().limbs[0];
+    uint64_t vb = cb.value(b).to_repr().limbs[0];
+    Var out = cb.add_variable(Fr::from_uint(va ^ vb));
+    cb.add_lookup_gate(a, b, out);
+    return out;
+}
+
 Var
 is_equal(CircuitBuilder &cb, Var a, Var b)
 {

@@ -35,16 +35,19 @@ append_g1(Transcript &tr, std::string_view label, const G1Affine &p)
 /** Bind the statement: index commitments, sizes and public inputs. */
 inline void
 bind_preamble(Transcript &tr, size_t num_vars, size_t num_public,
-              bool custom_gates,
+              bool custom_gates, bool has_lookup,
               const std::array<G1Affine, 6> &selector_comms,
               const std::array<G1Affine, 3> &sigma_comms,
+              const std::array<G1Affine, 4> &lookup_comms,
               std::span<const Fr> public_inputs)
 {
     tr.append_fr("num_vars", Fr::from_uint(num_vars));
     tr.append_fr("num_public", Fr::from_uint(num_public));
     tr.append_fr("custom_gates", Fr::from_uint(custom_gates ? 1 : 0));
+    tr.append_fr("has_lookup", Fr::from_uint(has_lookup ? 1 : 0));
     for (const auto &c : selector_comms) append_g1(tr, "selector_comm", c);
     for (const auto &c : sigma_comms) append_g1(tr, "sigma_comm", c);
+    for (const auto &c : lookup_comms) append_g1(tr, "lookup_comm", c);
     tr.append_frs("public_inputs", public_inputs);
 }
 
@@ -57,10 +60,11 @@ struct ClaimEntry {
 /**
  * The canonical claim list; order matches BatchEvaluations::flatten().
  * With custom gates enabled a 23rd claim (q_H at the gate point) is
- * inserted after the base gate block.
+ * inserted after the base gate block; with a lookup argument the 10
+ * LookupCheck-point claims are appended at the end (point index 6).
  */
 inline std::vector<ClaimEntry>
-claim_list(bool custom_gates)
+claim_list(bool custom_gates, bool has_lookup)
 {
     std::vector<ClaimEntry> c = {
         {0, kQl}, {0, kQr}, {0, kQm}, {0, kQo}, {0, kQc},
@@ -76,6 +80,14 @@ claim_list(bool custom_gates)
         {5, kW1},
     };
     c.insert(c.end(), std::begin(rest), std::end(rest));
+    if (has_lookup) {
+        const ClaimEntry lk[] = {
+            {6, kW1}, {6, kW2}, {6, kW3}, {6, kQLookup},
+            {6, kT1}, {6, kT2}, {6, kT3},
+            {6, kM}, {6, kHf}, {6, kHt},
+        };
+        c.insert(c.end(), std::begin(lk), std::end(lk));
+    }
     return c;
 }
 
@@ -119,12 +131,14 @@ pub_point(std::span<const Fr> z_pub, size_t mu)
     return pt;
 }
 
-/** Assemble the six opening points in canonical order. */
+/** Assemble the opening points in canonical order: the six base points
+ * plus, for lookup circuits, the LookupCheck point r_l (index 6). */
 inline std::vector<std::vector<Fr>>
 make_points(std::span<const Fr> r_g, std::span<const Fr> r_p,
-            std::span<const Fr> z_pub, size_t mu)
+            std::span<const Fr> z_pub, size_t mu,
+            std::span<const Fr> r_l = {})
 {
-    return {
+    std::vector<std::vector<Fr>> pts = {
         std::vector<Fr>(r_g.begin(), r_g.end()),
         std::vector<Fr>(r_p.begin(), r_p.end()),
         child_point(r_p, false),
@@ -132,6 +146,8 @@ make_points(std::span<const Fr> r_g, std::span<const Fr> r_p,
         root_point(mu),
         pub_point(z_pub, mu),
     };
+    if (!r_l.empty()) pts.emplace_back(r_l.begin(), r_l.end());
+    return pts;
 }
 
 /** Powers a^0 .. a^{n-1}. */
@@ -169,6 +185,33 @@ identity_eval(size_t j, size_t mu, std::span<const Fr> x)
         acc += x[k] * Fr::from_uint(uint64_t(1) << k);
     }
     return acc;
+}
+
+/** Per-round degree bound of the LookupCheck sumcheck (h * wire * eq). */
+constexpr size_t kLookupCheckDegree = 3;
+
+/** Indices into BatchEvaluations::at_lookup (claim_list point-6 order). */
+enum LookupEvalId : size_t {
+    kLkW1 = 0, kLkW2, kLkW3, kLkQLookup,
+    kLkT1, kLkT2, kLkT3,
+    kLkM, kLkHf, kLkHt,
+};
+
+/**
+ * The combined LookupCheck constraint evaluated from the claimed
+ * point-6 evaluations (logup.hpp: (L1) + alpha (L2) eq + alpha^2 (L3)
+ * eq). `eq_val` is eq(r_l, r_z3), computed by the caller.
+ */
+inline Fr
+lookup_expression(const std::array<Fr, 10> &e, const Fr &lambda,
+                  const Fr &gamma, const Fr &alpha, const Fr &eq_val)
+{
+    Fr f = lambda + e[kLkW1] + gamma * (e[kLkW2] + gamma * e[kLkW3]);
+    Fr t = lambda + e[kLkT1] + gamma * (e[kLkT2] + gamma * e[kLkT3]);
+    Fr expr = e[kLkHf] - e[kLkHt];
+    expr += alpha * (e[kLkHf] * f - e[kLkQLookup]) * eq_val;
+    expr += alpha * alpha * (e[kLkHt] * t - e[kLkM]) * eq_val;
+    return expr;
 }
 
 }  // namespace zkspeed::hyperplonk::detail

@@ -5,6 +5,7 @@
 #include "hyperplonk/permutation.hpp"
 #include "hyperplonk/profile.hpp"
 #include "hyperplonk/protocol_common.hpp"
+#include "lookup/logup.hpp"
 
 namespace zkspeed::hyperplonk {
 
@@ -23,6 +24,8 @@ BatchEvaluations::flatten() const
     out.push_back(w1_at_pub);
     // The custom-gate claim slots in right after the base gate block.
     if (custom) out.insert(out.begin() + 8, qh_at_gate);
+    // The LookupCheck-point claims trail the base list.
+    if (lookup) out.insert(out.end(), at_lookup.begin(), at_lookup.end());
     return out;
 }
 
@@ -40,6 +43,12 @@ Proof::size_bytes() const
     n += evals.count() * kFrSize;
     n += kFrSize;  // gprime_value
     n += gprime_proof.quotients.size() * kG1Size;
+    if (evals.lookup) {
+        n += 3 * kG1Size;  // m, h_f, h_t
+        for (const auto &r : lookupcheck.round_evals) {
+            n += r.size() * kFrSize;
+        }
+    }
     return n;
 }
 
@@ -52,6 +61,7 @@ keygen(CircuitIndex index, std::shared_ptr<const pcs::Srs> srs)
     vk.num_vars = index.num_vars;
     vk.num_public = index.num_public;
     vk.custom_gates = index.custom_gates;
+    vk.has_lookup = index.has_lookup;
     const Mle *selectors[6] = {&index.q_l, &index.q_r, &index.q_m,
                                &index.q_o, &index.q_c, &index.q_h};
     for (size_t i = 0; i < 6; ++i) {
@@ -60,8 +70,15 @@ keygen(CircuitIndex index, std::shared_ptr<const pcs::Srs> srs)
     for (size_t j = 0; j < 3; ++j) {
         pk.sigma_comms[j] = pcs::commit(*srs, index.sigma[j]);
     }
+    if (index.has_lookup) {
+        pk.lookup_comms[0] = pcs::commit_sparse(*srs, index.q_lookup);
+        for (size_t k = 0; k < 3; ++k) {
+            pk.lookup_comms[1 + k] = pcs::commit(*srs, index.table[k]);
+        }
+    }
     vk.selector_comms = pk.selector_comms;
     vk.sigma_comms = pk.sigma_comms;
+    vk.lookup_comms = pk.lookup_comms;
     vk.srs = srs;
     pk.srs = std::move(srs);
     pk.index = std::move(index);
@@ -125,7 +142,8 @@ prove(const ProvingKey &pk, const Witness &witness)
     hash::Transcript tr("hyperplonk-v1");
     std::vector<Fr> publics = witness.public_inputs(index);
     bind_preamble(tr, mu, index.num_public, index.custom_gates,
-                  pk.selector_comms, pk.sigma_comms, publics);
+                  index.has_lookup, pk.selector_comms, pk.sigma_comms,
+                  pk.lookup_comms, publics);
 
     // ------------------------------------------------------------------
     // Step 1: Witness Commits (sparse MSMs; paper Section 3.3.1).
@@ -144,6 +162,21 @@ prove(const ProvingKey &pk, const Witness &witness)
     }
     for (const auto &c : proof.witness_comms) {
         append_g1(tr, "witness_comm", c);
+    }
+    // Lookup multiplicities depend only on (witness, table), so m is
+    // committed alongside the witness — before any challenge is drawn.
+    const std::array<const Mle *, 3> wire_ptrs = {
+        &witness.w[0], &witness.w[1], &witness.w[2]};
+    std::shared_ptr<Mle> m_mle;
+    if (index.has_lookup) {
+        ProfileRegion reg("Witness MSMs");
+        m_mle = std::make_shared<Mle>(lookup::multiplicities(
+            index.q_lookup, index.table, index.table_rows, wire_ptrs));
+        curve::MsmStats st;
+        proof.m_comm = pcs::commit_sparse(srs, *m_mle, &st);
+        reg.add_bytes_in((st.ones + st.dense) * kG1Bytes +
+                         st.dense * kFrBytes);
+        append_g1(tr, "lookup_m_comm", proof.m_comm);
     }
 
     // ------------------------------------------------------------------
@@ -229,19 +262,94 @@ prove(const ProvingKey &pk, const Witness &witness)
     std::span<const Fr> r_p = pres.challenges;
 
     // ------------------------------------------------------------------
-    // Step 4: Batch Evaluations — 22 evaluations at 6 points.
+    // Step 3.5: Lookup Argument (lookup circuits only) — LogUp helper
+    // construction (two batched inversions, the FracMLE kernel again)
+    // and the combined degree-3 LookupCheck (src/lookup/logup.hpp).
+    // ------------------------------------------------------------------
+    lookup::LookupOracles lk;
+    std::span<const Fr> r_l;
+    SumcheckProverResult lres;
+    if (index.has_lookup) {
+        Fr lambda = tr.challenge_fr("lookup_lambda");
+        Fr gamma_l = tr.challenge_fr("lookup_gamma");
+        {
+            ProfileRegion reg("Fraction MLE");
+            lk = lookup::build_helper_oracles(index.q_lookup, index.table,
+                                              wire_ptrs, *m_mle, lambda,
+                                              gamma_l);
+            reg.add_bytes_in(8 * n * kFrBytes);  // wires, table, q, m
+            reg.add_bytes_out(2 * n * kFrBytes);
+        }
+        {
+            ProfileRegion reg("Wire Identity MSMs");
+            proof.hf_comm = pcs::commit(srs, *lk.h_f);
+            proof.ht_comm = pcs::commit(srs, *lk.h_t);
+            reg.add_bytes_in(2 * n * (kG1Bytes + kFrBytes));
+        }
+        append_g1(tr, "lookup_hf_comm", proof.hf_comm);
+        append_g1(tr, "lookup_ht_comm", proof.ht_comm);
+        Fr alpha_l = tr.challenge_fr("lookup_alpha");
+        std::vector<Fr> r_z3 = tr.challenge_frs("lookupcheck_r", mu);
+        std::shared_ptr<Mle> fz3;
+        {
+            ProfileRegion reg("Build MLE");
+            fz3 = std::make_shared<Mle>(Mle::eq_table(r_z3));
+            reg.add_bytes_out(n * kFrBytes);
+        }
+        VirtualPolynomial f_lookup(mu);
+        {
+            size_t hf = f_lookup.add_mle(lk.h_f);
+            size_t ht = f_lookup.add_mle(lk.h_t);
+            size_t w1 = f_lookup.add_mle(alias(witness.w[0]));
+            size_t w2 = f_lookup.add_mle(alias(witness.w[1]));
+            size_t w3 = f_lookup.add_mle(alias(witness.w[2]));
+            size_t ql = f_lookup.add_mle(alias(index.q_lookup));
+            size_t t1 = f_lookup.add_mle(alias(index.table[0]));
+            size_t t2 = f_lookup.add_mle(alias(index.table[1]));
+            size_t t3 = f_lookup.add_mle(alias(index.table[2]));
+            size_t m = f_lookup.add_mle(m_mle);
+            size_t eq = f_lookup.add_mle(fz3);
+            Fr a2 = alpha_l * alpha_l;
+            Fr g2 = gamma_l * gamma_l;
+            // (L1): sum h_f - h_t == 0.
+            f_lookup.add_term(Fr::one(), {hf});
+            f_lookup.add_term(-Fr::one(), {ht});
+            // (L2): h_f (lambda + w1 + g w2 + g^2 w3) - q_lookup == 0.
+            f_lookup.add_term(alpha_l * lambda, {hf, eq});
+            f_lookup.add_term(alpha_l, {hf, w1, eq});
+            f_lookup.add_term(alpha_l * gamma_l, {hf, w2, eq});
+            f_lookup.add_term(alpha_l * g2, {hf, w3, eq});
+            f_lookup.add_term(-alpha_l, {ql, eq});
+            // (L3): h_t (lambda + t1 + g t2 + g^2 t3) - m == 0.
+            f_lookup.add_term(a2 * lambda, {ht, eq});
+            f_lookup.add_term(a2, {ht, t1, eq});
+            f_lookup.add_term(a2 * gamma_l, {ht, t2, eq});
+            f_lookup.add_term(a2 * g2, {ht, t3, eq});
+            f_lookup.add_term(-a2, {m, eq});
+        }
+        lres = profiled_sumcheck("LookupCheck Rounds", f_lookup, tr);
+        proof.lookupcheck = std::move(lres.proof);
+        r_l = lres.challenges;
+    }
+
+    // ------------------------------------------------------------------
+    // Step 4: Batch Evaluations — 22 evaluations at 6 points (+10 at
+    // the LookupCheck point for lookup circuits).
     // ------------------------------------------------------------------
     std::vector<Fr> z_pub =
         tr.challenge_frs("pub_r", pub_vars(index.num_public));
-    auto points = make_points(r_g, r_p, z_pub, mu);
+    auto points = make_points(r_g, r_p, z_pub, mu, r_l);
+    const Mle *polys[kNumPolys] = {
+        &index.q_l, &index.q_r, &index.q_m, &index.q_o, &index.q_c,
+        &index.q_h,
+        &witness.w[0], &witness.w[1], &witness.w[2],
+        &index.sigma[0], &index.sigma[1], &index.sigma[2],
+        oracles.phi.get(), oracles.pi.get(),
+        &index.q_lookup, &index.table[0], &index.table[1],
+        &index.table[2],
+        m_mle.get(), lk.h_f.get(), lk.h_t.get()};
     {
         ProfileRegion reg("Batch Evaluations");
-        const Mle *polys[kNumPolys] = {
-            &index.q_l, &index.q_r, &index.q_m, &index.q_o, &index.q_c,
-            &index.q_h,
-            &witness.w[0], &witness.w[1], &witness.w[2],
-            &index.sigma[0], &index.sigma[1], &index.sigma[2],
-            oracles.phi.get(), oracles.pi.get()};
         auto ev = [&](size_t poly, size_t point) {
             reg.add_bytes_in(n * kFrBytes);
             return polys[poly]->evaluate(points[point]);
@@ -261,6 +369,14 @@ prove(const ProvingKey &pk, const Witness &witness)
         proof.evals.w1_at_pub = ev(kW1, 5);
         proof.evals.custom = index.custom_gates;
         if (index.custom_gates) proof.evals.qh_at_gate = ev(kQh, 0);
+        proof.evals.lookup = index.has_lookup;
+        if (index.has_lookup) {
+            const size_t lk_polys[10] = {kW1, kW2, kW3, kQLookup,
+                                         kT1, kT2, kT3, kM, kHf, kHt};
+            for (size_t i = 0; i < 10; ++i) {
+                proof.evals.at_lookup[i] = ev(lk_polys[i], 6);
+            }
+        }
     }
     tr.append_frs("batch_evals", proof.evals.flatten());
 
@@ -269,7 +385,7 @@ prove(const ProvingKey &pk, const Witness &witness)
     // OpenCheck (Eq. 5), g' and the halving MSM opening.
     // ------------------------------------------------------------------
     Fr a = tr.challenge_fr("batch_a");
-    auto claims = claim_list(index.custom_gates);
+    auto claims = claim_list(index.custom_gates, index.has_lookup);
     std::vector<Fr> pw = powers(a, claims.size());
 
     // k_j = eq(X, z_j): six Build MLEs.
@@ -285,12 +401,6 @@ prove(const ProvingKey &pk, const Witness &witness)
     std::vector<std::shared_ptr<Mle>> y_mles(points.size());
     {
         ProfileRegion reg("Linear Combine");
-        const Mle *polys[kNumPolys] = {
-            &index.q_l, &index.q_r, &index.q_m, &index.q_o, &index.q_c,
-            &index.q_h,
-            &witness.w[0], &witness.w[1], &witness.w[2],
-            &index.sigma[0], &index.sigma[1], &index.sigma[2],
-            oracles.phi.get(), oracles.pi.get()};
         for (size_t j = 0; j < points.size(); ++j) {
             y_mles[j] = std::make_shared<Mle>(mu);
         }

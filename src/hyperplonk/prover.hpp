@@ -33,6 +33,8 @@ enum PolyId : size_t {
     kW1, kW2, kW3,                     // 6..8
     kS1, kS2, kS3,                     // 9..11
     kPhi, kPi,                         // 12..13
+    kQLookup, kT1, kT2, kT3,           // 14..17 (lookup: preprocessed)
+    kM, kHf, kHt,                      // 18..20 (lookup: proof-carried)
     kNumPolys,
 };
 
@@ -41,6 +43,8 @@ struct ProvingKey {
     std::shared_ptr<const pcs::Srs> srs;
     std::array<G1Affine, 6> selector_comms;  ///< qL,qR,qM,qO,qC,qH
     std::array<G1Affine, 3> sigma_comms;
+    /** q_lookup, t1, t2, t3 (identity when has_lookup is false). */
+    std::array<G1Affine, 4> lookup_comms{};
 };
 
 struct VerifyingKey {
@@ -49,8 +53,13 @@ struct VerifyingKey {
     /** Whether the circuit uses q_H custom gates (degree-7 ZeroCheck,
      * 23 batch claims instead of 22). */
     bool custom_gates = false;
+    /** Whether the circuit carries a lookup argument (LookupCheck
+     * sumcheck, 3 extra commitments, 10 extra batch claims). */
+    bool has_lookup = false;
     std::array<G1Affine, 6> selector_comms;  ///< qL,qR,qM,qO,qC,qH
     std::array<G1Affine, 3> sigma_comms;
+    /** q_lookup, t1, t2, t3 (identity when has_lookup is false). */
+    std::array<G1Affine, 4> lookup_comms{};
     std::shared_ptr<const pcs::Srs> srs;
 };
 
@@ -70,11 +79,20 @@ struct BatchEvaluations {
     /** q_H at the gate point (custom-gate circuits only). */
     Fr qh_at_gate;
     bool custom = false;
+    /** w1,w2,w3,q_lookup,t1,t2,t3,m,h_f,h_t at the LookupCheck point
+     * r_l (lookup circuits only; order matches claim_list). */
+    std::array<Fr, 10> at_lookup;
+    bool lookup = false;
 
-    /** All 22 (or 23 with custom gates) values in canonical order. */
+    /** All values in canonical order: 22 base, +1 custom, +10 lookup. */
     std::vector<Fr> flatten() const;
-    size_t count() const { return custom ? 23 : 22; }
+    size_t
+    count() const
+    {
+        return kBaseCount + (custom ? 1 : 0) + (lookup ? kLookupCount : 0);
+    }
     static constexpr size_t kBaseCount = 22;
+    static constexpr size_t kLookupCount = 10;
 };
 
 struct Proof {
@@ -86,6 +104,11 @@ struct Proof {
     SumcheckProof opencheck;
     Fr gprime_value;
     pcs::OpeningProof gprime_proof;
+
+    /** Lookup argument (evals.lookup circuits only): multiplicity and
+     * helper commitments plus the degree-3 LookupCheck transcript. */
+    G1Affine m_comm, hf_comm, ht_comm;
+    SumcheckProof lookupcheck;
 
     /** Approximate wire size in bytes (for Table-4-style reporting). */
     size_t size_bytes() const;

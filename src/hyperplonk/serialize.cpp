@@ -9,8 +9,14 @@ namespace {
 using ff::Fq;
 using ff::Fr;
 
-constexpr uint64_t kProofMagic = 0x7a6b737065656401ULL;  // "zkspeed",1
-constexpr uint64_t kVkMagic = 0x7a6b737065656402ULL;
+// Layout v2 (lookup-argument artifacts behind a flags byte): new magics
+// so a pre-lookup peer rejects the frame outright instead of
+// misparsing it.
+constexpr uint64_t kProofMagic = 0x7a6b737065656403ULL;  // "zkspeed",3
+constexpr uint64_t kVkMagic = 0x7a6b737065656404ULL;
+/** Proof flags byte. */
+constexpr uint8_t kFlagCustomGates = 1u << 0;
+constexpr uint8_t kFlagLookup = 1u << 1;
 
 void
 write_sumcheck(ByteWriter &w, const SumcheckProof &sc)
@@ -45,11 +51,21 @@ serialize_proof(const Proof &proof)
 {
     ByteWriter w;
     w.u64(kProofMagic);
+    uint8_t flags = 0;
+    if (proof.evals.custom) flags |= kFlagCustomGates;
+    if (proof.evals.lookup) flags |= kFlagLookup;
+    w.u8(flags);
     for (const auto &c : proof.witness_comms) w.g1(c);
+    if (proof.evals.lookup) w.g1(proof.m_comm);
     write_sumcheck(w, proof.zerocheck);
     w.g1(proof.phi_comm);
     w.g1(proof.pi_comm);
     write_sumcheck(w, proof.permcheck);
+    if (proof.evals.lookup) {
+        w.g1(proof.hf_comm);
+        w.g1(proof.ht_comm);
+        write_sumcheck(w, proof.lookupcheck);
+    }
     auto flat = proof.evals.flatten();
     w.frs(flat);
     write_sumcheck(w, proof.opencheck);
@@ -64,18 +80,27 @@ deserialize_proof(std::span<const uint8_t> bytes)
 {
     ByteReader r(bytes);
     if (r.u64() != kProofMagic) return std::nullopt;
+    uint8_t flags = r.u8();
+    if ((flags & ~(kFlagCustomGates | kFlagLookup)) != 0) {
+        return std::nullopt;
+    }
     Proof p;
+    p.evals.custom = (flags & kFlagCustomGates) != 0;
+    p.evals.lookup = (flags & kFlagLookup) != 0;
     for (auto &c : p.witness_comms) c = r.g1();
+    if (p.evals.lookup) p.m_comm = r.g1();
     p.zerocheck = read_sumcheck(r);
     p.phi_comm = r.g1();
     p.pi_comm = r.g1();
     p.permcheck = read_sumcheck(r);
-    auto flat = r.frs(BatchEvaluations::kBaseCount + 1);
-    if (flat.size() != BatchEvaluations::kBaseCount &&
-        flat.size() != BatchEvaluations::kBaseCount + 1) {
-        return std::nullopt;
+    if (p.evals.lookup) {
+        p.hf_comm = r.g1();
+        p.ht_comm = r.g1();
+        p.lookupcheck = read_sumcheck(r);
     }
-    p.evals.custom = flat.size() == BatchEvaluations::kBaseCount + 1;
+    const size_t expected_evals = p.evals.count();
+    auto flat = r.frs(expected_evals);
+    if (flat.size() != expected_evals) return std::nullopt;
     size_t off = 8;
     for (size_t i = 0; i < 8; ++i) p.evals.at_gate[i] = flat[i];
     if (p.evals.custom) p.evals.qh_at_gate = flat[off++];
@@ -85,6 +110,12 @@ deserialize_proof(std::span<const uint8_t> bytes)
     p.evals.at_u1 = {flat[off + 2], flat[off + 3]};
     p.evals.pi_at_root = flat[off + 4];
     p.evals.w1_at_pub = flat[off + 5];
+    off += 6;
+    if (p.evals.lookup) {
+        for (size_t i = 0; i < BatchEvaluations::kLookupCount; ++i) {
+            p.evals.at_lookup[i] = flat[off + i];
+        }
+    }
     p.opencheck = read_sumcheck(r);
     p.gprime_value = r.fr();
     uint64_t nq = r.u64();
@@ -104,8 +135,12 @@ serialize_verifying_key(const VerifyingKey &vk)
     w.u64(vk.num_vars);
     w.u64(vk.num_public);
     w.u8(vk.custom_gates ? 1 : 0);
+    w.u8(vk.has_lookup ? 1 : 0);
     for (const auto &c : vk.selector_comms) w.g1(c);
     for (const auto &c : vk.sigma_comms) w.g1(c);
+    if (vk.has_lookup) {
+        for (const auto &c : vk.lookup_comms) w.g1(c);
+    }
     // Verifier SRS subset: g, h and h^{tau_i} (G2 points as 4 Fq each).
     w.g1(vk.srs->g);
     auto write_g2 = [&](const curve::G2Affine &p) {
@@ -130,8 +165,10 @@ deserialize_verifying_key(std::span<const uint8_t> bytes)
     vk.num_vars = r.u64();
     vk.num_public = r.u64();
     uint8_t custom = r.u8();
-    if (custom > 1) return std::nullopt;
+    uint8_t has_lookup = r.u8();
+    if (custom > 1 || has_lookup > 1) return std::nullopt;
     vk.custom_gates = custom == 1;
+    vk.has_lookup = has_lookup == 1;
     if (vk.num_vars > kMaxVars ||
         vk.num_public > (uint64_t(1) << std::min<uint64_t>(vk.num_vars,
                                                            30))) {
@@ -139,6 +176,9 @@ deserialize_verifying_key(std::span<const uint8_t> bytes)
     }
     for (auto &c : vk.selector_comms) c = r.g1();
     for (auto &c : vk.sigma_comms) c = r.g1();
+    if (vk.has_lookup) {
+        for (auto &c : vk.lookup_comms) c = r.g1();
+    }
     auto srs = std::make_shared<pcs::Srs>();
     srs->num_vars = vk.num_vars;
     srs->g = r.g1();

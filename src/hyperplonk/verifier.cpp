@@ -35,13 +35,16 @@ verify_impl(const VerifyingKey &vk, std::span<const Fr> public_inputs,
     if (public_inputs.size() != vk.num_public) return false;
 
     hash::Transcript tr("hyperplonk-v1");
-    bind_preamble(tr, mu, vk.num_public, vk.custom_gates,
-                  vk.selector_comms, vk.sigma_comms, public_inputs);
+    bind_preamble(tr, mu, vk.num_public, vk.custom_gates, vk.has_lookup,
+                  vk.selector_comms, vk.sigma_comms, vk.lookup_comms,
+                  public_inputs);
 
-    // Step 1: witness commitments.
+    // Step 1: witness commitments (+ lookup multiplicity commitment).
     for (const auto &c : proof.witness_comms) {
         append_g1(tr, "witness_comm", c);
     }
+    if (proof.evals.lookup != vk.has_lookup) return false;
+    if (vk.has_lookup) append_g1(tr, "lookup_m_comm", proof.m_comm);
 
     // Step 2: Gate Identity (ZeroCheck, degree 4, claimed sum 0).
     if (proof.evals.custom != vk.custom_gates) return false;
@@ -63,9 +66,27 @@ verify_impl(const VerifyingKey &vk, std::span<const Fr> public_inputs,
     if (!pc.ok) return false;
     std::span<const Fr> r_p = pc.challenges;
 
+    // Step 3.5: Lookup Argument (LookupCheck, degree 3, claimed sum 0).
+    Fr lk_lambda, lk_gamma, lk_alpha;
+    std::vector<Fr> r_z3;
+    SumcheckVerifierResult lc;
+    std::span<const Fr> r_l;
+    if (vk.has_lookup) {
+        lk_lambda = tr.challenge_fr("lookup_lambda");
+        lk_gamma = tr.challenge_fr("lookup_gamma");
+        append_g1(tr, "lookup_hf_comm", proof.hf_comm);
+        append_g1(tr, "lookup_ht_comm", proof.ht_comm);
+        lk_alpha = tr.challenge_fr("lookup_alpha");
+        r_z3 = tr.challenge_frs("lookupcheck_r", mu);
+        lc = sumcheck_verify(Fr::zero(), mu, kLookupCheckDegree,
+                             proof.lookupcheck, tr);
+        if (!lc.ok) return false;
+        r_l = lc.challenges;
+    }
+
     // Step 4: batch evaluations enter the transcript.
     std::vector<Fr> z_pub = tr.challenge_frs("pub_r", pub_vars(vk.num_public));
-    auto points = make_points(r_g, r_p, z_pub, mu);
+    auto points = make_points(r_g, r_p, z_pub, mu, r_l);
     std::vector<Fr> claim_values = proof.evals.flatten();
     tr.append_frs("batch_evals", claim_values);
 
@@ -92,6 +113,13 @@ verify_impl(const VerifyingKey &vk, std::span<const Fr> public_inputs,
         Fr expect = expr * Mle::eq_eval(r_p, r_z2);
         if (!(expect == pc.final_value)) return false;
     }
+    // --- Check the LookupCheck final value against the claimed evals. ---
+    if (vk.has_lookup) {
+        Fr expect = lookup_expression(proof.evals.at_lookup, lk_lambda,
+                                      lk_gamma, lk_alpha,
+                                      Mle::eq_eval(r_l, r_z3));
+        if (!(expect == lc.final_value)) return false;
+    }
     // --- Product-tree root must be exactly 1 (grand product check). ---
     if (!proof.evals.pi_at_root.is_one()) return false;
     // --- Public inputs: w1 over the public prefix matches the claim. ---
@@ -102,7 +130,7 @@ verify_impl(const VerifyingKey &vk, std::span<const Fr> public_inputs,
 
     // Step 5: OpenCheck + PCS opening of g'.
     Fr a = tr.challenge_fr("batch_a");
-    auto claims = claim_list(vk.custom_gates);
+    auto claims = claim_list(vk.custom_gates, vk.has_lookup);
     if (claim_values.size() != claims.size()) return false;
     std::vector<Fr> pw = powers(a, claims.size());
     Fr claimed_sum = Fr::zero();
@@ -132,7 +160,10 @@ verify_impl(const VerifyingKey &vk, std::span<const Fr> public_inputs,
         proof.witness_comms[0], proof.witness_comms[1],
         proof.witness_comms[2],
         vk.sigma_comms[0], vk.sigma_comms[1], vk.sigma_comms[2],
-        proof.phi_comm, proof.pi_comm};
+        proof.phi_comm, proof.pi_comm,
+        vk.lookup_comms[0], vk.lookup_comms[1], vk.lookup_comms[2],
+        vk.lookup_comms[3],
+        proof.m_comm, proof.hf_comm, proof.ht_comm};
     curve::G1 c_gprime = curve::msm(comms, coeff);
 
     tr.append_fr("gprime_value", proof.gprime_value);

@@ -1,0 +1,133 @@
+#include "lookup/logup.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "ff/batch_inverse.hpp"
+
+namespace zkspeed::lookup {
+
+using ff::Fr;
+
+Table
+Table::range(unsigned bits)
+{
+    Table t;
+    t.name = "range" + std::to_string(bits);
+    uint64_t n = uint64_t(1) << bits;
+    t.rows.reserve(n);
+    for (uint64_t v = 0; v < n; ++v) {
+        t.rows.push_back({Fr::from_uint(v), Fr::zero(), Fr::zero()});
+    }
+    return t;
+}
+
+Table
+Table::xor_table(unsigned bits)
+{
+    Table t;
+    t.name = "xor" + std::to_string(bits);
+    uint64_t n = uint64_t(1) << bits;
+    t.rows.reserve(n * n);
+    for (uint64_t a = 0; a < n; ++a) {
+        for (uint64_t b = 0; b < n; ++b) {
+            t.rows.push_back({Fr::from_uint(a), Fr::from_uint(b),
+                              Fr::from_uint(a ^ b)});
+        }
+    }
+    return t;
+}
+
+namespace {
+
+/** Canonical byte key of a wire/table triple (hash-map lookup). */
+std::string
+triple_key(const Fr &a, const Fr &b, const Fr &c)
+{
+    std::string key(3 * Fr::kByteSize, '\0');
+    auto *p = reinterpret_cast<uint8_t *>(key.data());
+    a.to_bytes(p);
+    b.to_bytes(p + Fr::kByteSize);
+    c.to_bytes(p + 2 * Fr::kByteSize);
+    return key;
+}
+
+/** First-occurrence index of every distinct table row. */
+std::unordered_map<std::string, size_t>
+row_index(const std::array<Mle, 3> &table, size_t table_rows)
+{
+    std::unordered_map<std::string, size_t> idx;
+    idx.reserve(table_rows);
+    for (size_t j = 0; j < table_rows; ++j) {
+        idx.emplace(triple_key(table[0][j], table[1][j], table[2][j]), j);
+    }
+    return idx;
+}
+
+}  // namespace
+
+Mle
+multiplicities(const Mle &q_lookup, const std::array<Mle, 3> &table,
+               size_t table_rows, const std::array<const Mle *, 3> &wires)
+{
+    auto idx = row_index(table, table_rows);
+    Mle m(q_lookup.num_vars());
+    for (size_t i = 0; i < q_lookup.size(); ++i) {
+        if (q_lookup[i].is_zero()) continue;
+        auto it = idx.find(triple_key((*wires[0])[i], (*wires[1])[i],
+                                      (*wires[2])[i]));
+        if (it != idx.end()) m[it->second] += Fr::one();
+    }
+    return m;
+}
+
+LookupOracles
+build_helper_oracles(const Mle &q_lookup, const std::array<Mle, 3> &table,
+                     const std::array<const Mle *, 3> &wires, const Mle &m,
+                     const Fr &lambda, const Fr &gamma)
+{
+    const size_t mu = q_lookup.num_vars();
+    const size_t n = q_lookup.size();
+    LookupOracles o;
+    o.h_f = std::make_shared<Mle>(mu);
+    o.h_t = std::make_shared<Mle>(mu);
+    // Denominators for both helpers, inverted in one batch each (a zero
+    // denominator — probability ~n/r over lambda — stays zero, yielding
+    // an invalid proof rather than a crash).
+    std::vector<Fr> den_f(n), den_t(n);
+    for (size_t i = 0; i < n; ++i) {
+        den_f[i] = lambda + fold_triple((*wires[0])[i], (*wires[1])[i],
+                                        (*wires[2])[i], gamma);
+        den_t[i] = lambda +
+                   fold_triple(table[0][i], table[1][i], table[2][i],
+                               gamma);
+    }
+    ff::batch_inverse(den_f);
+    ff::batch_inverse(den_t);
+    for (size_t i = 0; i < n; ++i) {
+        if (!q_lookup[i].is_zero()) {
+            (*o.h_f)[i] = q_lookup[i] * den_f[i];
+        }
+        if (!m[i].is_zero()) {
+            (*o.h_t)[i] = m[i] * den_t[i];
+        }
+    }
+    return o;
+}
+
+bool
+rows_satisfy(const Mle &q_lookup, const std::array<Mle, 3> &table,
+             size_t table_rows, const std::array<const Mle *, 3> &wires)
+{
+    auto idx = row_index(table, table_rows);
+    for (size_t i = 0; i < q_lookup.size(); ++i) {
+        if (q_lookup[i].is_zero()) continue;
+        if (idx.find(triple_key((*wires[0])[i], (*wires[1])[i],
+                                (*wires[2])[i])) == idx.end()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace zkspeed::lookup

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * LogUp-style multiset-inclusion argument (fractional sumcheck).
+ *
+ * Statement: for every hypercube row x with q_lookup(x) = 1, the wire
+ * triple (w1, w2, w3)(x) equals some row of the table (t1, t2, t3).
+ *
+ * With challenges gamma (triple compression) and lambda (pole
+ * location), both drawn after the witness and multiplicity commitments,
+ * define
+ *
+ *   f(x) = w1(x) + gamma w2(x) + gamma^2 w3(x)
+ *   t(x) = t1(x) + gamma t2(x) + gamma^2 t3(x)
+ *
+ * and the prover-committed helper MLEs
+ *
+ *   h_f(x) = q_lookup(x) / (lambda + f(x))
+ *   h_t(x) = m(x)        / (lambda + t(x))
+ *
+ * where m is the multiplicity MLE (how many lookup rows hit each table
+ * row). The multiset inclusion is then equivalent (w.h.p. over lambda,
+ * gamma) to the fractional identity
+ *
+ *   sum_x h_f(x)  ==  sum_x h_t(x)                            (L1)
+ *
+ * together with the two per-row well-formedness ZeroChecks
+ *
+ *   h_f(x) (lambda + f(x)) - q_lookup(x) = 0                  (L2)
+ *   h_t(x) (lambda + t(x)) - m(x)        = 0                  (L3)
+ *
+ * All three fold into ONE degree-3 sumcheck with a batching challenge
+ * alpha: sum_x [ (h_f - h_t) + alpha (L2) eq + alpha^2 (L3) eq ] = 0.
+ * The claimed evaluations at the sumcheck point ride the existing
+ * batch-opening machinery (a 7th opening point), so the lookup argument
+ * adds no new pairing work — its PCS terms flow through the same
+ * deferred accumulator as every other opening. Soundness sketch in
+ * DESIGN.md Section 8.
+ *
+ * Helper construction uses one batched inversion per helper — the same
+ * FracMLE kernel as the wiring identity's phi, which is what lets the
+ * sim's LookupUnit reuse the FracMLE pipeline model.
+ */
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "lookup/table.hpp"
+#include "mle/mle.hpp"
+
+namespace zkspeed::lookup {
+
+using mle::Mle;
+
+/** Prover-side helper oracles (committed in the proof). */
+struct LookupOracles {
+    std::shared_ptr<Mle> h_f;  ///< q_lookup / (lambda + f)
+    std::shared_ptr<Mle> h_t;  ///< m / (lambda + t)
+};
+
+/** Triple compression f = a + gamma b + gamma^2 c. */
+inline ff::Fr
+fold_triple(const ff::Fr &a, const ff::Fr &b, const ff::Fr &c,
+            const ff::Fr &gamma)
+{
+    return a + gamma * (b + gamma * c);
+}
+
+/**
+ * Multiplicity MLE: m[j] = number of active lookup rows whose wire
+ * triple equals table row j (challenge-free, so it can be committed
+ * with the witness). Duplicate table rows accumulate at their first
+ * occurrence. Lookup rows matching no table row are simply not counted
+ * — the fractional identity then fails and the proof is invalid, which
+ * is the desired behaviour for an out-of-table witness pushed past the
+ * front door.
+ */
+Mle multiplicities(const Mle &q_lookup, const std::array<Mle, 3> &table,
+                   size_t table_rows,
+                   const std::array<const Mle *, 3> &wires);
+
+/** Build h_f and h_t for the drawn challenges (two batched inversions). */
+LookupOracles build_helper_oracles(const Mle &q_lookup,
+                                   const std::array<Mle, 3> &table,
+                                   const std::array<const Mle *, 3> &wires,
+                                   const Mle &m, const ff::Fr &lambda,
+                                   const ff::Fr &gamma);
+
+/**
+ * Direct witness check: every active lookup row's wire triple appears
+ * among the first `table_rows` table rows. This is the front-door test
+ * mirroring Witness::satisfies_gates for lookup gates.
+ */
+bool rows_satisfy(const Mle &q_lookup, const std::array<Mle, 3> &table,
+                  size_t table_rows,
+                  const std::array<const Mle *, 3> &wires);
+
+}  // namespace zkspeed::lookup

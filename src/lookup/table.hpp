@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Lookup tables: the preprocessed side of the lookup argument.
+ *
+ * A Table is an ordered list of 3-column rows (t1, t2, t3). A lookup
+ * gate asserts that its full wire triple (w1, w2, w3) equals some row of
+ * the circuit's table, with the triple compressed by a verifier
+ * challenge (Schwartz-Zippel vector lookup), so a single gate can
+ * encode relations that would otherwise cost a bank of arithmetic
+ * gates:
+ *
+ *   range(b):  rows (v, 0, 0) for v in [0, 2^b)  — looking up
+ *              (x, 0, 0) range-checks x in one gate instead of the
+ *              ~2b+2 gates of the bit-decomposition gadget (and pins
+ *              the other two wires to zero for free);
+ *   xor(b):    rows (a, c, a^c) for a, c in [0, 2^b) — looking up
+ *              (x, y, z) both range-checks x, y and asserts z = x^y.
+ *
+ * One table per circuit: rows of different logical tables may collide
+ * under the 3-column encoding (e.g. an XOR row with c = 0 looks like a
+ * range row), so fusing tables needs a tag column — a recorded
+ * follow-on, not supported here.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ff/fr.hpp"
+
+namespace zkspeed::lookup {
+
+using ff::Fr;
+
+/** One 3-column lookup table. */
+struct Table {
+    std::string name;
+    std::vector<std::array<Fr, 3>> rows;
+
+    size_t size() const { return rows.size(); }
+    bool empty() const { return rows.empty(); }
+
+    /** Range table: rows (v, 0, 0) for v in [0, 2^bits). */
+    static Table range(unsigned bits);
+
+    /** XOR table: rows (a, b, a XOR b) for a, b in [0, 2^bits).
+     * Has 2^{2 bits} rows — keep bits small (<= 8). */
+    static Table xor_table(unsigned bits);
+};
+
+/**
+ * One lookup gate: the wire triple at this row must equal some table
+ * row. Used by CircuitBuilder bookkeeping; the proved object is the
+ * q_lookup selector MLE plus the table column MLEs.
+ */
+struct LookupGate {
+    size_t a = 0, b = 0, c = 0;  ///< variable handles (hyperplonk::Var)
+};
+
+}  // namespace zkspeed::lookup

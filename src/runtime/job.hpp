@@ -125,15 +125,21 @@ struct TraceEntry {
     uint64_t zero_scalars = 0;
     uint64_t one_scalars = 0;
     uint64_t total_scalars = 0;
+    /** Lookup argument shape (prove; 0 when the circuit has none): the
+     * sim LookupUnit prices the helper-MLE and LookupCheck work. */
+    uint64_t lookup_gates = 0;
+    uint64_t table_rows = 0;
     double prove_ms = 0;
     bool key_cache_hit = false;
 
     // VERIFY-flush fields.
     /** Proofs folded into this flush. */
     uint32_t batch_size = 0;
-    /** G1 points in the folded RLC MSM. */
+    /** G1 points folded through RLC MSMs across the whole flush,
+     * including every bisection probe (matches pairing_ms, which also
+     * sums the probes). */
     uint64_t msm_points = 0;
-    /** Pairs in the final multi-pairing. */
+    /** Multi-pairing pairs across the whole flush, probes included. */
     uint32_t num_pairings = 0;
     /** Measured software wall time of the whole flush. */
     double verify_ms = 0;

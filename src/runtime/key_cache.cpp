@@ -23,15 +23,21 @@ circuit_fingerprint(const CircuitIndex &circuit)
         }
         sponge.absorb(buf);
     };
-    sponge.absorb("zkspeed.circuit.v1");
+    sponge.absorb("zkspeed.circuit.v2");
     absorb_u64(circuit.num_vars);
     absorb_u64(circuit.num_public);
     absorb_u64(circuit.custom_gates ? 1 : 0);
+    absorb_u64(circuit.has_lookup ? 1 : 0);
     for (const mle::Mle *t : {&circuit.q_l, &circuit.q_r, &circuit.q_m,
                               &circuit.q_o, &circuit.q_c, &circuit.q_h}) {
         absorb_table(*t);
     }
     for (const auto &s : circuit.sigma) absorb_table(s);
+    if (circuit.has_lookup) {
+        absorb_u64(circuit.table_rows);
+        absorb_table(circuit.q_lookup);
+        for (const auto &t : circuit.table) absorb_table(t);
+    }
     return sponge.finalize();
 }
 

@@ -226,7 +226,8 @@ ProofService::process_prove(QueuedJob &job)
 
     if (cfg_.check_witness &&
         (!req.witness.satisfies_gates(req.circuit) ||
-         !req.witness.satisfies_wiring(req.circuit))) {
+         !req.witness.satisfies_wiring(req.circuit) ||
+         !req.witness.satisfies_lookups(req.circuit))) {
         resp.status = JobStatus::unsatisfiable;
         resp.error = "witness does not satisfy the circuit";
         resp.metrics.total_ms = ms_since(job.enqueued);
@@ -270,6 +271,8 @@ ProofService::process_prove(QueuedJob &job)
                 ++entry.total_scalars;
             }
         }
+        entry.table_rows = req.circuit.table_rows;
+        entry.lookup_gates = req.circuit.num_lookup_gates();
         std::lock_guard<std::mutex> lock(stats_mu_);
         trace_.push_back(entry);
     }

@@ -82,6 +82,7 @@ encode_request(const JobRequest &req)
     w.u64(req.circuit.num_vars);
     w.u64(req.circuit.num_public);
     w.u8(req.circuit.custom_gates ? 1 : 0);
+    w.u8(req.circuit.has_lookup ? 1 : 0);
     for (const Mle *t : {&req.circuit.q_l, &req.circuit.q_r,
                          &req.circuit.q_m, &req.circuit.q_o,
                          &req.circuit.q_c, &req.circuit.q_h}) {
@@ -89,6 +90,11 @@ encode_request(const JobRequest &req)
     }
     for (const auto &s : req.circuit.sigma) write_table(w, s);
     for (const auto &wi : req.witness.w) write_table(w, wi);
+    if (req.circuit.has_lookup) {
+        w.u64(req.circuit.table_rows);
+        write_table(w, req.circuit.q_lookup);
+        for (const auto &t : req.circuit.table) write_table(w, t);
+    }
     return std::move(w.buf);
 }
 
@@ -102,26 +108,57 @@ decode_request(std::span<const uint8_t> bytes)
     uint64_t num_vars = r.u64();
     uint64_t num_public = r.u64();
     uint8_t custom = r.u8();
+    uint8_t has_lookup = r.u8();
     if (r.failed() || num_vars < 1 || num_vars > kMaxRequestVars ||
-        custom > 1 || num_public > (uint64_t(1) << num_vars)) {
+        custom > 1 || has_lookup > 1 ||
+        num_public > (uint64_t(1) << num_vars)) {
         return std::nullopt;
     }
-    // Size the frame before allocating: 12 tables of 2^mu elements
-    // follow the 33-byte header. Without this, a 33-byte frame claiming
-    // num_vars=20 would make us allocate ~400 MB of tables just to
-    // discover the bytes aren't there.
-    uint64_t expected = 33 + 12 * (uint64_t(1) << num_vars) *
-                                 uint64_t(ff::Fr::kByteSize);
+    // Size the frame before allocating: 12 tables of 2^mu elements (16
+    // plus a u64 row count for lookup circuits) follow the 34-byte
+    // header. Without this, a bare header claiming num_vars=20 would
+    // make us allocate ~400 MB of tables just to discover the bytes
+    // aren't there.
+    uint64_t table_bytes =
+        (uint64_t(1) << num_vars) * uint64_t(ff::Fr::kByteSize);
+    uint64_t expected = 34 + 12 * table_bytes +
+                        (has_lookup == 1 ? 8 + 4 * table_bytes : 0);
     if (bytes.size() != expected) return std::nullopt;
     req.circuit.num_vars = num_vars;
     req.circuit.num_public = num_public;
     req.circuit.custom_gates = custom == 1;
+    req.circuit.has_lookup = has_lookup == 1;
     for (Mle *t : {&req.circuit.q_l, &req.circuit.q_r, &req.circuit.q_m,
                    &req.circuit.q_o, &req.circuit.q_c, &req.circuit.q_h}) {
         *t = read_table(r, num_vars);
     }
     for (auto &s : req.circuit.sigma) s = read_table(r, num_vars);
     for (auto &wi : req.witness.w) wi = read_table(r, num_vars);
+    if (req.circuit.has_lookup) {
+        uint64_t table_rows = r.u64();
+        if (table_rows < 1 || table_rows > (uint64_t(1) << num_vars)) {
+            return std::nullopt;
+        }
+        req.circuit.table_rows = table_rows;
+        req.circuit.q_lookup = read_table(r, num_vars);
+        for (auto &t : req.circuit.table) t = read_table(r, num_vars);
+        // q_lookup is a selector: entries must be boolean.
+        for (size_t i = 0; i < req.circuit.q_lookup.size(); ++i) {
+            const auto &q = req.circuit.q_lookup[i];
+            if (!q.is_zero() && !q.is_one()) return std::nullopt;
+        }
+        // Rows past table_rows must be padding copies of row 0
+        // (CircuitBuilder::build's invariant). The committed table is
+        // the full 2^mu rows, so un-checked padding would silently
+        // widen the proved statement beyond the declared table: the
+        // front door only tests the first table_rows rows, while a
+        // prover could park multiplicity mass on garbage padding rows.
+        for (size_t i = table_rows; i < (size_t(1) << num_vars); ++i) {
+            for (const auto &t : req.circuit.table) {
+                if (!(t[i] == t[0])) return std::nullopt;
+            }
+        }
+    }
     if (!r.fully_consumed()) return std::nullopt;
     // Shape consistency: the custom-gates flag decides the proof layout
     // (23 vs 22 batch claims), so a clear q_H selector must not claim it.

@@ -77,6 +77,28 @@ std::pair<CircuitIndex, Witness> range_bank(size_t values, unsigned bits,
                                             size_t min_vars = 2);
 
 /**
+ * The same range-bank statement proved through the lookup argument:
+ * one lookup gate per value against a lookup::Table::range(bits)
+ * table, sum public. Head-to-head with range_bank this is the
+ * constraint-count and prover-time win bench_lookup measures.
+ */
+std::pair<CircuitIndex, Witness> range_bank_lookup(size_t values,
+                                                   unsigned bits,
+                                                   std::mt19937_64 &rng,
+                                                   size_t min_vars = 2);
+
+/**
+ * XOR-table Rescue variant: a chain of byte-wide XOR mixes proved via
+ * a lookup::Table::xor_table(bits) (each gate also range-checks its
+ * inputs for free), whose running state feeds one Rescue sponge hash;
+ * XOR checksum and Rescue digest both public.
+ */
+std::pair<CircuitIndex, Witness> xor_rescue_lookup(size_t mixes,
+                                                   unsigned bits,
+                                                   std::mt19937_64 &rng,
+                                                   size_t min_vars = 2);
+
+/**
  * Permutation-heavy shuffle: a vector and a shuffled copy tied slot by
  * slot with copy constraints, plus both running sums asserted equal —
  * the wiring-identity (PermCheck) stress workload.

@@ -44,11 +44,12 @@ Harness::run(const Instance &inst)
                            ? Outcome::reject_witness
                            : Outcome::accept;
         // Mirror the service front door: a witness is bad when it
-        // violates its gates OR its copy constraints.
+        // violates its gates, its copy constraints OR its lookups.
         res.conformant =
             res.observed == Outcome::reject_witness &&
             !(inst.witness.satisfies_gates(inst.circuit) &&
-              inst.witness.satisfies_wiring(inst.circuit));
+              inst.witness.satisfies_wiring(inst.circuit) &&
+              inst.witness.satisfies_lookups(inst.circuit));
         if (!res.conformant) {
             res.detail = "corrupted witness was not refused at the "
                          "proving front door (status " +

@@ -1,10 +1,13 @@
 #include "scenarios/registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "curve/g1.hpp"
 #include "hyperplonk/serialize.hpp"
 #include "scenarios/circuits.hpp"
+#include "scenarios/seed.hpp"
+#include "sim/config.hpp"
 
 namespace zkspeed::scenarios {
 
@@ -168,6 +171,66 @@ Registry::Registry()
         }});
 
     // ------------------------------------------------------------------
+    // Lookup-argument families (src/lookup, DESIGN.md Section 8). The
+    // range family is the table-driven twin of range-bank above; the
+    // XOR family exercises the 3-column relation form.
+    // ------------------------------------------------------------------
+
+    families_.push_back(Family{
+        "range-via-lookup",
+        "range bank proved through the LogUp table argument (one gate "
+        "per value instead of a bit-decomposition bank)",
+        Outcome::accept, [](const Spec &s) {
+            auto rng = family_rng(s, 15);
+            return honest(s, circuits::range_bank_lookup(
+                                 s.knob("values", 5),
+                                 unsigned(s.knob("bits", 6)), rng,
+                                 s.log_size));
+        }});
+
+    families_.push_back(Family{
+        "xor-rescue-lookup",
+        "XOR-table mix chain feeding a Rescue digest; each lookup gate "
+        "asserts the XOR relation and range-checks its inputs",
+        Outcome::accept, [](const Spec &s) {
+            auto rng = family_rng(s, 16);
+            return honest(s, circuits::xor_rescue_lookup(
+                                 s.knob("mixes", 6),
+                                 unsigned(s.knob("bits", 3)), rng,
+                                 s.log_size));
+        }});
+
+    // ------------------------------------------------------------------
+    // Paper Table-3 instances as registry families. The paper sizes
+    // (2^17..2^23) only previously existed as sim::Workload profiles;
+    // here they flow through the full conformance pipeline, with the
+    // software-proved size capped by ZKSPEED_TABLE3_CAP (default 2^8)
+    // so CI stays fast — the soak job raises the cap.
+    // ------------------------------------------------------------------
+    {
+        static const char *kTable3Slugs[] = {
+            "table3-zcash", "table3-auction", "table3-rescue-chain",
+            "table3-zexe", "table3-rollup10"};
+        auto workloads = sim::Workload::paper_workloads();
+        for (size_t wi = 0; wi < workloads.size(); ++wi) {
+            const sim::Workload wl = workloads[wi];
+            families_.push_back(Family{
+                kTable3Slugs[wi],
+                "paper Table 3 \"" + wl.name + "\" (native 2^" +
+                    std::to_string(wl.mu) +
+                    " gates; software size capped by ZKSPEED_TABLE3_CAP)",
+                Outcome::accept, [wl, wi](const Spec &s) {
+                    auto rng = family_rng(s, 20 + wi);
+                    size_t cap = env_u64("ZKSPEED_TABLE3_CAP", 8);
+                    size_t mu = std::max<size_t>(
+                        s.log_size, std::min<size_t>(wl.mu, cap));
+                    return honest(s, hyperplonk::random_circuit(
+                                         mu, rng, wl.dense_fraction));
+                }});
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Adversarial families. Each declares the exact layer that must
     // reject it; the conformance harness asserts nothing else does.
     // ------------------------------------------------------------------
@@ -212,6 +275,44 @@ Registry::Registry()
                 s, circuits::range_bank(s.knob("values", 3),
                                         unsigned(s.knob("bits", 8)), rng,
                                         s.log_size));
+            inst.tamper_proof = corrupt_pairing_side;
+            return inst;
+        }});
+
+    families_.push_back(Family{
+        "out-of-table-witness",
+        "lookup witness escapes its table: a lookup gate's zero wire is "
+        "perturbed, so no table row matches the presented triple",
+        Outcome::reject_witness, [](const Spec &s) {
+            auto rng = family_rng(s, 17);
+            Instance inst = honest(
+                s, circuits::range_bank_lookup(s.knob("values", 4),
+                                               unsigned(s.knob("bits", 6)),
+                                               rng, s.log_size));
+            // The lookup gate's w2 slot is a fresh variable pinned to
+            // the table's zero column only by the lookup itself (no
+            // arithmetic gate, no copy cycle), so this perturbation
+            // violates exactly the lookup check: the paths that ignore
+            // lookups would happily prove it.
+            for (size_t i = 0; i < inst.circuit.q_lookup.size(); ++i) {
+                if (!inst.circuit.q_lookup[i].is_zero()) {
+                    inst.witness.w[1][i] += Fr::one();
+                    break;
+                }
+            }
+            return inst;
+        }});
+
+    families_.push_back(Family{
+        "tampered-lookup-proof",
+        "valid lookup-circuit proof with a pairing-side corruption only "
+        "the deferred flush can catch (bisection must finger it)",
+        Outcome::reject_proof, [](const Spec &s) {
+            auto rng = family_rng(s, 18);
+            Instance inst = honest(
+                s, circuits::range_bank_lookup(s.knob("values", 4),
+                                               unsigned(s.knob("bits", 6)),
+                                               rng, s.log_size));
             inst.tamper_proof = corrupt_pairing_side;
             return inst;
         }});

@@ -6,7 +6,7 @@ namespace zkspeed::sim {
 
 Chip::Chip(const DesignConfig &cfg)
     : cfg_(cfg), msm_(cfg), sumcheck_(cfg), mtu_(cfg), frac_(cfg),
-      mem_(cfg)
+      lookup_(cfg), mem_(cfg)
 {
 }
 
@@ -123,14 +123,60 @@ Chip::run(const Workload &wl) const
     rep.step_cycles["Wire Identity"] = wire_cycles;
 
     // ------------------------------------------------------------------
-    // Step 4: Batch Evaluations — 22 MLE Evaluates on the MTU
-    // (Section 3.3.4). phi and pi stream from HBM; the rest are
-    // resident (Section 4.6 cuts this step's bandwidth by 84%).
+    // Step 3.5: Lookup Argument (lookup workloads only) — multiplicity
+    // probes, denominator fold, two FracMLE helper passes, three MSM
+    // commits and the degree-3 LookupCheck (sim/lookup_unit.hpp).
     // ------------------------------------------------------------------
+    uint64_t lookup_cycles = 0;
+    if (wl.has_lookup()) {
+        uint64_t mult = LookupUnit::multiplicity_cycles(mu);
+        uint64_t fold = LookupUnit::fold_cycles(mu);
+        uint64_t helpers = lookup_.helper_cycles(mu);
+        // m is multiplicity-sparse (at most table_rows non-zeros); the
+        // helpers are dense 255-bit tables. Three commits on the MSM
+        // unit, concurrent across cores like the phi/pi pair.
+        uint64_t one_msm = msm_.dense_cycles(n, pes_per_core);
+        uint64_t msms =
+            (cfg_.msm_cores >= 2) ? 2 * one_msm : 3 * one_msm;
+        double front_bytes = LookupUnit::helper_bytes(mu) +
+                             3.0 * n * kG1PointBytes;  // commit points
+        uint64_t front =
+            std::max({mult + fold + helpers, msms,
+                      mem_.transfer_cycles(front_bytes)}) +
+            FracMleUnit::inversion_path_latency(cfg_.inversion_batch);
+        nd_busy += fold;
+        frac_busy += helpers;
+        msm_busy += msms;
+        rep.hbm_bytes += front_bytes;
+
+        uint64_t build = mtu_.build_mle_cycles(mu);
+        mtu_busy += build;
+        auto lc = sumcheck_.run(SumcheckShape::lookupcheck(mu), bpc);
+        sc_busy += lc.sc_busy_cycles;
+        upd_busy += lc.upd_busy_cycles;
+        rep.hbm_bytes += lc.hbm_bytes;
+        lookup_cycles = front + build + lc.cycles;
+        // `front` is the whole pipelined front end (probes + fold +
+        // FracMLE passes + commits), not just the MSM share.
+        rep.kernel_cycles["Lookup Front"] = front;
+        rep.kernel_cycles["LookupCheck"] = lc.cycles;
+        rep.step_cycles["Lookup Argument"] = lookup_cycles;
+    }
+
+    // ------------------------------------------------------------------
+    // Step 4: Batch Evaluations — 22 MLE Evaluates on the MTU (+10 at
+    // the LookupCheck point; Section 3.3.4). phi and pi stream from
+    // HBM; the rest are resident (Section 4.6 cuts this step's
+    // bandwidth by 84%).
+    // ------------------------------------------------------------------
+    const uint64_t num_evals = wl.has_lookup() ? 32 : 22;
     uint64_t batch_cycles = 0;
     {
-        uint64_t compute = 22 * mtu_.evaluate_cycles(mu);
+        uint64_t compute = num_evals * mtu_.evaluate_cycles(mu);
         double bytes = 7.0 * n * kFrBytes;  // phi x3 + pi x4 reads
+        if (wl.has_lookup()) {
+            bytes += 2.0 * n * kFrBytes;  // h_f, h_t stream back in
+        }
         batch_cycles =
             std::max(compute, mem_.transfer_cycles(bytes)) +
             Sha3Unit::cycles(8);
@@ -146,29 +192,34 @@ Chip::run(const Workload &wl) const
     // ------------------------------------------------------------------
     uint64_t open_cycles = 0;
     {
-        // Linear Combine: 22 n multiply-accumulates into six y MLEs.
-        uint64_t comb1 = MleCombineUnit::cycles(22 * n);
-        double comb1_bytes = 2.0 * n * kFrBytes   // phi, pi in
-                             + 6.0 * n * kFrBytes;  // y_j out
+        const uint64_t num_points = wl.has_lookup() ? 7 : 6;
+        // Linear Combine: one multiply-accumulate per claim per gate
+        // into the per-point y MLEs.
+        uint64_t comb1 = MleCombineUnit::cycles(num_evals * n);
+        double comb1_bytes =
+            2.0 * n * kFrBytes                     // phi, pi in
+            + double(num_points) * n * kFrBytes;   // y_j out
         uint64_t lin = std::max(comb1, mem_.transfer_cycles(comb1_bytes));
         comb_busy += comb1;
         rep.hbm_bytes += comb1_bytes;
 
-        uint64_t builds = 6 * mtu_.build_mle_cycles(mu);
-        double build_bytes = 6.0 * n * kFrBytes;  // k_j out
+        uint64_t builds = num_points * mtu_.build_mle_cycles(mu);
+        double build_bytes = double(num_points) * n * kFrBytes;  // k_j
         uint64_t build =
             std::max(builds, mem_.transfer_cycles(build_bytes));
         mtu_busy += builds;
         rep.hbm_bytes += build_bytes;
 
-        auto oc = sumcheck_.run(SumcheckShape::opencheck(mu), bpc);
+        auto oc = sumcheck_.run(
+            SumcheckShape::opencheck(mu, wl.has_lookup()), bpc);
         sc_busy += oc.sc_busy_cycles;
         upd_busy += oc.upd_busy_cycles;
         rep.hbm_bytes += oc.hbm_bytes;
 
         // g' = sum_j k_j(r) y_j plus the ReduceMLE halving pass.
-        uint64_t comb2 = MleCombineUnit::cycles(6 * n + n / 2);
-        double comb2_bytes = 6.0 * n * kFrBytes + n * kFrBytes;
+        uint64_t comb2 = MleCombineUnit::cycles(num_points * n + n / 2);
+        double comb2_bytes =
+            double(num_points) * n * kFrBytes + n * kFrBytes;
         uint64_t gp = std::max(comb2, mem_.transfer_cycles(comb2_bytes));
         comb_busy += comb2;
         rep.hbm_bytes += comb2_bytes;
@@ -189,8 +240,8 @@ Chip::run(const Workload &wl) const
     rep.step_cycles["Batch Evals & Poly Open"] = batch_cycles + open_cycles;
 
     rep.total_cycles =
-        witness_cycles + gate_cycles + wire_cycles + batch_cycles +
-        open_cycles;
+        witness_cycles + gate_cycles + wire_cycles + lookup_cycles +
+        batch_cycles + open_cycles;
     rep.runtime_ms = double(rep.total_cycles) / (kClockGhz * 1e6);
 
     // ------------------------------------------------------------------

@@ -15,6 +15,7 @@
 
 #include "sim/config.hpp"
 #include "sim/fracmle_unit.hpp"
+#include "sim/lookup_unit.hpp"
 #include "sim/memory.hpp"
 #include "sim/misc_units.hpp"
 #include "sim/msm_unit.hpp"
@@ -84,6 +85,7 @@ class Chip
     SumcheckUnit sumcheck_;
     MtuUnit mtu_;
     FracMleUnit frac_;
+    LookupUnit lookup_;
     MemorySystem mem_;
 };
 

@@ -52,6 +52,13 @@ struct Workload {
     double ones_fraction = 0.45;
     double zeros_fraction = 0.45;
 
+    /** Lookup-argument shape (sim/lookup_unit.hpp prices the helper
+     * construction, extra commits and the LookupCheck). table_rows = 0
+     * means the circuit carries no lookup argument. */
+    uint64_t lookup_gates = 0;
+    uint64_t table_rows = 0;
+    bool has_lookup() const { return table_rows > 0; }
+
     size_t num_gates() const { return size_t(1) << mu; }
 
     /** The five real-world workloads of Table 3. */

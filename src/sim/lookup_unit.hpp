@@ -1,0 +1,89 @@
+/**
+ * @file
+ * LookupUnit model: accelerator-side cost of the LogUp lookup argument
+ * (DESIGN.md Section 8).
+ *
+ * The lookup step reuses existing datapaths rather than adding one:
+ *
+ *  - Multiplicity construction streams the lookup wires and probes a
+ *    table-resident SRAM (hash/CAM probe, one lookup row per cycle) —
+ *    modelled here as a fixed-function scan.
+ *  - Helper-MLE construction is two more FracMLE passes (h_f and h_t
+ *    are exactly the "batched modular inversion over 2^mu elements"
+ *    kernel of the wiring identity's phi), fed by a Construct-N&D-style
+ *    fold computing lambda + w1 + gamma w2 + gamma^2 w3.
+ *  - m / h_f / h_t commitments ride the MSM unit.
+ *  - The LookupCheck itself is a degree-3 sumcheck on the SumCheck PEs
+ *    (SumcheckShape::lookupcheck).
+ *
+ * Table SRAM: the three table columns are MLEs of the same height as
+ * every other input table, so their residency is charged to the global
+ * MLE SRAM provisioning (MemorySystem), not to a dedicated array; this
+ * unit only adds the latency/traffic of the probes. table_bytes()
+ * reports the resident footprint for reports.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/fracmle_unit.hpp"
+#include "sim/tech.hpp"
+
+namespace zkspeed::sim {
+
+class LookupUnit
+{
+  public:
+    explicit LookupUnit(const DesignConfig &cfg) : frac_(cfg) {}
+
+    /** Resident table footprint: 3 columns of 2^mu Fr elements. */
+    static double
+    table_bytes(size_t mu)
+    {
+        return 3.0 * double(uint64_t(1) << mu) * kFrBytes;
+    }
+
+    /**
+     * Multiplicity construction: one probe per hypercube row (the
+     * selector decides whether the hit increments), pipelined at one
+     * row per cycle behind the table SRAM.
+     */
+    static uint64_t
+    multiplicity_cycles(size_t mu)
+    {
+        return (uint64_t(1) << mu) + kModmulLatency;
+    }
+
+    /**
+     * Denominator fold feeding the batched inverters: two modmuls per
+     * element (gamma (w2 + gamma w3)), on the Construct N&D multipliers.
+     */
+    static uint64_t
+    fold_cycles(size_t mu)
+    {
+        uint64_t n = uint64_t(1) << mu;
+        return 2 * n * 2 / kConstructNdModmuls + kModmulLatency;
+    }
+
+    /** Two FracMLE passes: h_f and h_t denominators inverted in batch. */
+    uint64_t
+    helper_cycles(size_t mu) const
+    {
+        return 2 * frac_.cycles(mu);
+    }
+
+    /** HBM traffic of the helper construction: wires + table columns in
+     * (6 tables; q_lookup and m are narrow/resident), helpers out. */
+    static double
+    helper_bytes(size_t mu)
+    {
+        uint64_t n = uint64_t(1) << mu;
+        return (6.0 + 2.0) * double(n) * kFrBytes;
+    }
+
+  private:
+    FracMleUnit frac_;
+};
+
+}  // namespace zkspeed::sim

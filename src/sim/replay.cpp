@@ -38,10 +38,13 @@ replay_trace(const std::vector<runtime::TraceEntry> &trace,
     ReplayReport report;
     Chip chip(design);
     MsmUnit msm(design);
-    // Prove jobs with identical size and scalar statistics have
-    // identical simulated latency; memoise so a cache-friendly job
-    // stream (many repeats of few circuits) replays in O(distinct jobs).
-    std::map<std::tuple<uint32_t, uint64_t, uint64_t, uint64_t>, double>
+    // Prove jobs with identical size, scalar statistics and lookup
+    // shape have identical simulated latency; memoise so a
+    // cache-friendly job stream (many repeats of few circuits) replays
+    // in O(distinct jobs).
+    std::map<std::tuple<uint32_t, uint64_t, uint64_t, uint64_t, uint64_t,
+                        uint64_t>,
+             double>
         memo;
     for (const auto &entry : trace) {
         ReplayedJob job;
@@ -59,13 +62,17 @@ replay_trace(const std::vector<runtime::TraceEntry> &trace,
         } else {
             auto key = std::make_tuple(entry.num_vars, entry.zero_scalars,
                                        entry.one_scalars,
-                                       entry.total_scalars);
+                                       entry.total_scalars,
+                                       entry.lookup_gates,
+                                       entry.table_rows);
             auto it = memo.find(key);
             if (it == memo.end()) {
                 Workload wl = Workload::from_stats(
                     "replay", entry.num_vars, entry.zero_scalars,
                     entry.one_scalars,
                     std::max<uint64_t>(1, entry.total_scalars));
+                wl.lookup_gates = entry.lookup_gates;
+                wl.table_rows = entry.table_rows;
                 it = memo.emplace(key, chip.run(wl).runtime_ms).first;
             }
             job.sw_ms = entry.prove_ms;

@@ -21,10 +21,20 @@ SumcheckShape::permcheck(size_t mu)
 }
 
 SumcheckShape
-SumcheckShape::opencheck(size_t mu)
+SumcheckShape::opencheck(size_t mu, bool lookup)
 {
-    // Eq. 5 tables: six y_i and six k_i MLEs, products of two.
-    return {mu, 12, 2, 12, 12};
+    // Eq. 5 tables: six y_i and six k_i MLEs, products of two (seven
+    // pairs when the lookup point joins the batch opening).
+    int pairs = lookup ? 7 : 6;
+    return {mu, 2 * pairs, 2, 2 * pairs, 2 * pairs};
+}
+
+SumcheckShape
+SumcheckShape::lookupcheck(size_t mu)
+{
+    // h_f, h_t, w1..w3, q_lookup, t1..t3, m plus the built eq factor;
+    // the wires/selectors are resident, the helpers stream from HBM.
+    return {mu, 11, 3, 4, 33};
 }
 
 SumcheckRunCost

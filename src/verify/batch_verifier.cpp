@@ -66,10 +66,13 @@ struct Fold {
         }
         auto ps = curve::batch_to_affine<curve::G1Params>(sums);
         ++stats.pairing_checks;
-        if (begin == 0 && end == slot.size()) {
-            stats.msm_points = points;
-            stats.num_pairings = qs.size();
-        }
+        // Every check — full batch or bisection probe — folds its own
+        // MSMs, so the stats accumulate across probes; otherwise a
+        // poisoned batch's replay would charge the probes' pairings to
+        // the CPU while omitting their MSMs from the chip side,
+        // inflating the modelled verify speedup.
+        stats.msm_points += points;
+        stats.num_pairings += qs.size();
         auto t0 = std::chrono::steady_clock::now();
         bool ok = curve::pairing_product_is_one_prepared(ps, qs);
         stats.pairing_ms +=

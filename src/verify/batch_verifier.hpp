@@ -38,9 +38,14 @@ struct BatchStats {
     size_t pairing_checks = 0;
     /** Subset probes spent isolating failures (0 when the batch is clean). */
     size_t bisection_steps = 0;
-    /** G1 points folded through MSMs in the full-batch check. */
+    /** G1 points folded through MSMs across every check of the flush —
+     * the full-batch check AND each bisection probe — so sim replay
+     * charges the chip the same MSM work whose pairings it charges the
+     * CPU (a clean flush runs one check, so this equals the full-batch
+     * point count there). */
     size_t msm_points = 0;
-    /** Pairs in the full-batch multi-pairing (distinct G2 points). */
+    /** Multi-pairing pairs across every check of the flush (same
+     * accounting as msm_points). */
     size_t num_pairings = 0;
     /** Wall time spent in Miller loops + final exponentiations, across
      * every probe (the CPU-resident portion under sim replay). */

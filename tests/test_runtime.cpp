@@ -66,13 +66,14 @@ TEST(Wire, RejectsMalformedRequests)
     bad[0] ^= 0xff;
     EXPECT_FALSE(wire::decode_request(bad).has_value());
     // A bare header claiming a huge circuit must be rejected by the
-    // size precheck (no table allocation for a 33-byte frame).
-    std::vector<uint8_t> header(bytes.begin(), bytes.begin() + 33);
+    // size precheck (no table allocation for a 34-byte frame).
+    std::vector<uint8_t> header(bytes.begin(), bytes.begin() + 34);
     header[16] = 20;  // num_vars = kMaxRequestVars
     EXPECT_FALSE(wire::decode_request(header).has_value());
     // Non-canonical field element in the first selector table.
     auto nc = bytes;
-    size_t table_off = 8 + 8 + 8 + 8 + 1;  // magic,id,mu,pub,custom
+    // magic,id,mu,pub,custom,lookup
+    size_t table_off = 8 + 8 + 8 + 8 + 1 + 1;
     for (size_t i = 0; i < Fr::kByteSize; ++i) nc[table_off + i] = 0xff;
     EXPECT_FALSE(wire::decode_request(nc).has_value());
 }
@@ -274,7 +275,7 @@ TEST(Service, MalformedRequestsGetErrorResponsesAndWorkerSurvives)
                                        valid.begin() + valid.size() / 2));
     auto non_canonical = valid;
     for (size_t i = 0; i < Fr::kByteSize; ++i) {
-        non_canonical[33 + i] = 0xff;
+        non_canonical[34 + i] = 0xff;  // first selector-table element
     }
     bad.push_back(non_canonical);
 

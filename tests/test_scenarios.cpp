@@ -117,14 +117,16 @@ TEST(Registry, HonestWitnessesSatisfyAdversarialOnesDeclareWhy)
         EXPECT_GE(inst.circuit.num_vars, spec.log_size);
         switch (inst.expected) {
             case Outcome::reject_witness:
-                // Bad via gates or wiring — either trips the service's
-                // front-door witness check.
+                // Bad via gates, wiring or lookups — any of the three
+                // trips the service's front-door witness check.
                 EXPECT_FALSE(
                     inst.witness.satisfies_gates(inst.circuit) &&
-                    inst.witness.satisfies_wiring(inst.circuit));
+                    inst.witness.satisfies_wiring(inst.circuit) &&
+                    inst.witness.satisfies_lookups(inst.circuit));
                 break;
             case Outcome::reject_proof:
                 EXPECT_TRUE(inst.witness.satisfies_gates(inst.circuit));
+                EXPECT_TRUE(inst.witness.satisfies_lookups(inst.circuit));
                 EXPECT_TRUE(bool(inst.tamper_proof) ||
                             bool(inst.tamper_publics))
                     << "reject_proof family carries no proof transform";
@@ -136,6 +138,7 @@ TEST(Registry, HonestWitnessesSatisfyAdversarialOnesDeclareWhy)
             case Outcome::accept:
                 EXPECT_TRUE(inst.witness.satisfies_gates(inst.circuit));
                 EXPECT_TRUE(inst.witness.satisfies_wiring(inst.circuit));
+                EXPECT_TRUE(inst.witness.satisfies_lookups(inst.circuit));
                 EXPECT_FALSE(bool(inst.tamper_proof));
                 break;
         }
