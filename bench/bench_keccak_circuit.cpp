@@ -1,0 +1,294 @@
+/**
+ * @file
+ * In-circuit keccak on fused lookups vs. the gate-based bitwise
+ * baseline: the constraint-count and prover-time win the keccak
+ * subsystem exists for.
+ *
+ * Proves the same statement twice — a Keccak-f[1600] permutation of a
+ * random state with one output word public — once with 1-bit lanes on
+ * boolean XOR/CHI logic gates (keccak::KeccakParams::gates) and once
+ * with table-width limbs on the fused xor/chi/range lookup bank
+ * (KeccakParams::lookup). Reports gate counts (active and padded
+ * 2^mu), prover wall time, verification agreement, the simulated
+ * zkSpeed latency of both circuits (the LookupUnit prices the fused
+ * bank), and the satellite note: multiplicity-construction wall time
+ * serial vs. parallel (ff::parallel_for two-level parallelism).
+ *
+ * Usage: bench_keccak_circuit [--rounds N] [--limb-bits B] [--quick]
+ *                             [--json PATH]
+ * Rounds default to ZKSPEED_KECCAK_ROUNDS (else 1); the full
+ * permutation is --rounds 24. Exit status is non-zero unless the
+ * lookup circuit shows >= 2x fewer (padded) constraints AND lower
+ * prover time than the gate-based baseline.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <random>
+
+#include "ff/parallel.hpp"
+#include "hyperplonk/prover.hpp"
+#include "keccak/keccak.hpp"
+#include "lookup/logup.hpp"
+#include "report.hpp"
+#include "scenarios/seed.hpp"
+#include "sim/chip.hpp"
+
+using namespace zkspeed;
+using ff::Fr;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+ms_since(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+struct Side {
+    const char *label = "";
+    size_t raw_gates = 0;  ///< active (pre-padding) rows
+    size_t lookup_gates = 0;
+    size_t mu = 0;
+    double keygen_ms = 0;
+    double prove_ms = 0;
+    double verify_ms = 0;
+    bool verified = false;
+    double chip_ms = 0;  ///< simulated zkSpeed latency
+    size_t proof_bytes = 0;
+    double mult_serial_ms = 0;    ///< lookup side only
+    double mult_parallel_ms = 0;  ///< lookup side only
+};
+
+/** One permutation of a seeded state; the first output word public. */
+std::pair<hyperplonk::CircuitIndex, hyperplonk::Witness>
+build_permutation(const keccak::KeccakParams &params, uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::array<uint64_t, 25> in;
+    for (auto &lane : in) lane = rng();
+    auto expect = in;
+    hash::keccak_f1600(expect, params.rounds);
+
+    hyperplonk::CircuitBuilder cb;
+    keccak::KeccakGadget g(cb, params);
+    std::array<keccak::Lane, 25> st;
+    for (int k = 0; k < 25; ++k) {
+        st[k] = g.from_var(cb.add_variable(Fr::from_uint(in[k])));
+    }
+    st = g.permute(std::move(st));
+    hyperplonk::Var out = g.to_var(st[0]);
+    hyperplonk::Var pub = cb.add_public_input(Fr::from_uint(expect[0]));
+    cb.assert_equal(pub, out);
+    return cb.build(2);
+}
+
+Side
+run_side(const char *label, const keccak::KeccakParams &params,
+         uint64_t seed, const sim::DesignConfig &design)
+{
+    Side side;
+    side.label = label;
+    auto [index, witness] = build_permutation(params, seed);
+    side.raw_gates = bench::active_gates(index);
+    side.lookup_gates = index.num_lookup_gates();
+    side.mu = index.num_vars;
+
+    if (index.has_lookup) {
+        // Satellite note: the prover's multiplicity construction is a
+        // parallel counting pass now — measure it against serial.
+        const std::array<const mle::Mle *, 3> wires = {
+            &witness.w[0], &witness.w[1], &witness.w[2]};
+        auto t0 = Clock::now();
+        {
+            ff::ParallelismGuard serial(1);
+            (void)lookup::multiplicities(index.q_lookup, index.table_tag,
+                                         index.table, index.table_rows,
+                                         wires);
+        }
+        side.mult_serial_ms = ms_since(t0);
+        t0 = Clock::now();
+        (void)lookup::multiplicities(index.q_lookup, index.table_tag,
+                                     index.table, index.table_rows,
+                                     wires);
+        side.mult_parallel_ms = ms_since(t0);
+    }
+
+    std::mt19937_64 srs_rng(0x5eed ^ index.num_vars);
+    auto srs = std::make_shared<pcs::Srs>(
+        pcs::Srs::generate(index.num_vars, srs_rng));
+    auto t0 = Clock::now();
+    auto [pk, vk] = hyperplonk::keygen(index, srs);
+    side.keygen_ms = ms_since(t0);
+
+    t0 = Clock::now();
+    auto proof = hyperplonk::prove(pk, witness);
+    side.prove_ms = ms_since(t0);
+    side.proof_bytes = proof.size_bytes();
+
+    auto publics = witness.public_inputs(pk.index);
+    t0 = Clock::now();
+    side.verified = hyperplonk::verify(vk, publics, proof,
+                                       hyperplonk::PcsCheckMode::pairing);
+    side.verify_ms = ms_since(t0);
+
+    // Chip-side pricing of the same job (the LookupUnit models the
+    // fused bank's probes, folds and LookupCheck).
+    size_t zeros = 0, ones = 0, total = 0;
+    for (const auto &w : witness.w) {
+        for (size_t i = 0; i < w.size(); ++i) {
+            if (w[i].is_zero()) ++zeros;
+            else if (w[i].is_one()) ++ones;
+            ++total;
+        }
+    }
+    sim::Workload wl =
+        sim::Workload::from_stats(label, side.mu, zeros, ones, total);
+    wl.table_rows = pk.index.table_rows;
+    wl.table_row_counts = pk.index.table_row_counts;
+    wl.lookup_gates = pk.index.num_lookup_gates();
+    side.chip_ms = sim::Chip(design).run(wl).runtime_ms;
+    return side;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned rounds =
+        unsigned(scenarios::env_u64("ZKSPEED_KECCAK_ROUNDS", 1));
+    unsigned limb_bits = 4;
+    const char *json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--rounds") && i + 1 < argc) {
+            rounds = unsigned(std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--limb-bits") && i + 1 < argc) {
+            limb_bits = unsigned(std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            rounds = 1;
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+    if (rounds == 0 || rounds > 24 || limb_bits == 0 || limb_bits > 8 ||
+        64 % limb_bits != 0) {
+        std::fprintf(stderr,
+                     "--rounds must be 1..24, --limb-bits a divisor of "
+                     "64 up to 8\n");
+        return 2;
+    }
+
+    bench::title("In-circuit keccak: fused-lookup limbs vs. gate-based "
+                 "bits, " +
+                 std::to_string(rounds) + " round(s), " +
+                 std::to_string(limb_bits) + "-bit limbs");
+
+    auto design = sim::DesignConfig::paper_default();
+    Side gate_side =
+        run_side("gate-based", keccak::KeccakParams::gates(rounds), 42,
+                 design);
+    Side lookup_side = run_side(
+        "lookup",
+        keccak::KeccakParams::lookup(rounds, limb_bits), 42, design);
+
+    bench::Table table({{"path", 12}, {"gates", 10}, {"2^mu", 8},
+                        {"lookups", 9}, {"keygen ms", 10},
+                        {"prove ms", 10}, {"verify ms", 10},
+                        {"chip ms", 10}, {"proof B", 9}});
+    for (const Side *s : {&gate_side, &lookup_side}) {
+        table.row({s->label, std::to_string(s->raw_gates),
+                   std::to_string(size_t(1) << s->mu),
+                   std::to_string(s->lookup_gates),
+                   bench::fmt(s->keygen_ms), bench::fmt(s->prove_ms),
+                   bench::fmt(s->verify_ms), bench::fmt(s->chip_ms, 4),
+                   std::to_string(s->proof_bytes)});
+    }
+
+    double constraint_ratio = double(size_t(1) << gate_side.mu) /
+                              double(size_t(1) << lookup_side.mu);
+    double raw_ratio =
+        double(gate_side.raw_gates) / double(lookup_side.raw_gates);
+    double prove_speedup =
+        lookup_side.prove_ms > 0
+            ? gate_side.prove_ms / lookup_side.prove_ms
+            : 0;
+    double mult_speedup =
+        lookup_side.mult_parallel_ms > 0
+            ? lookup_side.mult_serial_ms / lookup_side.mult_parallel_ms
+            : 0;
+    std::printf(
+        "\nconstraints: %.1fx fewer padded (%.1fx fewer active), "
+        "prover: %.2fx faster, chip: %.2fx faster\n"
+        "multiplicity construction: serial %.2f ms, parallel %.2f ms "
+        "(%.2fx; gap widens with 2^20+ banks)\n",
+        constraint_ratio, raw_ratio, prove_speedup,
+        lookup_side.chip_ms > 0
+            ? gate_side.chip_ms / lookup_side.chip_ms
+            : 0,
+        lookup_side.mult_serial_ms, lookup_side.mult_parallel_ms,
+        mult_speedup);
+
+    bool ok = gate_side.verified && lookup_side.verified &&
+              constraint_ratio >= 2.0 && prove_speedup > 1.0;
+
+    if (json_path != nullptr) {
+        FILE *f = std::fopen(json_path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", json_path);
+            return 2;
+        }
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"keccak\",\n"
+            "  \"rounds\": %u,\n"
+            "  \"limb_bits\": %u,\n"
+            "  \"gate_based\": {\"active_gates\": %zu, \"mu\": %zu, "
+            "\"keygen_ms\": %.3f, \"prove_ms\": %.3f, "
+            "\"verify_ms\": %.3f, \"chip_ms\": %.5f, "
+            "\"proof_bytes\": %zu},\n"
+            "  \"lookup\": {\"active_gates\": %zu, \"lookup_gates\": %zu, "
+            "\"mu\": %zu, \"keygen_ms\": %.3f, \"prove_ms\": %.3f, "
+            "\"verify_ms\": %.3f, \"chip_ms\": %.5f, "
+            "\"proof_bytes\": %zu},\n"
+            "  \"constraint_ratio\": %.3f,\n"
+            "  \"active_gate_ratio\": %.3f,\n"
+            "  \"prover_speedup\": %.3f,\n"
+            "  \"multiplicity_serial_ms\": %.3f,\n"
+            "  \"multiplicity_parallel_ms\": %.3f,\n"
+            "  \"both_verified\": %s,\n"
+            "  \"meets_2x_constraint_target\": %s\n"
+            "}\n",
+            rounds, limb_bits, gate_side.raw_gates, gate_side.mu,
+            gate_side.keygen_ms, gate_side.prove_ms,
+            gate_side.verify_ms, gate_side.chip_ms,
+            gate_side.proof_bytes, lookup_side.raw_gates,
+            lookup_side.lookup_gates, lookup_side.mu,
+            lookup_side.keygen_ms, lookup_side.prove_ms,
+            lookup_side.verify_ms, lookup_side.chip_ms,
+            lookup_side.proof_bytes,
+            constraint_ratio, raw_ratio, prove_speedup,
+            lookup_side.mult_serial_ms, lookup_side.mult_parallel_ms,
+            (gate_side.verified && lookup_side.verified) ? "true"
+                                                         : "false",
+            constraint_ratio >= 2.0 ? "true" : "false");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path);
+    }
+
+    if (!ok) {
+        std::fprintf(stderr,
+                     "FAILED: lookup keccak did not beat the gate-based "
+                     "baseline (verified=%d/%d, constraint_ratio=%.2f, "
+                     "prover_speedup=%.2f)\n",
+                     gate_side.verified, lookup_side.verified,
+                     constraint_ratio, prove_speedup);
+        return 1;
+    }
+    return 0;
+}

@@ -54,25 +54,6 @@ struct Side {
     size_t proof_bytes = 0;
 };
 
-/** Count rows with any active selector (incl. q_lookup). */
-size_t
-active_gates(const hyperplonk::CircuitIndex &index)
-{
-    size_t n = 0;
-    for (size_t i = 0; i < index.num_gates(); ++i) {
-        bool active = !index.q_l[i].is_zero() ||
-                      !index.q_r[i].is_zero() ||
-                      !index.q_m[i].is_zero() ||
-                      !index.q_o[i].is_zero() ||
-                      !index.q_c[i].is_zero() || !index.q_h[i].is_zero();
-        if (index.has_lookup && !index.q_lookup[i].is_zero()) {
-            active = true;
-        }
-        if (active) ++n;
-    }
-    return n;
-}
-
 Side
 run_side(const char *label,
          std::pair<hyperplonk::CircuitIndex, hyperplonk::Witness> built,
@@ -81,7 +62,7 @@ run_side(const char *label,
     Side side;
     side.label = label;
     auto [index, witness] = std::move(built);
-    side.raw_gates = active_gates(index);
+    side.raw_gates = bench::active_gates(index);
     side.mu = index.num_vars;
 
     std::mt19937_64 srs_rng(0x5eed ^ index.num_vars);
@@ -160,13 +141,14 @@ main(int argc, char **argv)
         design);
 
     bench::Table table({{"path", 12}, {"gates", 10}, {"2^mu", 8},
-                        {"prove ms", 10}, {"verify ms", 10},
-                        {"chip ms", 10}, {"proof B", 9}});
+                        {"keygen ms", 10}, {"prove ms", 10},
+                        {"verify ms", 10}, {"chip ms", 10},
+                        {"proof B", 9}});
     for (const Side *s : {&gate_side, &lookup_side}) {
         table.row({s->label, std::to_string(s->raw_gates),
                    std::to_string(size_t(1) << s->mu),
-                   bench::fmt(s->prove_ms), bench::fmt(s->verify_ms),
-                   bench::fmt(s->chip_ms, 4),
+                   bench::fmt(s->keygen_ms), bench::fmt(s->prove_ms),
+                   bench::fmt(s->verify_ms), bench::fmt(s->chip_ms, 4),
                    std::to_string(s->proof_bytes)});
     }
 

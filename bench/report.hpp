@@ -10,7 +10,30 @@
 #include <string>
 #include <vector>
 
+#include "hyperplonk/circuit.hpp"
+
 namespace zkspeed::bench {
+
+/** Count circuit rows with any active selector (tag-valued q_lookup
+ * included) — the "active gates" column shared by the constraint-count
+ * benches (bench_lookup, bench_keccak_circuit). */
+inline size_t
+active_gates(const hyperplonk::CircuitIndex &index)
+{
+    size_t n = 0;
+    for (size_t i = 0; i < index.num_gates(); ++i) {
+        bool active = !index.q_l[i].is_zero() ||
+                      !index.q_r[i].is_zero() ||
+                      !index.q_m[i].is_zero() ||
+                      !index.q_o[i].is_zero() ||
+                      !index.q_c[i].is_zero() || !index.q_h[i].is_zero();
+        if (index.has_lookup && !index.q_lookup[i].is_zero()) {
+            active = true;
+        }
+        if (active) ++n;
+    }
+    return n;
+}
 
 /** Print a rule + centered title. */
 inline void

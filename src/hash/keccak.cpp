@@ -7,7 +7,7 @@ namespace zkspeed::hash {
 
 namespace {
 
-constexpr std::array<uint64_t, 24> kRoundConstants = {
+const std::array<uint64_t, 24> kRoundConstants = {
     0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
     0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
     0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
@@ -19,13 +19,13 @@ constexpr std::array<uint64_t, 24> kRoundConstants = {
 };
 
 /** Rotation offsets r[x][y] of the rho step. */
-constexpr int kRho[5][5] = {
+const std::array<std::array<int, 5>, 5> kRho = {{
     {0, 36, 3, 41, 18},
     {1, 44, 10, 45, 2},
     {62, 6, 43, 15, 61},
     {28, 55, 25, 21, 56},
     {27, 20, 39, 8, 14},
-};
+}};
 
 inline uint64_t
 rotl(uint64_t v, int s)
@@ -35,11 +35,29 @@ rotl(uint64_t v, int s)
 
 }  // namespace
 
+const std::array<uint64_t, 24> &
+keccak_round_constants()
+{
+    return kRoundConstants;
+}
+
+const std::array<std::array<int, 5>, 5> &
+keccak_rho_offsets()
+{
+    return kRho;
+}
+
 void
 keccak_f1600(std::array<uint64_t, 25> &st)
 {
+    keccak_f1600(st, 24);
+}
+
+void
+keccak_f1600(std::array<uint64_t, 25> &st, unsigned rounds)
+{
     // State indexing: st[x + 5*y].
-    for (int round = 0; round < 24; ++round) {
+    for (unsigned round = 0; round < rounds && round < 24; ++round) {
         // Theta
         uint64_t c[5], d[5];
         for (int x = 0; x < 5; ++x) {

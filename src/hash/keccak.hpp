@@ -24,6 +24,21 @@ using Digest = std::array<uint8_t, 32>;
 void keccak_f1600(std::array<uint64_t, 25> &state);
 
 /**
+ * Reduced-round variant: apply only the first `rounds` (<= 24) rounds.
+ * The in-circuit keccak gadgets (src/keccak) are round-parameterised so
+ * tests and CI can prove short permutations; this is their native
+ * reference. rounds = 24 is the real permutation.
+ */
+void keccak_f1600(std::array<uint64_t, 25> &state, unsigned rounds);
+
+/** Round constants (iota step) of Keccak-f[1600], shared with the
+ * in-circuit gadget so both sides permute identically. */
+const std::array<uint64_t, 24> &keccak_round_constants();
+
+/** Rotation offsets r[x][y] of the rho step (state index x + 5y). */
+const std::array<std::array<int, 5>, 5> &keccak_rho_offsets();
+
+/**
  * Incremental sponge with rate 136 bytes (capacity 512 bits), producing
  * 32-byte digests. The domain byte selects SHA3-256 (0x06) or Keccak-256
  * (0x01).

@@ -56,8 +56,8 @@ bool
 Witness::satisfies_lookups(const CircuitIndex &index) const
 {
     if (!index.has_lookup) return true;
-    return lookup::rows_satisfy(index.q_lookup, index.table,
-                                index.table_rows,
+    return lookup::rows_satisfy(index.q_lookup, index.table_tag,
+                                index.table, index.table_rows,
                                 {&w[0], &w[1], &w[2]});
 }
 
@@ -166,28 +166,54 @@ CircuitBuilder::add_custom_gate(const Fr &ql, const Fr &qr, const Fr &qm,
     gates_.push_back(Gate{ql, qr, qm, qo, qc, a, b, c});
 }
 
-void
-CircuitBuilder::set_table(lookup::Table table)
+size_t
+CircuitBuilder::add_table(lookup::Table table)
 {
-    if (!table_.empty()) {
-        throw std::logic_error("CircuitBuilder: one table per circuit");
-    }
     if (table.empty()) {
         throw std::logic_error("CircuitBuilder: empty lookup table");
     }
-    table_ = std::move(table);
+    if (tables_.size() >= lookup::kMaxTablesPerCircuit) {
+        throw std::logic_error(
+            "CircuitBuilder: at most " +
+            std::to_string(lookup::kMaxTablesPerCircuit) +
+            " fused tables per circuit (wire-format tag bound)");
+    }
+    // Check the fused bank against the height bound at registration so
+    // the failure names the table that broke the budget, not a later
+    // build() call.
+    size_t total = table.size();
+    for (const auto &t : tables_) total += t.size();
+    if (total > (size_t(1) << max_vars_)) {
+        throw lookup::TableSizeError(table.name, table.size(), total,
+                                     max_vars_);
+    }
+    tables_.push_back(std::move(table));
+    return tables_.size();
 }
 
 void
-CircuitBuilder::add_lookup_gate(Var a, Var b, Var c)
+CircuitBuilder::set_table(lookup::Table table)
 {
-    if (table_.empty()) {
+    if (!tables_.empty()) {
         throw std::logic_error(
-            "CircuitBuilder: set_table before add_lookup_gate");
+            "CircuitBuilder::set_table: a table is already registered — "
+            "use add_table to fuse more tables into the bank");
+    }
+    add_table(std::move(table));
+}
+
+void
+CircuitBuilder::add_lookup_gate(size_t tag, Var a, Var b, Var c)
+{
+    if (tag == 0 || tag > tables_.size()) {
+        throw std::logic_error(
+            "CircuitBuilder: lookup gate against unregistered table tag " +
+            std::to_string(tag) + " (" + std::to_string(tables_.size()) +
+            " tables registered; add_table first)");
     }
     Gate g{Fr::zero(), Fr::zero(), Fr::zero(), Fr::zero(), Fr::zero(),
            a, b, c};
-    g.lookup = true;
+    g.lookup_tag = uint32_t(tag);
     gates_.push_back(g);
 }
 
@@ -204,13 +230,17 @@ CircuitBuilder::build(size_t min_vars) const
     }
     all.insert(all.end(), gates_.begin(), gates_.end());
 
-    // The table shares the hypercube index space with the gates, so the
-    // circuit must be at least as tall as the table.
+    // The fused table bank shares the hypercube index space with the
+    // gates, so the circuit must be at least as tall as the bank.
+    size_t bank_rows = 0;
+    for (const auto &t : tables_) bank_rows += t.size();
     size_t mu = min_vars;
     while ((size_t(1) << mu) < all.size() ||
-           (size_t(1) << mu) < table_.size()) {
+           (size_t(1) << mu) < bank_rows) {
         ++mu;
     }
+    // (Bank height vs. 2^max_vars is enforced at add_table time — the
+    // single point that can name the table that broke the budget.)
     const size_t n = size_t(1) << mu;
 
     CircuitIndex index;
@@ -222,17 +252,32 @@ CircuitBuilder::build(size_t min_vars) const
     index.q_o = Mle(mu);
     index.q_c = Mle(mu);
     index.q_h = Mle(mu);
-    if (!table_.empty()) {
+    if (!tables_.empty()) {
         index.has_lookup = true;
-        index.table_rows = table_.size();
+        index.table_rows = bank_rows;
         index.q_lookup = Mle(mu);
         for (auto &t : index.table) t = Mle(mu);
-        for (size_t j = 0; j < n; ++j) {
-            // Padding rows repeat row 0: duplicates only add poles the
-            // multiplicity MLE can leave at zero.
-            const auto &row = table_.rows[j < table_.size() ? j : 0];
-            for (size_t k = 0; k < 3; ++k) index.table[k][j] = row[k];
+        index.table_row_counts.reserve(tables_.size());
+        // Concatenate the tables in tag order; padding rows repeat bank
+        // row 0 (tag included): duplicates only add poles the
+        // multiplicity MLE can leave at zero. The tag column itself has
+        // one shared definition (lookup::build_tag_column) so the wire
+        // decoder's reconstruction can never diverge from it.
+        size_t j = 0;
+        for (size_t ti = 0; ti < tables_.size(); ++ti) {
+            index.table_row_counts.push_back(tables_[ti].size());
+            for (const auto &row : tables_[ti].rows) {
+                for (size_t k = 0; k < 3; ++k) index.table[k][j] = row[k];
+                ++j;
+            }
         }
+        for (; j < n; ++j) {
+            for (size_t k = 0; k < 3; ++k) {
+                index.table[k][j] = index.table[k][0];
+            }
+        }
+        index.table_tag =
+            lookup::build_tag_column(index.table_row_counts, mu);
     }
     Witness wit;
     for (auto &w : wit.w) w = Mle(mu);
@@ -249,7 +294,9 @@ CircuitBuilder::build(size_t min_vars) const
         index.q_c[i] = g.qc;
         index.q_h[i] = g.qh;
         if (!g.qh.is_zero()) index.custom_gates = true;
-        if (g.lookup) index.q_lookup[i] = Fr::one();
+        if (g.lookup_tag != 0) {
+            index.q_lookup[i] = Fr::from_uint(g.lookup_tag);
+        }
         wit.w[0][i] = values_[g.a];
         wit.w[1][i] = values_[g.b];
         wit.w[2][i] = values_[g.c];

@@ -48,18 +48,28 @@ struct CircuitIndex {
 
     /**
      * Lookup argument (src/lookup, DESIGN.md Section 8). When enabled,
-     * rows with q_lookup = 1 assert their wire triple (w1, w2, w3)
-     * equals some row of the 3-column table MLEs. The table occupies
-     * the same hypercube index space as the gates but consumes no gate
-     * slots; rows past `table_rows` are padding (copies of row 0).
-     * Changes the proof shape: 3 extra commitments, a degree-3
-     * LookupCheck sumcheck, a 7th opening point and 10 extra claims.
+     * rows with q_lookup = k != 0 assert their wire triple (w1, w2, w3)
+     * equals some row of the table with tag k. All registered tables
+     * are concatenated into one bank: `table_tag[j]` names the table
+     * owning bank row j and `table_row_counts` records each table's
+     * height in registration order (tag k owns the k-th slice). The
+     * bank occupies the same hypercube index space as the gates but
+     * consumes no gate slots; rows past `table_rows` are padding
+     * (copies of row 0, tag included). Changes the proof shape: 3
+     * extra commitments, a degree-3 LookupCheck sumcheck, a 7th
+     * opening point and 11 extra claims.
      */
     bool has_lookup = false;
     Mle q_lookup;
+    /** Bank tag column: tag of the table owning each bank row. */
+    Mle table_tag;
     std::array<Mle, 3> table;
-    /** Real table rows before padding (0 when has_lookup is false). */
+    /** Real bank rows before padding (0 when has_lookup is false). */
     size_t table_rows = 0;
+    /** Per-table heights in tag order (empty when has_lookup false). */
+    std::vector<uint64_t> table_row_counts;
+
+    size_t num_tables() const { return table_row_counts.size(); }
 
     size_t num_gates() const { return size_t(1) << num_vars; }
 
@@ -147,20 +157,64 @@ class CircuitBuilder
                          const Fr &qo, const Fr &qc, Var a, Var b, Var c);
 
     /**
-     * Install the circuit's lookup table (one per circuit; must be
-     * called before the first add_lookup_gate). The built circuit's
-     * size covers the table: 2^mu >= max(gates, table rows).
+     * Register a lookup table and return its 1-based tag. A circuit
+     * may register several tables; they are fused into one bank with a
+     * tag column, so one LogUp argument proves every one of them. The
+     * built circuit's size covers the bank: 2^mu >= max(gates, total
+     * rows). Throws lookup::TableSizeError when the fused bank cannot
+     * fit under the builder's height bound (set_max_vars).
+     */
+    size_t add_table(lookup::Table table);
+
+    /**
+     * Thin alias over add_table for the common one-table circuit:
+     * installs the first (tag-1) table. Must be the first registration.
      */
     void set_table(lookup::Table table);
 
-    /**
-     * Lookup gate: assert the triple (a, b, c) equals some table row.
-     * All arithmetic selectors stay zero; the row is claimed by the
-     * q_lookup selector and proved by the LogUp argument.
-     */
-    void add_lookup_gate(Var a, Var b, Var c);
+    /** Raise/lower the 2^max_vars circuit-height bound enforced against
+     * the fused table bank (default 20, the wire-format cap). Lowering
+     * it below an already-registered bank throws the same structured
+     * lookup::TableSizeError add_table would have. */
+    void
+    set_max_vars(size_t max_vars)
+    {
+        max_vars_ = max_vars;
+        size_t total = 0;
+        const lookup::Table *tallest = nullptr;
+        for (const auto &t : tables_) {
+            total += t.size();
+            if (tallest == nullptr || t.size() > tallest->size()) {
+                tallest = &t;
+            }
+        }
+        if (tallest != nullptr && total > (size_t(1) << max_vars_)) {
+            throw lookup::TableSizeError(tallest->name, tallest->size(),
+                                         total, max_vars_);
+        }
+    }
 
-    const lookup::Table &table() const { return table_; }
+    /**
+     * Lookup gate against the table with tag `tag`: assert the triple
+     * (a, b, c) equals some row of that table. All arithmetic selectors
+     * stay zero; the row is claimed by the tag-valued q_lookup selector
+     * and proved by the fused LogUp argument.
+     */
+    void add_lookup_gate(size_t tag, Var a, Var b, Var c);
+
+    /** Lookup gate against the first registered table (tag 1). */
+    void add_lookup_gate(Var a, Var b, Var c)
+    {
+        add_lookup_gate(1, a, b, c);
+    }
+
+    /** Registered table with tag `tag` (1-based; default the first). */
+    const lookup::Table &table(size_t tag = 1) const
+    {
+        return tables_.at(tag - 1);
+    }
+
+    size_t num_tables() const { return tables_.size(); }
 
     /** Value currently assigned to a variable. */
     const Fr &value(Var v) const { return values_[v]; }
@@ -180,17 +234,21 @@ class CircuitBuilder
         /** Custom-gate selector (kept last so plain-gate aggregate
          * initialisation leaves it zero). */
         Fr qh{};
-        /** Lookup gate: triple must be in the table. */
-        bool lookup = false;
+        /** Lookup gate: 0 = none, k = triple must be in table k. */
+        uint32_t lookup_tag = 0;
     };
+
+    /** Default circuit-height bound (matches wire::kMaxRequestVars). */
+    static constexpr size_t kDefaultMaxVars = 20;
 
     Var new_gate_output(const Fr &ql, const Fr &qr, const Fr &qm,
                         const Fr &qc, Var a, Var b, const Fr &out_value);
 
     std::vector<Fr> values_;
     std::vector<Gate> gates_;
-    std::vector<Var> public_inputs_;  ///< variables exposed publicly
-    lookup::Table table_;             ///< empty when no lookups are used
+    std::vector<Var> public_inputs_;    ///< variables exposed publicly
+    std::vector<lookup::Table> tables_; ///< fused bank, tag = index + 1
+    size_t max_vars_ = kDefaultMaxVars;
 };
 
 /**

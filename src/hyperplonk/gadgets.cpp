@@ -138,22 +138,22 @@ range_check(CircuitBuilder &cb, Var v, unsigned bits)
 }
 
 void
-range_via_lookup(CircuitBuilder &cb, Var v)
+range_via_lookup(CircuitBuilder &cb, Var v, size_t table)
 {
     // The lookup constrains the whole triple, so the zero wires need no
     // gates of their own: (v, z1, z2) in {(x, 0, 0)} forces z1 = z2 = 0.
     Var z1 = cb.add_variable(Fr::zero());
     Var z2 = cb.add_variable(Fr::zero());
-    cb.add_lookup_gate(v, z1, z2);
+    cb.add_lookup_gate(table, v, z1, z2);
 }
 
 Var
-xor_via_lookup(CircuitBuilder &cb, Var a, Var b)
+xor_via_lookup(CircuitBuilder &cb, Var a, Var b, size_t table)
 {
     uint64_t va = cb.value(a).to_repr().limbs[0];
     uint64_t vb = cb.value(b).to_repr().limbs[0];
     Var out = cb.add_variable(Fr::from_uint(va ^ vb));
-    cb.add_lookup_gate(a, b, out);
+    cb.add_lookup_gate(table, a, b, out);
     return out;
 }
 

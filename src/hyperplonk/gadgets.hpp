@@ -47,22 +47,24 @@ void range_check(CircuitBuilder &cb, Var v, unsigned bits);
 
 /**
  * Range check via the lookup argument: one lookup gate asserting
- * (v, 0, 0) is a row of the circuit's table, which must be a
- * lookup::Table::range table (cb.set_table first). The two zero wires
- * are fresh unconstrained variables — the vector lookup itself pins
- * them to the table's zero columns. ~2b+2x fewer gates than
- * range_check at the same bit width.
+ * (v, 0, 0) is a row of the table with tag `table` (default the first
+ * registered table), which must be a lookup::Table::range table
+ * (cb.add_table/set_table first). The two zero wires are fresh
+ * unconstrained variables — the vector lookup itself pins them to the
+ * table's zero columns. ~2b+2x fewer gates than range_check at the
+ * same bit width.
  */
-void range_via_lookup(CircuitBuilder &cb, Var v);
+void range_via_lookup(CircuitBuilder &cb, Var v, size_t table = 1);
 
 /**
  * out = a XOR b via the lookup argument: one lookup gate asserting
- * (a, b, out) is a row of the circuit's table, which must be a
- * lookup::Table::xor_table (cb.set_table first). Also range-checks a
- * and b to the table's bit width for free. Inputs must hold small
- * integer values (the witness XOR is computed on their low limb).
+ * (a, b, out) is a row of the table with tag `table` (default the
+ * first registered table), which must be a lookup::Table::xor_table
+ * (cb.add_table/set_table first). Also range-checks a and b to the
+ * table's bit width for free. Inputs must hold small integer values
+ * (the witness XOR is computed on their low limb).
  */
-Var xor_via_lookup(CircuitBuilder &cb, Var a, Var b);
+Var xor_via_lookup(CircuitBuilder &cb, Var a, Var b, size_t table = 1);
 
 /** out = 1 if a == b else 0 (uses a witness inverse hint). */
 Var is_equal(CircuitBuilder &cb, Var a, Var b);

@@ -6,7 +6,8 @@
  * Keeping these in one header guarantees the prover and verifier agree on
  * transcript ordering and on the canonical (point, polynomial) claim list
  * that drives the batch opening (22 claims over 13 polynomials at 6
- * points; see DESIGN.md Section 2).
+ * points; +1 claim with custom gates, +11 claims / +8 polynomials / +1
+ * point with a lookup argument; see DESIGN.md Sections 2 and 8).
  */
 #pragma once
 
@@ -38,7 +39,7 @@ bind_preamble(Transcript &tr, size_t num_vars, size_t num_public,
               bool custom_gates, bool has_lookup,
               const std::array<G1Affine, 6> &selector_comms,
               const std::array<G1Affine, 3> &sigma_comms,
-              const std::array<G1Affine, 4> &lookup_comms,
+              const std::array<G1Affine, 5> &lookup_comms,
               std::span<const Fr> public_inputs)
 {
     tr.append_fr("num_vars", Fr::from_uint(num_vars));
@@ -60,7 +61,7 @@ struct ClaimEntry {
 /**
  * The canonical claim list; order matches BatchEvaluations::flatten().
  * With custom gates enabled a 23rd claim (q_H at the gate point) is
- * inserted after the base gate block; with a lookup argument the 10
+ * inserted after the base gate block; with a lookup argument the 11
  * LookupCheck-point claims are appended at the end (point index 6).
  */
 inline std::vector<ClaimEntry>
@@ -83,7 +84,7 @@ claim_list(bool custom_gates, bool has_lookup)
     if (has_lookup) {
         const ClaimEntry lk[] = {
             {6, kW1}, {6, kW2}, {6, kW3}, {6, kQLookup},
-            {6, kT1}, {6, kT2}, {6, kT3},
+            {6, kTTag}, {6, kT1}, {6, kT2}, {6, kT3},
             {6, kM}, {6, kHf}, {6, kHt},
         };
         c.insert(c.end(), std::begin(lk), std::end(lk));
@@ -193,21 +194,25 @@ constexpr size_t kLookupCheckDegree = 3;
 /** Indices into BatchEvaluations::at_lookup (claim_list point-6 order). */
 enum LookupEvalId : size_t {
     kLkW1 = 0, kLkW2, kLkW3, kLkQLookup,
-    kLkT1, kLkT2, kLkT3,
+    kLkTTag, kLkT1, kLkT2, kLkT3,
     kLkM, kLkHf, kLkHt,
 };
 
 /**
  * The combined LookupCheck constraint evaluated from the claimed
  * point-6 evaluations (logup.hpp: (L1) + alpha (L2) eq + alpha^2 (L3)
- * eq). `eq_val` is eq(r_l, r_z3), computed by the caller.
+ * eq), with the tagged folds tag + gamma c1 + gamma^2 c2 + gamma^3 c3
+ * (gate-side tag = the q_lookup value itself). `eq_val` is
+ * eq(r_l, r_z3), computed by the caller.
  */
 inline Fr
-lookup_expression(const std::array<Fr, 10> &e, const Fr &lambda,
+lookup_expression(const std::array<Fr, 11> &e, const Fr &lambda,
                   const Fr &gamma, const Fr &alpha, const Fr &eq_val)
 {
-    Fr f = lambda + e[kLkW1] + gamma * (e[kLkW2] + gamma * e[kLkW3]);
-    Fr t = lambda + e[kLkT1] + gamma * (e[kLkT2] + gamma * e[kLkT3]);
+    Fr f = lambda + e[kLkQLookup] +
+           gamma * (e[kLkW1] + gamma * (e[kLkW2] + gamma * e[kLkW3]));
+    Fr t = lambda + e[kLkTTag] +
+           gamma * (e[kLkT1] + gamma * (e[kLkT2] + gamma * e[kLkT3]));
     Fr expr = e[kLkHf] - e[kLkHt];
     expr += alpha * (e[kLkHf] * f - e[kLkQLookup]) * eq_val;
     expr += alpha * alpha * (e[kLkHt] * t - e[kLkM]) * eq_val;

@@ -72,8 +72,9 @@ keygen(CircuitIndex index, std::shared_ptr<const pcs::Srs> srs)
     }
     if (index.has_lookup) {
         pk.lookup_comms[0] = pcs::commit_sparse(*srs, index.q_lookup);
+        pk.lookup_comms[1] = pcs::commit_sparse(*srs, index.table_tag);
         for (size_t k = 0; k < 3; ++k) {
-            pk.lookup_comms[1 + k] = pcs::commit(*srs, index.table[k]);
+            pk.lookup_comms[2 + k] = pcs::commit(*srs, index.table[k]);
         }
     }
     vk.selector_comms = pk.selector_comms;
@@ -171,7 +172,8 @@ prove(const ProvingKey &pk, const Witness &witness)
     if (index.has_lookup) {
         ProfileRegion reg("Witness MSMs");
         m_mle = std::make_shared<Mle>(lookup::multiplicities(
-            index.q_lookup, index.table, index.table_rows, wire_ptrs));
+            index.q_lookup, index.table_tag, index.table,
+            index.table_rows, wire_ptrs));
         curve::MsmStats st;
         proof.m_comm = pcs::commit_sparse(srs, *m_mle, &st);
         reg.add_bytes_in((st.ones + st.dense) * kG1Bytes +
@@ -274,10 +276,11 @@ prove(const ProvingKey &pk, const Witness &witness)
         Fr gamma_l = tr.challenge_fr("lookup_gamma");
         {
             ProfileRegion reg("Fraction MLE");
-            lk = lookup::build_helper_oracles(index.q_lookup, index.table,
+            lk = lookup::build_helper_oracles(index.q_lookup,
+                                              index.table_tag, index.table,
                                               wire_ptrs, *m_mle, lambda,
                                               gamma_l);
-            reg.add_bytes_in(8 * n * kFrBytes);  // wires, table, q, m
+            reg.add_bytes_in(9 * n * kFrBytes);  // wires, bank, q, m
             reg.add_bytes_out(2 * n * kFrBytes);
         }
         {
@@ -304,6 +307,7 @@ prove(const ProvingKey &pk, const Witness &witness)
             size_t w2 = f_lookup.add_mle(alias(witness.w[1]));
             size_t w3 = f_lookup.add_mle(alias(witness.w[2]));
             size_t ql = f_lookup.add_mle(alias(index.q_lookup));
+            size_t tg = f_lookup.add_mle(alias(index.table_tag));
             size_t t1 = f_lookup.add_mle(alias(index.table[0]));
             size_t t2 = f_lookup.add_mle(alias(index.table[1]));
             size_t t3 = f_lookup.add_mle(alias(index.table[2]));
@@ -311,20 +315,24 @@ prove(const ProvingKey &pk, const Witness &witness)
             size_t eq = f_lookup.add_mle(fz3);
             Fr a2 = alpha_l * alpha_l;
             Fr g2 = gamma_l * gamma_l;
+            Fr g3 = g2 * gamma_l;
             // (L1): sum h_f - h_t == 0.
             f_lookup.add_term(Fr::one(), {hf});
             f_lookup.add_term(-Fr::one(), {ht});
-            // (L2): h_f (lambda + w1 + g w2 + g^2 w3) - q_lookup == 0.
+            // (L2): h_f (lambda + ql + g w1 + g^2 w2 + g^3 w3) - ql == 0
+            // (the gate-side tag is the q_lookup value itself).
             f_lookup.add_term(alpha_l * lambda, {hf, eq});
-            f_lookup.add_term(alpha_l, {hf, w1, eq});
-            f_lookup.add_term(alpha_l * gamma_l, {hf, w2, eq});
-            f_lookup.add_term(alpha_l * g2, {hf, w3, eq});
+            f_lookup.add_term(alpha_l, {hf, ql, eq});
+            f_lookup.add_term(alpha_l * gamma_l, {hf, w1, eq});
+            f_lookup.add_term(alpha_l * g2, {hf, w2, eq});
+            f_lookup.add_term(alpha_l * g3, {hf, w3, eq});
             f_lookup.add_term(-alpha_l, {ql, eq});
-            // (L3): h_t (lambda + t1 + g t2 + g^2 t3) - m == 0.
+            // (L3): h_t (lambda + tag + g t1 + g^2 t2 + g^3 t3) - m == 0.
             f_lookup.add_term(a2 * lambda, {ht, eq});
-            f_lookup.add_term(a2, {ht, t1, eq});
-            f_lookup.add_term(a2 * gamma_l, {ht, t2, eq});
-            f_lookup.add_term(a2 * g2, {ht, t3, eq});
+            f_lookup.add_term(a2, {ht, tg, eq});
+            f_lookup.add_term(a2 * gamma_l, {ht, t1, eq});
+            f_lookup.add_term(a2 * g2, {ht, t2, eq});
+            f_lookup.add_term(a2 * g3, {ht, t3, eq});
             f_lookup.add_term(-a2, {m, eq});
         }
         lres = profiled_sumcheck("LookupCheck Rounds", f_lookup, tr);
@@ -333,7 +341,7 @@ prove(const ProvingKey &pk, const Witness &witness)
     }
 
     // ------------------------------------------------------------------
-    // Step 4: Batch Evaluations — 22 evaluations at 6 points (+10 at
+    // Step 4: Batch Evaluations — 22 evaluations at 6 points (+11 at
     // the LookupCheck point for lookup circuits).
     // ------------------------------------------------------------------
     std::vector<Fr> z_pub =
@@ -345,8 +353,8 @@ prove(const ProvingKey &pk, const Witness &witness)
         &witness.w[0], &witness.w[1], &witness.w[2],
         &index.sigma[0], &index.sigma[1], &index.sigma[2],
         oracles.phi.get(), oracles.pi.get(),
-        &index.q_lookup, &index.table[0], &index.table[1],
-        &index.table[2],
+        &index.q_lookup, &index.table_tag, &index.table[0],
+        &index.table[1], &index.table[2],
         m_mle.get(), lk.h_f.get(), lk.h_t.get()};
     {
         ProfileRegion reg("Batch Evaluations");
@@ -371,9 +379,10 @@ prove(const ProvingKey &pk, const Witness &witness)
         if (index.custom_gates) proof.evals.qh_at_gate = ev(kQh, 0);
         proof.evals.lookup = index.has_lookup;
         if (index.has_lookup) {
-            const size_t lk_polys[10] = {kW1, kW2, kW3, kQLookup,
-                                         kT1, kT2, kT3, kM, kHf, kHt};
-            for (size_t i = 0; i < 10; ++i) {
+            const size_t lk_polys[BatchEvaluations::kLookupCount] = {
+                kW1, kW2, kW3, kQLookup, kTTag,
+                kT1, kT2, kT3, kM, kHf, kHt};
+            for (size_t i = 0; i < BatchEvaluations::kLookupCount; ++i) {
                 proof.evals.at_lookup[i] = ev(lk_polys[i], 6);
             }
         }

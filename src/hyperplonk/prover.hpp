@@ -33,8 +33,8 @@ enum PolyId : size_t {
     kW1, kW2, kW3,                     // 6..8
     kS1, kS2, kS3,                     // 9..11
     kPhi, kPi,                         // 12..13
-    kQLookup, kT1, kT2, kT3,           // 14..17 (lookup: preprocessed)
-    kM, kHf, kHt,                      // 18..20 (lookup: proof-carried)
+    kQLookup, kTTag, kT1, kT2, kT3,    // 14..18 (lookup: preprocessed)
+    kM, kHf, kHt,                      // 19..21 (lookup: proof-carried)
     kNumPolys,
 };
 
@@ -43,8 +43,8 @@ struct ProvingKey {
     std::shared_ptr<const pcs::Srs> srs;
     std::array<G1Affine, 6> selector_comms;  ///< qL,qR,qM,qO,qC,qH
     std::array<G1Affine, 3> sigma_comms;
-    /** q_lookup, t1, t2, t3 (identity when has_lookup is false). */
-    std::array<G1Affine, 4> lookup_comms{};
+    /** q_lookup, tag, t1, t2, t3 (identity when has_lookup is false). */
+    std::array<G1Affine, 5> lookup_comms{};
 };
 
 struct VerifyingKey {
@@ -54,12 +54,12 @@ struct VerifyingKey {
      * 23 batch claims instead of 22). */
     bool custom_gates = false;
     /** Whether the circuit carries a lookup argument (LookupCheck
-     * sumcheck, 3 extra commitments, 10 extra batch claims). */
+     * sumcheck, 3 extra commitments, 11 extra batch claims). */
     bool has_lookup = false;
     std::array<G1Affine, 6> selector_comms;  ///< qL,qR,qM,qO,qC,qH
     std::array<G1Affine, 3> sigma_comms;
-    /** q_lookup, t1, t2, t3 (identity when has_lookup is false). */
-    std::array<G1Affine, 4> lookup_comms{};
+    /** q_lookup, tag, t1, t2, t3 (identity when has_lookup is false). */
+    std::array<G1Affine, 5> lookup_comms{};
     std::shared_ptr<const pcs::Srs> srs;
 };
 
@@ -79,12 +79,12 @@ struct BatchEvaluations {
     /** q_H at the gate point (custom-gate circuits only). */
     Fr qh_at_gate;
     bool custom = false;
-    /** w1,w2,w3,q_lookup,t1,t2,t3,m,h_f,h_t at the LookupCheck point
-     * r_l (lookup circuits only; order matches claim_list). */
-    std::array<Fr, 10> at_lookup;
+    /** w1,w2,w3,q_lookup,tag,t1,t2,t3,m,h_f,h_t at the LookupCheck
+     * point r_l (lookup circuits only; order matches claim_list). */
+    std::array<Fr, 11> at_lookup;
     bool lookup = false;
 
-    /** All values in canonical order: 22 base, +1 custom, +10 lookup. */
+    /** All values in canonical order: 22 base, +1 custom, +11 lookup. */
     std::vector<Fr> flatten() const;
     size_t
     count() const
@@ -92,7 +92,7 @@ struct BatchEvaluations {
         return kBaseCount + (custom ? 1 : 0) + (lookup ? kLookupCount : 0);
     }
     static constexpr size_t kBaseCount = 22;
-    static constexpr size_t kLookupCount = 10;
+    static constexpr size_t kLookupCount = 11;
 };
 
 struct Proof {

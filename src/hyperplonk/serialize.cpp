@@ -9,11 +9,12 @@ namespace {
 using ff::Fq;
 using ff::Fr;
 
-// Layout v2 (lookup-argument artifacts behind a flags byte): new magics
-// so a pre-lookup peer rejects the frame outright instead of
-// misparsing it.
-constexpr uint64_t kProofMagic = 0x7a6b737065656403ULL;  // "zkspeed",3
-constexpr uint64_t kVkMagic = 0x7a6b737065656404ULL;
+// Layout v3 (fused multi-table lookups: tag column joins the bank, the
+// lookup claim block grows 10 -> 11 and vks carry 5 lookup
+// commitments): new magics so a v2 peer rejects the frame outright
+// instead of misparsing it.
+constexpr uint64_t kProofMagic = 0x7a6b737065656405ULL;  // "zkspeed",5
+constexpr uint64_t kVkMagic = 0x7a6b737065656406ULL;
 /** Proof flags byte. */
 constexpr uint8_t kFlagCustomGates = 1u << 0;
 constexpr uint8_t kFlagLookup = 1u << 1;

@@ -162,7 +162,7 @@ verify_impl(const VerifyingKey &vk, std::span<const Fr> public_inputs,
         vk.sigma_comms[0], vk.sigma_comms[1], vk.sigma_comms[2],
         proof.phi_comm, proof.pi_comm,
         vk.lookup_comms[0], vk.lookup_comms[1], vk.lookup_comms[2],
-        vk.lookup_comms[3],
+        vk.lookup_comms[3], vk.lookup_comms[4],
         proof.m_comm, proof.hf_comm, proof.ht_comm};
     curve::G1 c_gprime = curve::msm(comms, coeff);
 

@@ -1,0 +1,305 @@
+#include "keccak/keccak.hpp"
+
+#include <stdexcept>
+
+#include "hash/keccak.hpp"
+#include "lookup/table.hpp"
+
+namespace zkspeed::keccak {
+
+KeccakGadget::KeccakGadget(CircuitBuilder &cb, const KeccakParams &params)
+    : cb_(cb), params_(params),
+      width_(params.gate_based ? 1 : params.limb_bits)
+{
+    if (params_.rounds == 0 || params_.rounds > 24) {
+        throw std::logic_error("KeccakGadget: rounds must be in 1..24");
+    }
+    if (width_ == 0 || 64 % width_ != 0 || width_ > 8) {
+        throw std::logic_error(
+            "KeccakGadget: limb_bits must divide 64 and stay <= 8");
+    }
+    if (!params_.gate_based) {
+        xor_tag_ = cb_.add_table(lookup::Table::xor_table(width_));
+        chi_tag_ = cb_.add_table(lookup::Table::chi_table(width_));
+        for (unsigned w = 1; w < width_; ++w) {
+            range_tag_[w] = cb_.add_table(lookup::Table::range(w));
+        }
+    }
+}
+
+uint64_t
+KeccakGadget::value64(Var v) const
+{
+    return cb_.value(v).to_repr().limbs[0];
+}
+
+Var
+KeccakGadget::constant_var(uint64_t v)
+{
+    auto it = const_cache_.find(v);
+    if (it != const_cache_.end()) return it->second;
+    Var var = cb_.add_variable(Fr::from_uint(v));
+    cb_.assert_constant(var, Fr::from_uint(v));
+    const_cache_.emplace(v, var);
+    return var;
+}
+
+void
+KeccakGadget::assert_width(Var v, unsigned w)
+{
+    cb_.add_lookup_gate(range_tag_[w], v, zero_var(), zero_var());
+}
+
+Lane
+KeccakGadget::from_var(Var v)
+{
+    const unsigned L = limbs_per_lane();
+    const uint64_t mask = width_ == 64 ? ~0ull : (1ull << width_) - 1;
+    const uint64_t val = value64(v);
+    Lane lane;
+    lane.limbs.reserve(L);
+    for (unsigned i = 0; i < L; ++i) {
+        uint64_t lv = (val >> (width_ * i)) & mask;
+        Var l = cb_.add_variable(Fr::from_uint(lv));
+        if (params_.gate_based) {
+            cb_.assert_boolean(l);
+        } else {
+            // (l, 0, l) is an xor-table row iff l < 2^width: the XOR
+            // bank doubles as the limb range check.
+            cb_.add_lookup_gate(xor_tag_, l, zero_var(), l);
+        }
+        lane.limbs.push_back(l);
+    }
+    // The recomposition chain pins the limbs to v (and therefore
+    // proves v < 2^64).
+    cb_.assert_equal(to_var(lane), v);
+    return lane;
+}
+
+Var
+KeccakGadget::to_var(const Lane &lane)
+{
+    Var acc = lane.limbs[0];
+    Fr acc_val = cb_.value(acc);
+    for (size_t i = 1; i < lane.limbs.size(); ++i) {
+        Fr w = Fr::from_uint(1ull << (width_ * i));
+        Fr next_val = acc_val + w * cb_.value(lane.limbs[i]);
+        Var next = cb_.add_variable(next_val);
+        cb_.add_custom_gate(Fr::one(), w, Fr::zero(), Fr::one(),
+                            Fr::zero(), acc, lane.limbs[i], next);
+        acc = next;
+        acc_val = next_val;
+    }
+    return acc;
+}
+
+Lane
+KeccakGadget::constant_lane(uint64_t value)
+{
+    const unsigned L = limbs_per_lane();
+    const uint64_t mask = (width_ == 64) ? ~0ull : (1ull << width_) - 1;
+    Lane lane;
+    lane.limbs.reserve(L);
+    for (unsigned i = 0; i < L; ++i) {
+        lane.limbs.push_back(constant_var((value >> (width_ * i)) & mask));
+    }
+    return lane;
+}
+
+uint64_t
+KeccakGadget::value(const Lane &lane) const
+{
+    uint64_t v = 0;
+    for (size_t i = 0; i < lane.limbs.size(); ++i) {
+        v |= value64(lane.limbs[i]) << (width_ * i);
+    }
+    return v;
+}
+
+Lane
+KeccakGadget::lane_xor(const Lane &a, const Lane &b)
+{
+    Lane out;
+    out.limbs.reserve(a.limbs.size());
+    for (size_t i = 0; i < a.limbs.size(); ++i) {
+        uint64_t va = value64(a.limbs[i]);
+        uint64_t vb = value64(b.limbs[i]);
+        Var o = cb_.add_variable(Fr::from_uint(va ^ vb));
+        if (params_.gate_based) {
+            // o = a + b - 2ab on boolean limbs.
+            cb_.add_custom_gate(Fr::one(), Fr::one(), -Fr::from_uint(2),
+                                Fr::one(), Fr::zero(), a.limbs[i],
+                                b.limbs[i], o);
+        } else {
+            cb_.add_lookup_gate(xor_tag_, a.limbs[i], b.limbs[i], o);
+        }
+        out.limbs.push_back(o);
+    }
+    return out;
+}
+
+Lane
+KeccakGadget::lane_chi(const Lane &a, const Lane &b, const Lane &c)
+{
+    const uint64_t mask = (width_ == 64) ? ~0ull : (1ull << width_) - 1;
+    Lane out;
+    out.limbs.reserve(a.limbs.size());
+    for (size_t i = 0; i < a.limbs.size(); ++i) {
+        uint64_t va = value64(a.limbs[i]);
+        uint64_t vb = value64(b.limbs[i]);
+        uint64_t vc = value64(c.limbs[i]);
+        uint64_t vt = ~vb & vc & mask;
+        Var t = cb_.add_variable(Fr::from_uint(vt));
+        Var o = cb_.add_variable(Fr::from_uint(va ^ vt));
+        if (params_.gate_based) {
+            // t = c - bc (i.e. (~b & c) on booleans), then o = a XOR t.
+            cb_.add_custom_gate(Fr::zero(), Fr::one(), -Fr::one(),
+                                Fr::one(), Fr::zero(), b.limbs[i],
+                                c.limbs[i], t);
+            cb_.add_custom_gate(Fr::one(), Fr::one(), -Fr::from_uint(2),
+                                Fr::one(), Fr::zero(), a.limbs[i], t, o);
+        } else {
+            cb_.add_lookup_gate(chi_tag_, b.limbs[i], c.limbs[i], t);
+            cb_.add_lookup_gate(xor_tag_, a.limbs[i], t, o);
+        }
+        out.limbs.push_back(o);
+    }
+    return out;
+}
+
+Lane
+KeccakGadget::rotl(const Lane &a, unsigned r)
+{
+    const unsigned L = limbs_per_lane();
+    r %= 64;
+    const unsigned q = r / width_;
+    const unsigned s = r % width_;
+    // Limb-multiple part: pure relabelling (the rho/pi copy wiring).
+    Lane rot;
+    rot.limbs.resize(L);
+    for (unsigned i = 0; i < L; ++i) {
+        rot.limbs[i] = a.limbs[(i + L - q) % L];
+    }
+    if (s == 0) return rot;
+    // Sub-limb residue: split every limb at the rotation cut
+    // (limb = hi * 2^{width-s} + lo), range-check both halves, then
+    // out_i = lo_i * 2^s + hi_{i-1} (cyclic).
+    std::vector<Var> hi(L), lo(L);
+    std::vector<uint64_t> hi_v(L), lo_v(L);
+    const Fr cut = Fr::from_uint(1ull << (width_ - s));
+    for (unsigned i = 0; i < L; ++i) {
+        uint64_t v = value64(rot.limbs[i]);
+        hi_v[i] = v >> (width_ - s);
+        lo_v[i] = v & ((1ull << (width_ - s)) - 1);
+        hi[i] = cb_.add_variable(Fr::from_uint(hi_v[i]));
+        lo[i] = cb_.add_variable(Fr::from_uint(lo_v[i]));
+        cb_.add_custom_gate(cut, Fr::one(), Fr::zero(), Fr::one(),
+                            Fr::zero(), hi[i], lo[i], rot.limbs[i]);
+        assert_width(hi[i], s);
+        assert_width(lo[i], width_ - s);
+    }
+    Lane out;
+    out.limbs.resize(L);
+    const Fr shift = Fr::from_uint(1ull << s);
+    for (unsigned i = 0; i < L; ++i) {
+        unsigned prev = (i + L - 1) % L;
+        Var o = cb_.add_variable(
+            Fr::from_uint((lo_v[i] << s) | hi_v[prev]));
+        cb_.add_custom_gate(shift, Fr::one(), Fr::zero(), Fr::one(),
+                            Fr::zero(), lo[i], hi[prev], o);
+        out.limbs[i] = o;
+    }
+    return out;
+}
+
+Lane
+KeccakGadget::xor_constant(const Lane &a, uint64_t c)
+{
+    const uint64_t mask = (width_ == 64) ? ~0ull : (1ull << width_) - 1;
+    Lane out;
+    out.limbs.reserve(a.limbs.size());
+    for (size_t i = 0; i < a.limbs.size(); ++i) {
+        uint64_t climb = (c >> (width_ * i)) & mask;
+        if (climb == 0) {
+            // XOR with zero is the identity: reuse the limb.
+            out.limbs.push_back(a.limbs[i]);
+            continue;
+        }
+        uint64_t va = value64(a.limbs[i]);
+        Var o = cb_.add_variable(Fr::from_uint(va ^ climb));
+        if (params_.gate_based) {
+            // climb == 1 on boolean limbs: o = 1 - a.
+            cb_.add_custom_gate(-Fr::one(), Fr::zero(), Fr::zero(),
+                                Fr::one(), Fr::one(), a.limbs[i],
+                                a.limbs[i], o);
+        } else {
+            cb_.add_lookup_gate(xor_tag_, a.limbs[i], constant_var(climb),
+                                o);
+        }
+        out.limbs.push_back(o);
+    }
+    return out;
+}
+
+std::pair<Lane, Lane>
+KeccakGadget::mux_swap(Var sel, const Lane &a, const Lane &b)
+{
+    // first = b + sel * (a - b), second = a - sel * (a - b).
+    Lane first, second;
+    first.limbs.reserve(a.limbs.size());
+    second.limbs.reserve(a.limbs.size());
+    for (size_t i = 0; i < a.limbs.size(); ++i) {
+        Var diff = cb_.add_subtraction(a.limbs[i], b.limbs[i]);
+        Var scaled = cb_.add_multiplication(sel, diff);
+        first.limbs.push_back(cb_.add_addition(b.limbs[i], scaled));
+        second.limbs.push_back(
+            cb_.add_subtraction(a.limbs[i], scaled));
+    }
+    return {std::move(first), std::move(second)};
+}
+
+std::array<Lane, 25>
+KeccakGadget::permute(std::array<Lane, 25> st)
+{
+    const auto &rc = hash::keccak_round_constants();
+    const auto &rho = hash::keccak_rho_offsets();
+    for (unsigned round = 0; round < params_.rounds; ++round) {
+        // Theta
+        std::array<Lane, 5> c, d;
+        for (int x = 0; x < 5; ++x) {
+            c[x] = lane_xor(st[x], st[x + 5]);
+            c[x] = lane_xor(c[x], st[x + 10]);
+            c[x] = lane_xor(c[x], st[x + 15]);
+            c[x] = lane_xor(c[x], st[x + 20]);
+        }
+        for (int x = 0; x < 5; ++x) {
+            d[x] = lane_xor(c[(x + 4) % 5], rotl(c[(x + 1) % 5], 1));
+        }
+        for (int x = 0; x < 5; ++x) {
+            for (int y = 0; y < 5; ++y) {
+                st[x + 5 * y] = lane_xor(st[x + 5 * y], d[x]);
+            }
+        }
+        // Rho + Pi (copy wiring plus sub-limb splits)
+        std::array<Lane, 25> b;
+        for (int x = 0; x < 5; ++x) {
+            for (int y = 0; y < 5; ++y) {
+                b[y + 5 * ((2 * x + 3 * y) % 5)] =
+                    rotl(st[x + 5 * y], unsigned(rho[x][y]));
+            }
+        }
+        // Chi
+        for (int x = 0; x < 5; ++x) {
+            for (int y = 0; y < 5; ++y) {
+                st[x + 5 * y] =
+                    lane_chi(b[x + 5 * y], b[(x + 1) % 5 + 5 * y],
+                             b[(x + 2) % 5 + 5 * y]);
+            }
+        }
+        // Iota
+        st[0] = xor_constant(st[0], rc[round]);
+    }
+    return st;
+}
+
+}  // namespace zkspeed::keccak

@@ -1,0 +1,99 @@
+#include "keccak/merkle.hpp"
+
+#include <tuple>
+
+#include "hash/keccak.hpp"
+
+namespace zkspeed::keccak {
+
+namespace {
+
+/** Keccak-256 single-block preamble over lanes 8..24: domain byte 0x01
+ * at byte 64 (lane 8), padding bit 0x80 at byte 135 (top of lane 16). */
+constexpr uint64_t kDomainLane8 = 0x01ull;
+constexpr uint64_t kPadLane16 = 0x8000000000000000ull;
+
+}  // namespace
+
+DigestLanes
+node_hash(KeccakGadget &g, const DigestLanes &left,
+          const DigestLanes &right)
+{
+    std::array<Lane, 25> st;
+    for (int k = 0; k < 4; ++k) {
+        st[k] = left[k];
+        st[4 + k] = right[k];
+    }
+    st[8] = g.constant_lane(kDomainLane8);
+    for (int k = 9; k < 16; ++k) st[k] = g.constant_lane(0);
+    st[16] = g.constant_lane(kPadLane16);
+    for (int k = 17; k < 25; ++k) st[k] = g.constant_lane(0);
+    st = g.permute(std::move(st));
+    return {st[0], st[1], st[2], st[3]};
+}
+
+DigestLanes
+merkle_path(KeccakGadget &g, DigestLanes leaf,
+            const std::vector<MerkleStep> &path)
+{
+    CircuitBuilder &cb = g.builder();
+    DigestLanes cur = std::move(leaf);
+    for (const MerkleStep &step : path) {
+        DigestLanes sib;
+        for (int k = 0; k < 4; ++k) {
+            Var word = cb.add_variable(Fr::from_uint(step.sibling[k]));
+            sib[k] = g.from_var(word);
+        }
+        Var dir =
+            cb.add_variable(step.right ? Fr::one() : Fr::zero());
+        cb.assert_boolean(dir);
+        DigestLanes left, right;
+        for (int k = 0; k < 4; ++k) {
+            // dir = 1 (current node is the right child): left = sib.
+            std::tie(left[k], right[k]) =
+                g.mux_swap(dir, sib[k], cur[k]);
+        }
+        cur = node_hash(g, left, right);
+    }
+    return cur;
+}
+
+DigestWords
+native_node(const DigestWords &left, const DigestWords &right,
+            unsigned rounds)
+{
+    std::array<uint64_t, 25> st{};
+    for (int k = 0; k < 4; ++k) {
+        st[k] = left[k];
+        st[4 + k] = right[k];
+    }
+    st[8] ^= kDomainLane8;
+    st[16] ^= kPadLane16;
+    hash::keccak_f1600(st, rounds);
+    return {st[0], st[1], st[2], st[3]};
+}
+
+DigestWords
+native_path(DigestWords leaf, const std::vector<MerkleStep> &path,
+            unsigned rounds)
+{
+    for (const MerkleStep &step : path) {
+        leaf = step.right ? native_node(step.sibling, leaf, rounds)
+                          : native_node(leaf, step.sibling, rounds);
+    }
+    return leaf;
+}
+
+DigestWords
+digest_to_words(const std::array<uint8_t, 32> &digest)
+{
+    DigestWords w{};
+    for (size_t i = 0; i < 4; ++i) {
+        for (size_t b = 0; b < 8; ++b) {
+            w[i] |= uint64_t(digest[i * 8 + b]) << (8 * b);
+        }
+    }
+    return w;
+}
+
+}  // namespace zkspeed::keccak

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Keccak-256 sponge wrapper and Merkle-path gadget on the in-circuit
+ * permutation (src/keccak/keccak.hpp).
+ *
+ * A Merkle node digest is keccak_256(left || right) of two 32-byte
+ * child digests: 64 bytes fit in one rate-136 block, so each tree
+ * level costs exactly one permutation. Digests travel as 4 little-
+ * endian 64-bit lanes (matching hash::Digest byte order); the sponge
+ * preamble — domain byte 0x01 at position 64, final bit 0x80 at
+ * position 135 — lands in constant lanes 8 and 16.
+ *
+ * Every circuit function has a `native_*` twin computing the same
+ * digest in software at the same round count, so tests/scenarios can
+ * derive expected roots for reduced-round instances; at rounds = 24
+ * the native twins agree with hash::keccak_256 byte for byte.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "keccak/keccak.hpp"
+
+namespace zkspeed::keccak {
+
+/** A 256-bit digest as 4 little-endian 64-bit words. */
+using DigestWords = std::array<uint64_t, 4>;
+
+/** One Merkle authentication step: the sibling digest and whether the
+ * current node is the right child. */
+struct MerkleStep {
+    DigestWords sibling{};
+    bool right = false;
+};
+
+/** A digest as 4 in-circuit lanes. */
+using DigestLanes = std::array<Lane, 4>;
+
+/** One sponge block: node digest = keccak_256(left || right), costing
+ * a single permutation at the gadget's round count. */
+DigestLanes node_hash(KeccakGadget &g, const DigestLanes &left,
+                      const DigestLanes &right);
+
+/**
+ * Merkle membership path: fold the leaf digest up through `path`
+ * (leaf level first). Each level muxes (current, sibling) into
+ * (left, right) on an in-circuit boolean direction wire, then hashes
+ * one node. Returns the root digest lanes.
+ */
+DigestLanes merkle_path(KeccakGadget &g, DigestLanes leaf,
+                        const std::vector<MerkleStep> &path);
+
+/** Native twin of node_hash at the same round count. */
+DigestWords native_node(const DigestWords &left, const DigestWords &right,
+                        unsigned rounds);
+
+/** Native twin of merkle_path. */
+DigestWords native_path(DigestWords leaf,
+                        const std::vector<MerkleStep> &path,
+                        unsigned rounds);
+
+/** hash::Digest -> 4 little-endian words (the circuit's digest form). */
+DigestWords digest_to_words(const std::array<uint8_t, 32> &digest);
+
+}  // namespace zkspeed::keccak

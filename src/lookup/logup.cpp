@@ -1,9 +1,11 @@
 #include "lookup/logup.hpp"
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "ff/batch_inverse.hpp"
+#include "ff/parallel.hpp"
 
 namespace zkspeed::lookup {
 
@@ -38,28 +40,49 @@ Table::xor_table(unsigned bits)
     return t;
 }
 
+Table
+Table::chi_table(unsigned bits)
+{
+    Table t;
+    t.name = "chi" + std::to_string(bits);
+    uint64_t n = uint64_t(1) << bits;
+    uint64_t mask = n - 1;
+    t.rows.reserve(n * n);
+    for (uint64_t a = 0; a < n; ++a) {
+        for (uint64_t b = 0; b < n; ++b) {
+            t.rows.push_back({Fr::from_uint(a), Fr::from_uint(b),
+                              Fr::from_uint(~a & b & mask)});
+        }
+    }
+    return t;
+}
+
 namespace {
 
-/** Canonical byte key of a wire/table triple (hash-map lookup). */
+/** Canonical byte key of a tagged wire/table row (hash-map lookup). */
 std::string
-triple_key(const Fr &a, const Fr &b, const Fr &c)
+quad_key(const Fr &tag, const Fr &a, const Fr &b, const Fr &c)
 {
-    std::string key(3 * Fr::kByteSize, '\0');
+    std::string key(4 * Fr::kByteSize, '\0');
     auto *p = reinterpret_cast<uint8_t *>(key.data());
-    a.to_bytes(p);
-    b.to_bytes(p + Fr::kByteSize);
-    c.to_bytes(p + 2 * Fr::kByteSize);
+    tag.to_bytes(p);
+    a.to_bytes(p + Fr::kByteSize);
+    b.to_bytes(p + 2 * Fr::kByteSize);
+    c.to_bytes(p + 3 * Fr::kByteSize);
     return key;
 }
 
-/** First-occurrence index of every distinct table row. */
+/** First-occurrence index of every distinct (tag, row) bank entry. */
 std::unordered_map<std::string, size_t>
-row_index(const std::array<Mle, 3> &table, size_t table_rows)
+row_index(const Mle &table_tag, const std::array<Mle, 3> &table,
+          size_t table_rows)
 {
     std::unordered_map<std::string, size_t> idx;
     idx.reserve(table_rows);
     for (size_t j = 0; j < table_rows; ++j) {
-        idx.emplace(triple_key(table[0][j], table[1][j], table[2][j]), j);
+        idx.emplace(quad_key(table_tag[j], table[0][j], table[1][j],
+                             table[2][j]),
+                    j);
     }
     return idx;
 }
@@ -67,22 +90,64 @@ row_index(const std::array<Mle, 3> &table, size_t table_rows)
 }  // namespace
 
 Mle
-multiplicities(const Mle &q_lookup, const std::array<Mle, 3> &table,
-               size_t table_rows, const std::array<const Mle *, 3> &wires)
+build_tag_column(const std::vector<uint64_t> &table_row_counts,
+                 size_t num_vars)
 {
-    auto idx = row_index(table, table_rows);
+    Mle tag_col(num_vars);
+    size_t j = 0;
+    for (size_t ti = 0; ti < table_row_counts.size(); ++ti) {
+        Fr tag = Fr::from_uint(ti + 1);
+        for (uint64_t k = 0; k < table_row_counts[ti]; ++k) {
+            tag_col[j++] = tag;
+        }
+    }
+    // Padding copies bank row 0: tag 1 (the first table has >= 1 row).
+    for (; j < tag_col.size(); ++j) tag_col[j] = Fr::one();
+    return tag_col;
+}
+
+Mle
+multiplicities(const Mle &q_lookup, const Mle &table_tag,
+               const std::array<Mle, 3> &table, size_t table_rows,
+               const std::array<const Mle *, 3> &wires)
+{
+    auto idx = row_index(table_tag, table, table_rows);
+    // Parallel counting pass: each worker range scans its share of the
+    // hypercube into a local bank histogram (read-only probes of the
+    // shared index), then folds it into the global counts under a lock.
+    // Per-bank-row addition is commutative, so the merged counts are
+    // identical to a serial scan regardless of chunking.
+    std::vector<uint64_t> counts(table_rows, 0);
+    std::mutex merge_mu;
+    ff::parallel_for(q_lookup.size(), [&](size_t begin, size_t end) {
+        std::vector<uint64_t> local(table_rows, 0);
+        bool any = false;
+        for (size_t i = begin; i < end; ++i) {
+            if (q_lookup[i].is_zero()) continue;
+            auto it = idx.find(quad_key(q_lookup[i], (*wires[0])[i],
+                                        (*wires[1])[i], (*wires[2])[i]));
+            if (it != idx.end()) {
+                ++local[it->second];
+                any = true;
+            }
+        }
+        if (!any) return;
+        std::lock_guard<std::mutex> lock(merge_mu);
+        for (size_t j = 0; j < table_rows; ++j) counts[j] += local[j];
+    });
     Mle m(q_lookup.num_vars());
-    for (size_t i = 0; i < q_lookup.size(); ++i) {
-        if (q_lookup[i].is_zero()) continue;
-        auto it = idx.find(triple_key((*wires[0])[i], (*wires[1])[i],
-                                      (*wires[2])[i]));
-        if (it != idx.end()) m[it->second] += Fr::one();
+    for (size_t j = 0; j < table_rows; ++j) {
+        if (counts[j] == 0) continue;
+        // Tag-weighted: residues on the table side must match the
+        // gate side, whose numerators are the tag-valued selector.
+        m[j] = table_tag[j] * Fr::from_uint(counts[j]);
     }
     return m;
 }
 
 LookupOracles
-build_helper_oracles(const Mle &q_lookup, const std::array<Mle, 3> &table,
+build_helper_oracles(const Mle &q_lookup, const Mle &table_tag,
+                     const std::array<Mle, 3> &table,
                      const std::array<const Mle *, 3> &wires, const Mle &m,
                      const Fr &lambda, const Fr &gamma)
 {
@@ -96,11 +161,11 @@ build_helper_oracles(const Mle &q_lookup, const std::array<Mle, 3> &table,
     // an invalid proof rather than a crash).
     std::vector<Fr> den_f(n), den_t(n);
     for (size_t i = 0; i < n; ++i) {
-        den_f[i] = lambda + fold_triple((*wires[0])[i], (*wires[1])[i],
-                                        (*wires[2])[i], gamma);
-        den_t[i] = lambda +
-                   fold_triple(table[0][i], table[1][i], table[2][i],
-                               gamma);
+        den_f[i] = lambda + fold_tagged(q_lookup[i], (*wires[0])[i],
+                                        (*wires[1])[i], (*wires[2])[i],
+                                        gamma);
+        den_t[i] = lambda + fold_tagged(table_tag[i], table[0][i],
+                                        table[1][i], table[2][i], gamma);
     }
     ff::batch_inverse(den_f);
     ff::batch_inverse(den_t);
@@ -116,14 +181,15 @@ build_helper_oracles(const Mle &q_lookup, const std::array<Mle, 3> &table,
 }
 
 bool
-rows_satisfy(const Mle &q_lookup, const std::array<Mle, 3> &table,
-             size_t table_rows, const std::array<const Mle *, 3> &wires)
+rows_satisfy(const Mle &q_lookup, const Mle &table_tag,
+             const std::array<Mle, 3> &table, size_t table_rows,
+             const std::array<const Mle *, 3> &wires)
 {
-    auto idx = row_index(table, table_rows);
+    auto idx = row_index(table_tag, table, table_rows);
     for (size_t i = 0; i < q_lookup.size(); ++i) {
         if (q_lookup[i].is_zero()) continue;
-        if (idx.find(triple_key((*wires[0])[i], (*wires[1])[i],
-                                (*wires[2])[i])) == idx.end()) {
+        if (idx.find(quad_key(q_lookup[i], (*wires[0])[i], (*wires[1])[i],
+                              (*wires[2])[i])) == idx.end()) {
             return false;
         }
     }

@@ -1,25 +1,30 @@
 /**
  * @file
- * LogUp-style multiset-inclusion argument (fractional sumcheck).
+ * LogUp-style multiset-inclusion argument (fractional sumcheck) over a
+ * fused bank of tagged tables.
  *
- * Statement: for every hypercube row x with q_lookup(x) = 1, the wire
- * triple (w1, w2, w3)(x) equals some row of the table (t1, t2, t3).
+ * Statement: for every hypercube row x with q_lookup(x) = k != 0, the
+ * wire triple (w1, w2, w3)(x) equals some row of the table with tag k.
+ * All registered tables are concatenated into one 4-column bank
+ * (tag, t1, t2, t3) — the tag column keeps rows of different logical
+ * tables apart under the compression.
  *
- * With challenges gamma (triple compression) and lambda (pole
+ * With challenges gamma (column compression) and lambda (pole
  * location), both drawn after the witness and multiplicity commitments,
- * define
+ * define the tagged folds
  *
- *   f(x) = w1(x) + gamma w2(x) + gamma^2 w3(x)
- *   t(x) = t1(x) + gamma t2(x) + gamma^2 t3(x)
+ *   f(x) = q_lookup(x) + gamma w1(x) + gamma^2 w2(x) + gamma^3 w3(x)
+ *   t(x) = tag(x)      + gamma t1(x) + gamma^2 t2(x) + gamma^3 t3(x)
  *
  * and the prover-committed helper MLEs
  *
  *   h_f(x) = q_lookup(x) / (lambda + f(x))
  *   h_t(x) = m(x)        / (lambda + t(x))
  *
- * where m is the multiplicity MLE (how many lookup rows hit each table
- * row). The multiset inclusion is then equivalent (w.h.p. over lambda,
- * gamma) to the fractional identity
+ * where m is the tag-weighted multiplicity MLE: table row j matched by
+ * c_j active lookup rows gets m[j] = tag_j * c_j, so each pole's
+ * residues agree on both sides. The multiset inclusion is then
+ * equivalent (w.h.p. over lambda, gamma) to the fractional identity
  *
  *   sum_x h_f(x)  ==  sum_x h_t(x)                            (L1)
  *
@@ -30,15 +35,20 @@
  *
  * All three fold into ONE degree-3 sumcheck with a batching challenge
  * alpha: sum_x [ (h_f - h_t) + alpha (L2) eq + alpha^2 (L3) eq ] = 0.
- * The claimed evaluations at the sumcheck point ride the existing
- * batch-opening machinery (a 7th opening point), so the lookup argument
- * adds no new pairing work — its PCS terms flow through the same
- * deferred accumulator as every other opening. Soundness sketch in
- * DESIGN.md Section 8.
+ * Because the gate-side tag IS the q_lookup selector value, fusing
+ * tables adds exactly one committed polynomial (the bank's tag column)
+ * and no sumcheck degree. The claimed evaluations at the sumcheck point
+ * ride the existing batch-opening machinery (a 7th opening point), so
+ * the lookup argument adds no new pairing work — its PCS terms flow
+ * through the same deferred accumulator as every other opening.
+ * Soundness sketch in DESIGN.md Section 8.
  *
  * Helper construction uses one batched inversion per helper — the same
  * FracMLE kernel as the wiring identity's phi, which is what lets the
- * sim's LookupUnit reuse the FracMLE pipeline model.
+ * sim's LookupUnit reuse the FracMLE pipeline model. Multiplicity
+ * construction is parallel: ff::parallel_for workers count into
+ * per-range bank histograms merged deterministically (the ROADMAP
+ * 2^20+-bank item).
  */
 #pragma once
 
@@ -58,41 +68,58 @@ struct LookupOracles {
     std::shared_ptr<Mle> h_t;  ///< m / (lambda + t)
 };
 
-/** Triple compression f = a + gamma b + gamma^2 c. */
+/** Tagged fold tag + gamma c1 + gamma^2 c2 + gamma^3 c3. */
 inline ff::Fr
-fold_triple(const ff::Fr &a, const ff::Fr &b, const ff::Fr &c,
-            const ff::Fr &gamma)
+fold_tagged(const ff::Fr &tag, const ff::Fr &c1, const ff::Fr &c2,
+            const ff::Fr &c3, const ff::Fr &gamma)
 {
-    return a + gamma * (b + gamma * c);
+    return tag + gamma * (c1 + gamma * (c2 + gamma * c3));
 }
 
 /**
- * Multiplicity MLE: m[j] = number of active lookup rows whose wire
- * triple equals table row j (challenge-free, so it can be committed
- * with the witness). Duplicate table rows accumulate at their first
- * occurrence. Lookup rows matching no table row are simply not counted
- * — the fractional identity then fails and the proof is invalid, which
- * is the desired behaviour for an out-of-table witness pushed past the
- * front door.
+ * The bank's tag column from per-table row counts: tag k (1-based)
+ * owns the k-th slice, padding rows past the total copy bank row 0
+ * (tag 1). The ONE definition of the bank layout — CircuitBuilder
+ * embeds it at build time and the wire decoder reconstructs it from
+ * the transmitted counts, so the committed column can never diverge
+ * between the two sides.
  */
-Mle multiplicities(const Mle &q_lookup, const std::array<Mle, 3> &table,
-                   size_t table_rows,
+Mle build_tag_column(const std::vector<uint64_t> &table_row_counts,
+                     size_t num_vars);
+
+/**
+ * Tag-weighted multiplicity MLE: m[j] = tag_j * (number of active
+ * lookup rows whose (tag, triple) equals bank row j). Challenge-free,
+ * so it can be committed with the witness. Duplicate bank rows
+ * accumulate at their first occurrence. Lookup rows matching no bank
+ * row are simply not counted — the fractional identity then fails and
+ * the proof is invalid, which is the desired behaviour for an
+ * out-of-table witness pushed past the front door.
+ *
+ * The counting pass is parallelised over the hypercube with
+ * ff::parallel_for (per-worker histograms, deterministic merge), so
+ * 2^20+ lookup banks no longer serialise the prover here.
+ */
+Mle multiplicities(const Mle &q_lookup, const Mle &table_tag,
+                   const std::array<Mle, 3> &table, size_t table_rows,
                    const std::array<const Mle *, 3> &wires);
 
 /** Build h_f and h_t for the drawn challenges (two batched inversions). */
 LookupOracles build_helper_oracles(const Mle &q_lookup,
+                                   const Mle &table_tag,
                                    const std::array<Mle, 3> &table,
                                    const std::array<const Mle *, 3> &wires,
                                    const Mle &m, const ff::Fr &lambda,
                                    const ff::Fr &gamma);
 
 /**
- * Direct witness check: every active lookup row's wire triple appears
- * among the first `table_rows` table rows. This is the front-door test
- * mirroring Witness::satisfies_gates for lookup gates.
+ * Direct witness check: every active lookup row's wire triple appears,
+ * under the row's tag, among the first `table_rows` bank rows. This is
+ * the front-door test mirroring Witness::satisfies_gates for lookup
+ * gates.
  */
-bool rows_satisfy(const Mle &q_lookup, const std::array<Mle, 3> &table,
-                  size_t table_rows,
+bool rows_satisfy(const Mle &q_lookup, const Mle &table_tag,
+                  const std::array<Mle, 3> &table, size_t table_rows,
                   const std::array<const Mle *, 3> &wires);
 
 }  // namespace zkspeed::lookup

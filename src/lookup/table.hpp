@@ -4,7 +4,7 @@
  *
  * A Table is an ordered list of 3-column rows (t1, t2, t3). A lookup
  * gate asserts that its full wire triple (w1, w2, w3) equals some row of
- * the circuit's table, with the triple compressed by a verifier
+ * one of the circuit's tables, with the triple compressed by a verifier
  * challenge (Schwartz-Zippel vector lookup), so a single gate can
  * encode relations that would otherwise cost a bank of arithmetic
  * gates:
@@ -14,17 +14,21 @@
  *              ~2b+2 gates of the bit-decomposition gadget (and pins
  *              the other two wires to zero for free);
  *   xor(b):    rows (a, c, a^c) for a, c in [0, 2^b) — looking up
- *              (x, y, z) both range-checks x, y and asserts z = x^y.
+ *              (x, y, z) both range-checks x, y and asserts z = x^y;
+ *   chi(b):    rows (a, c, ~a & c) for a, c in [0, 2^b) — the keccak
+ *              chi nonlinearity's per-limb kernel.
  *
- * One table per circuit: rows of different logical tables may collide
- * under the 3-column encoding (e.g. an XOR row with c = 0 looks like a
- * range row), so fusing tables needs a tag column — a recorded
- * follow-on, not supported here.
+ * A circuit may register several tables (CircuitBuilder::add_table);
+ * each carries a 1-based tag and the LogUp argument folds tag and
+ * columns together — tag + gamma c1 + gamma^2 c2 + gamma^3 c3 — so rows
+ * of different logical tables can never collide under the compression
+ * (DESIGN.md Section 8, "multi-table fusion").
  */
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -33,6 +37,11 @@
 namespace zkspeed::lookup {
 
 using ff::Fr;
+
+/** Cap on fused tables per circuit (tag column values 1..N). Shared by
+ * CircuitBuilder::add_table and the wire format, so a circuit the
+ * builder accepts always survives request decoding. */
+constexpr size_t kMaxTablesPerCircuit = 16;
 
 /** One 3-column lookup table. */
 struct Table {
@@ -48,15 +57,52 @@ struct Table {
     /** XOR table: rows (a, b, a XOR b) for a, b in [0, 2^bits).
      * Has 2^{2 bits} rows — keep bits small (<= 8). */
     static Table xor_table(unsigned bits);
+
+    /** Keccak-chi table: rows (a, b, ~a AND b) over `bits`-wide limbs
+     * (the complement is taken inside the limb: (~a & b) mod 2^bits).
+     * Has 2^{2 bits} rows — keep bits small (<= 8). */
+    static Table chi_table(unsigned bits);
 };
 
 /**
- * One lookup gate: the wire triple at this row must equal some table
- * row. Used by CircuitBuilder bookkeeping; the proved object is the
- * q_lookup selector MLE plus the table column MLEs.
+ * Structured error for a table bank that cannot fit any circuit the
+ * builder is allowed to emit: the fused tables need more hypercube rows
+ * than 2^max_vars. Carries the offending table's name and the bound so
+ * callers (and error messages) can say exactly which table broke the
+ * budget instead of a bare throw.
+ */
+class TableSizeError : public std::runtime_error
+{
+  public:
+    TableSizeError(std::string table_name, size_t table_rows_,
+                   size_t total_rows_, size_t max_vars_)
+        : std::runtime_error(
+              "lookup table '" + table_name + "' (" +
+              std::to_string(table_rows_) + " rows; " +
+              std::to_string(total_rows_) +
+              " fused rows total) exceeds the circuit height bound 2^" +
+              std::to_string(max_vars_) +
+              " — shrink the table or raise "
+              "CircuitBuilder::set_max_vars"),
+          table(std::move(table_name)), table_rows(table_rows_),
+          total_rows(total_rows_), max_vars(max_vars_)
+    {}
+
+    std::string table;  ///< name of the table that broke the budget
+    size_t table_rows;  ///< its row count
+    size_t total_rows;  ///< fused row total across all tables
+    size_t max_vars;    ///< the 2^max_vars height bound
+};
+
+/**
+ * One lookup gate: the wire triple at this row must equal some row of
+ * the table with tag `tag`. Used by CircuitBuilder bookkeeping; the
+ * proved object is the tag-valued q_lookup selector MLE plus the table
+ * column MLEs.
  */
 struct LookupGate {
     size_t a = 0, b = 0, c = 0;  ///< variable handles (hyperplonk::Var)
+    uint32_t tag = 1;            ///< 1-based table tag
 };
 
 }  // namespace zkspeed::lookup

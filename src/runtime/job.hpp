@@ -126,9 +126,13 @@ struct TraceEntry {
     uint64_t one_scalars = 0;
     uint64_t total_scalars = 0;
     /** Lookup argument shape (prove; 0 when the circuit has none): the
-     * sim LookupUnit prices the helper-MLE and LookupCheck work. */
+     * sim LookupUnit prices the helper-MLE and LookupCheck work.
+     * `per_table_rows` carries each fused table's height in tag order
+     * (table_rows is their sum) so replay can price the per-bank CAM
+     * fills of a multi-table circuit. */
     uint64_t lookup_gates = 0;
     uint64_t table_rows = 0;
+    std::vector<uint64_t> per_table_rows;
     double prove_ms = 0;
     bool key_cache_hit = false;
 

@@ -23,7 +23,7 @@ circuit_fingerprint(const CircuitIndex &circuit)
         }
         sponge.absorb(buf);
     };
-    sponge.absorb("zkspeed.circuit.v2");
+    sponge.absorb("zkspeed.circuit.v3");
     absorb_u64(circuit.num_vars);
     absorb_u64(circuit.num_public);
     absorb_u64(circuit.custom_gates ? 1 : 0);
@@ -34,7 +34,11 @@ circuit_fingerprint(const CircuitIndex &circuit)
     }
     for (const auto &s : circuit.sigma) absorb_table(s);
     if (circuit.has_lookup) {
-        absorb_u64(circuit.table_rows);
+        absorb_u64(circuit.table_row_counts.size());
+        for (uint64_t rows : circuit.table_row_counts) absorb_u64(rows);
+        // The bank tag column is bit-for-bit determined by the counts
+        // (lookup::build_tag_column), so absorbing it would add 2^mu
+        // elements of derivable data with no distinguishing power.
         absorb_table(circuit.q_lookup);
         for (const auto &t : circuit.table) absorb_table(t);
     }

@@ -272,6 +272,7 @@ ProofService::process_prove(QueuedJob &job)
             }
         }
         entry.table_rows = req.circuit.table_rows;
+        entry.per_table_rows = req.circuit.table_row_counts;
         entry.lookup_gates = req.circuit.num_lookup_gates();
         std::lock_guard<std::mutex> lock(stats_mu_);
         trace_.push_back(entry);

@@ -1,6 +1,7 @@
 #include "runtime/wire.hpp"
 
 #include "hyperplonk/serde_bytes.hpp"
+#include "lookup/logup.hpp"
 
 namespace zkspeed::runtime {
 
@@ -37,7 +38,10 @@ using hyperplonk::serde::ByteReader;
 using hyperplonk::serde::ByteWriter;
 using mle::Mle;
 
-constexpr uint64_t kRequestMagic = 0x7a6b737065656410ULL;   // "zkspeed",16
+// Request layout v3 (fused multi-table lookups: per-table row counts +
+// tag-valued q_lookup): new magic so a v2 peer rejects the frame
+// outright instead of misparsing it.
+constexpr uint64_t kRequestMagic = 0x7a6b737065656414ULL;   // "zkspeed",20
 constexpr uint64_t kVerifyRequestMagic = 0x7a6b737065656412ULL;  // ..,18
 // Response layout v2 (kind byte + verify metrics): new magic so a PR 1
 // peer rejects the frame outright instead of misparsing it.
@@ -91,7 +95,12 @@ encode_request(const JobRequest &req)
     for (const auto &s : req.circuit.sigma) write_table(w, s);
     for (const auto &wi : req.witness.w) write_table(w, wi);
     if (req.circuit.has_lookup) {
-        w.u64(req.circuit.table_rows);
+        // The bank's tag column is fully determined by the per-table
+        // row counts (tag k owns the k-th slice, padding copies row 0),
+        // so only the counts travel; the decoder reconstructs the
+        // column bit-for-bit.
+        w.u64(req.circuit.table_row_counts.size());
+        for (uint64_t rows : req.circuit.table_row_counts) w.u64(rows);
         write_table(w, req.circuit.q_lookup);
         for (const auto &t : req.circuit.table) write_table(w, t);
     }
@@ -114,15 +123,29 @@ decode_request(std::span<const uint8_t> bytes)
         num_public > (uint64_t(1) << num_vars)) {
         return std::nullopt;
     }
-    // Size the frame before allocating: 12 tables of 2^mu elements (16
-    // plus a u64 row count for lookup circuits) follow the 34-byte
+    // Size the frame before allocating: 12 tables of 2^mu elements
+    // (plus a lookup section for lookup circuits) follow the 34-byte
     // header. Without this, a bare header claiming num_vars=20 would
     // make us allocate ~400 MB of tables just to discover the bytes
-    // aren't there.
+    // aren't there. The lookup section's length depends on its leading
+    // num_tables word, which sits at a known offset — peek it before
+    // trusting the rest of the frame.
     uint64_t table_bytes =
         (uint64_t(1) << num_vars) * uint64_t(ff::Fr::kByteSize);
-    uint64_t expected = 34 + 12 * table_bytes +
-                        (has_lookup == 1 ? 8 + 4 * table_bytes : 0);
+    uint64_t expected_base = 34 + 12 * table_bytes;
+    uint64_t num_tables = 0;
+    if (has_lookup == 1) {
+        if (bytes.size() < expected_base + 8) return std::nullopt;
+        for (int i = 0; i < 8; ++i) {
+            num_tables |= uint64_t(bytes[expected_base + i]) << (8 * i);
+        }
+        if (num_tables < 1 || num_tables > kMaxRequestTables) {
+            return std::nullopt;
+        }
+    }
+    uint64_t expected =
+        expected_base +
+        (has_lookup == 1 ? 8 + 8 * num_tables + 4 * table_bytes : 0);
     if (bytes.size() != expected) return std::nullopt;
     req.circuit.num_vars = num_vars;
     req.circuit.num_public = num_public;
@@ -135,25 +158,42 @@ decode_request(std::span<const uint8_t> bytes)
     for (auto &s : req.circuit.sigma) s = read_table(r, num_vars);
     for (auto &wi : req.witness.w) wi = read_table(r, num_vars);
     if (req.circuit.has_lookup) {
-        uint64_t table_rows = r.u64();
-        if (table_rows < 1 || table_rows > (uint64_t(1) << num_vars)) {
-            return std::nullopt;
+        if (r.u64() != num_tables) return std::nullopt;
+        uint64_t total_rows = 0;
+        req.circuit.table_row_counts.reserve(num_tables);
+        for (uint64_t ti = 0; ti < num_tables; ++ti) {
+            uint64_t rows = r.u64();
+            // Bound each count BEFORE accumulating: a huge count could
+            // wrap total_rows past the check and turn the tag-column
+            // reconstruction below into an out-of-bounds write.
+            if (rows < 1 || rows > (uint64_t(1) << num_vars) ||
+                total_rows + rows > (uint64_t(1) << num_vars)) {
+                return std::nullopt;
+            }
+            total_rows += rows;
+            req.circuit.table_row_counts.push_back(rows);
         }
-        req.circuit.table_rows = table_rows;
+        req.circuit.table_rows = total_rows;
         req.circuit.q_lookup = read_table(r, num_vars);
         for (auto &t : req.circuit.table) t = read_table(r, num_vars);
-        // q_lookup is a selector: entries must be boolean.
+        // Reconstruct the bank's tag column from the counts — the same
+        // shared layout definition CircuitBuilder committed to.
+        req.circuit.table_tag = lookup::build_tag_column(
+            req.circuit.table_row_counts, num_vars);
+        // q_lookup is a tag-valued selector: entries must be small
+        // integers naming a registered table (or zero).
         for (size_t i = 0; i < req.circuit.q_lookup.size(); ++i) {
-            const auto &q = req.circuit.q_lookup[i];
-            if (!q.is_zero() && !q.is_one()) return std::nullopt;
+            if (!fits_below(req.circuit.q_lookup[i], num_tables + 1)) {
+                return std::nullopt;
+            }
         }
-        // Rows past table_rows must be padding copies of row 0
-        // (CircuitBuilder::build's invariant). The committed table is
+        // Rows past total_rows must be padding copies of row 0
+        // (CircuitBuilder::build's invariant). The committed bank is
         // the full 2^mu rows, so un-checked padding would silently
-        // widen the proved statement beyond the declared table: the
-        // front door only tests the first table_rows rows, while a
+        // widen the proved statement beyond the declared tables: the
+        // front door only tests the first total_rows rows, while a
         // prover could park multiplicity mass on garbage padding rows.
-        for (size_t i = table_rows; i < (size_t(1) << num_vars); ++i) {
+        for (size_t i = total_rows; i < (size_t(1) << num_vars); ++i) {
             for (const auto &t : req.circuit.table) {
                 if (!(t[i] == t[0])) return std::nullopt;
             }

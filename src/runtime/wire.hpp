@@ -25,6 +25,10 @@ namespace zkspeed::runtime::wire {
 
 /** Largest circuit a request may carry (2^20 gates ~ 400 MB decoded). */
 constexpr uint64_t kMaxRequestVars = 20;
+/** Cap on fused lookup tables per circuit (tag column values 1..N);
+ * matches CircuitBuilder's registration cap so every buildable circuit
+ * is encodable. */
+constexpr uint64_t kMaxRequestTables = lookup::kMaxTablesPerCircuit;
 /** Cap on response error-string length. */
 constexpr uint64_t kMaxErrorBytes = 1024;
 /** Cap on embedded proof blobs (generous: proofs are ~5 KB). */

@@ -1,6 +1,7 @@
 #include "scenarios/circuits.hpp"
 
 #include "hash/keccak.hpp"
+#include "keccak/merkle.hpp"
 
 namespace zkspeed::scenarios::circuits {
 
@@ -221,6 +222,50 @@ xor_rescue_lookup(size_t mixes, unsigned bits, std::mt19937_64 &rng,
         gadgets::rescue_hash2_value(Fr::from_uint(acc_val), seed_val);
     Var pub_digest = cb.add_public_input(digest_val);
     cb.assert_equal(pub_digest, digest);
+    return cb.build(min_vars);
+}
+
+std::pair<CircuitIndex, Witness>
+keccak_merkle(const KeccakMerkleParams &params, std::mt19937_64 &rng,
+              size_t min_vars)
+{
+    namespace kc = zkspeed::keccak;
+    // Leaf identity from a real keccak digest of a seeded preimage.
+    uint64_t preimage = rng();
+    hash::Digest d = hash::sha3_256(
+        std::span<const uint8_t>(reinterpret_cast<uint8_t *>(&preimage),
+                                 sizeof(preimage)));
+    kc::DigestWords leaf = kc::digest_to_words(d);
+
+    std::vector<kc::MerkleStep> path(params.depth);
+    for (auto &step : path) {
+        for (auto &w : step.sibling) w = rng();
+        step.right = (rng() & 1) != 0;
+    }
+    kc::DigestWords root =
+        kc::native_path(leaf, path, params.rounds);
+    if (params.wrong_sibling) {
+        // The public root stays honest; the in-circuit path now folds a
+        // different sibling, so the root-equality gates cannot hold.
+        path[0].sibling[0] ^= 1;
+    }
+
+    CircuitBuilder cb;
+    kc::KeccakGadget g(
+        cb, kc::KeccakParams::lookup(params.rounds, params.limb_bits));
+    std::array<Var, 4> leaf_pub, root_pub;
+    for (int k = 0; k < 4; ++k) {
+        leaf_pub[k] = cb.add_public_input(Fr::from_uint(leaf[k]));
+        root_pub[k] = cb.add_public_input(Fr::from_uint(root[k]));
+    }
+    kc::DigestLanes leaf_lanes;
+    for (int k = 0; k < 4; ++k) {
+        leaf_lanes[k] = g.from_var(leaf_pub[k]);
+    }
+    kc::DigestLanes computed = kc::merkle_path(g, leaf_lanes, path);
+    for (int k = 0; k < 4; ++k) {
+        cb.assert_equal(g.to_var(computed[k]), root_pub[k]);
+    }
     return cb.build(min_vars);
 }
 

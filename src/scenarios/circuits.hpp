@@ -106,4 +106,27 @@ std::pair<CircuitIndex, Witness> xor_rescue_lookup(size_t mixes,
 std::pair<CircuitIndex, Witness> shuffle(size_t n, std::mt19937_64 &rng,
                                          size_t min_vars = 2);
 
+/**
+ * Merkle membership with the hash REALLY in-circuit: a keccak-derived
+ * leaf digest folded up to the root through round-parameterised
+ * in-circuit Keccak-f[1600] permutations on the fused multi-table
+ * lookup argument (src/keccak). Leaf and root words are public.
+ *
+ * `rounds` scales the permutation depth (24 = the real hash; CI runs
+ * reduced rounds, the soak job raises ZKSPEED_KECCAK_ROUNDS);
+ * `wrong_sibling` perturbs one path sibling after the public root is
+ * fixed, so the witness faithfully computes a root that contradicts
+ * the circuit's own root-equality gates — the canonical wrong-path
+ * attack, refused at the proving front door.
+ */
+struct KeccakMerkleParams {
+    size_t depth = 1;
+    unsigned rounds = 1;
+    unsigned limb_bits = 4;
+    bool wrong_sibling = false;
+};
+std::pair<CircuitIndex, Witness> keccak_merkle(
+    const KeccakMerkleParams &params, std::mt19937_64 &rng,
+    size_t min_vars = 2);
+
 }  // namespace zkspeed::scenarios::circuits

@@ -201,6 +201,74 @@ Registry::Registry()
         }});
 
     // ------------------------------------------------------------------
+    // In-circuit keccak-Merkle families (src/keccak, DESIGN.md
+    // Section 9): the Merkle hash is a REAL round-parameterised
+    // Keccak-f[1600] permutation proved on the fused multi-table
+    // lookup argument. CI proves reduced-round permutations (the
+    // keccak circuit grows ~3k gates/round); the deep-soak job raises
+    // ZKSPEED_KECCAK_ROUNDS towards the full 24.
+    // ------------------------------------------------------------------
+
+    auto keccak_params = [](const Spec &s) {
+        circuits::KeccakMerkleParams p;
+        p.depth = s.knob("depth", 1);
+        // Clamp the knob/env into the gadget's 1..24 domain so a typo'd
+        // ZKSPEED_KECCAK_ROUNDS degrades to the nearest valid depth
+        // instead of throwing out of the family builder.
+        uint64_t rounds =
+            s.knob("rounds", env_u64("ZKSPEED_KECCAK_ROUNDS", 1));
+        p.rounds = unsigned(std::clamp<uint64_t>(rounds, 1, 24));
+        // Same policy for the limb width: snap to the nearest valid
+        // divisor of 64 within the gadget's table budget.
+        uint64_t limb_bits = s.knob("limb_bits", 4);
+        p.limb_bits = limb_bits >= 8 ? 8
+                      : limb_bits >= 4 ? 4
+                      : limb_bits >= 2 ? 2
+                                       : 1;
+        return p;
+    };
+
+    families_.push_back(Family{
+        "keccak-merkle",
+        "Merkle membership with the keccak permutation in-circuit "
+        "(theta/chi via fused XOR+CHI tables, rho/pi copy wiring; "
+        "rounds via ZKSPEED_KECCAK_ROUNDS)",
+        Outcome::accept, [keccak_params](const Spec &s) {
+            auto rng = family_rng(s, 30);
+            return honest(s, circuits::keccak_merkle(keccak_params(s),
+                                                     rng, s.log_size));
+        }});
+
+    families_.push_back(Family{
+        "keccak-merkle-wrong-path",
+        "keccak Merkle path folding a perturbed sibling against the "
+        "honest public root: the in-circuit permutation output "
+        "contradicts the root-equality gates",
+        Outcome::reject_witness, [keccak_params](const Spec &s) {
+            auto p = keccak_params(s);
+            p.wrong_sibling = true;
+            auto rng = family_rng(s, 31);
+            return honest(s,
+                          circuits::keccak_merkle(p, rng, s.log_size));
+        }});
+
+    families_.push_back(Family{
+        "keccak-merkle-wrong-leaf",
+        "valid keccak-Merkle proof presented against a forged public "
+        "leaf word",
+        Outcome::reject_proof, [keccak_params](const Spec &s) {
+            auto rng = family_rng(s, 32);
+            Instance inst = honest(
+                s, circuits::keccak_merkle(keccak_params(s), rng,
+                                           s.log_size));
+            inst.tamper_publics = [](std::vector<Fr> &publics) {
+                // Publics interleave (leaf, root) words; flip a leaf.
+                if (!publics.empty()) publics.front() += Fr::one();
+            };
+            return inst;
+        }});
+
+    // ------------------------------------------------------------------
     // Paper Table-3 instances as registry families. The paper sizes
     // (2^17..2^23) only previously existed as sim::Workload profiles;
     // here they flow through the full conformance pipeline, with the

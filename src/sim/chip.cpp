@@ -129,7 +129,8 @@ Chip::run(const Workload &wl) const
     // ------------------------------------------------------------------
     uint64_t lookup_cycles = 0;
     if (wl.has_lookup()) {
-        uint64_t mult = LookupUnit::multiplicity_cycles(mu);
+        uint64_t mult =
+            LookupUnit::multiplicity_cycles(mu, wl.per_table_rows());
         uint64_t fold = LookupUnit::fold_cycles(mu);
         uint64_t helpers = lookup_.helper_cycles(mu);
         // m is multiplicity-sparse (at most table_rows non-zeros); the
@@ -164,12 +165,12 @@ Chip::run(const Workload &wl) const
     }
 
     // ------------------------------------------------------------------
-    // Step 4: Batch Evaluations — 22 MLE Evaluates on the MTU (+10 at
+    // Step 4: Batch Evaluations — 22 MLE Evaluates on the MTU (+11 at
     // the LookupCheck point; Section 3.3.4). phi and pi stream from
     // HBM; the rest are resident (Section 4.6 cuts this step's
     // bandwidth by 84%).
     // ------------------------------------------------------------------
-    const uint64_t num_evals = wl.has_lookup() ? 32 : 22;
+    const uint64_t num_evals = wl.has_lookup() ? 33 : 22;
     uint64_t batch_cycles = 0;
     {
         uint64_t compute = num_evals * mtu_.evaluate_cycles(mu);

@@ -54,10 +54,23 @@ struct Workload {
 
     /** Lookup-argument shape (sim/lookup_unit.hpp prices the helper
      * construction, extra commits and the LookupCheck). table_rows = 0
-     * means the circuit carries no lookup argument. */
+     * means the circuit carries no lookup argument. `table_row_counts`
+     * holds each fused table's height in tag order (the LookupUnit
+     * prices one CAM bank fill per table); when empty but table_rows is
+     * set, the workload is treated as one table of table_rows rows. */
     uint64_t lookup_gates = 0;
     uint64_t table_rows = 0;
+    std::vector<uint64_t> table_row_counts;
     bool has_lookup() const { return table_rows > 0; }
+
+    /** Per-table heights, normalising the single-table legacy shape. */
+    std::vector<uint64_t>
+    per_table_rows() const
+    {
+        if (!table_row_counts.empty()) return table_row_counts;
+        if (table_rows > 0) return {table_rows};
+        return {};
+    }
 
     size_t num_gates() const { return size_t(1) << mu; }
 

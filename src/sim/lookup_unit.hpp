@@ -16,15 +16,22 @@
  *  - The LookupCheck itself is a degree-3 sumcheck on the SumCheck PEs
  *    (SumcheckShape::lookupcheck).
  *
- * Table SRAM: the three table columns are MLEs of the same height as
- * every other input table, so their residency is charged to the global
- * MLE SRAM provisioning (MemorySystem), not to a dedicated array; this
- * unit only adds the latency/traffic of the probes. table_bytes()
- * reports the resident footprint for reports.
+ * Table SRAM: the four bank columns (tag + 3 data columns) are MLEs of
+ * the same height as every other input table, so their residency is
+ * charged to the global MLE SRAM provisioning (MemorySystem), not to a
+ * dedicated array; this unit only adds the latency/traffic of the
+ * probes. table_bytes() reports the resident footprint for reports.
+ *
+ * Multi-table fusion: the CAM is filled one bank (one fused table) at
+ * a time before the probe pass — multiplicity_cycles takes the
+ * per-table row counts so a circuit fusing several tables pays each
+ * bank fill, while the probe pass itself stays one row per cycle (the
+ * tag travels with the probe key, it is not a second probe).
  */
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/config.hpp"
 #include "sim/fracmle_unit.hpp"
@@ -37,33 +44,39 @@ class LookupUnit
   public:
     explicit LookupUnit(const DesignConfig &cfg) : frac_(cfg) {}
 
-    /** Resident table footprint: 3 columns of 2^mu Fr elements. */
+    /** Resident bank footprint: 4 columns (tag + t1..t3) of 2^mu Fr
+     * elements. */
     static double
     table_bytes(size_t mu)
     {
-        return 3.0 * double(uint64_t(1) << mu) * kFrBytes;
+        return 4.0 * double(uint64_t(1) << mu) * kFrBytes;
     }
 
     /**
-     * Multiplicity construction: one probe per hypercube row (the
-     * selector decides whether the hit increments), pipelined at one
-     * row per cycle behind the table SRAM.
+     * Multiplicity construction: fill the CAM one bank per fused table
+     * (one row per cycle per fill), then one probe per hypercube row
+     * (the tag-valued selector decides whether the hit increments),
+     * pipelined at one row per cycle behind the table SRAM.
      */
     static uint64_t
-    multiplicity_cycles(size_t mu)
+    multiplicity_cycles(size_t mu,
+                        const std::vector<uint64_t> &per_table_rows)
     {
-        return (uint64_t(1) << mu) + kModmulLatency;
+        uint64_t fill = 0;
+        for (uint64_t rows : per_table_rows) fill += rows;
+        return fill + (uint64_t(1) << mu) + kModmulLatency;
     }
 
     /**
-     * Denominator fold feeding the batched inverters: two modmuls per
-     * element (gamma (w2 + gamma w3)), on the Construct N&D multipliers.
+     * Denominator fold feeding the batched inverters: three modmuls per
+     * element (gamma (c1 + gamma (c2 + gamma c3)) over the tagged
+     * 4-column fold), on the Construct N&D multipliers.
      */
     static uint64_t
     fold_cycles(size_t mu)
     {
         uint64_t n = uint64_t(1) << mu;
-        return 2 * n * 2 / kConstructNdModmuls + kModmulLatency;
+        return 2 * n * 3 / kConstructNdModmuls + kModmulLatency;
     }
 
     /** Two FracMLE passes: h_f and h_t denominators inverted in batch. */
@@ -73,13 +86,13 @@ class LookupUnit
         return 2 * frac_.cycles(mu);
     }
 
-    /** HBM traffic of the helper construction: wires + table columns in
-     * (6 tables; q_lookup and m are narrow/resident), helpers out. */
+    /** HBM traffic of the helper construction: wires + bank columns in
+     * (7 tables; q_lookup and m are narrow/resident), helpers out. */
     static double
     helper_bytes(size_t mu)
     {
         uint64_t n = uint64_t(1) << mu;
-        return (6.0 + 2.0) * double(n) * kFrBytes;
+        return (7.0 + 2.0) * double(n) * kFrBytes;
     }
 
   private:

@@ -39,11 +39,11 @@ replay_trace(const std::vector<runtime::TraceEntry> &trace,
     Chip chip(design);
     MsmUnit msm(design);
     // Prove jobs with identical size, scalar statistics and lookup
-    // shape have identical simulated latency; memoise so a
-    // cache-friendly job stream (many repeats of few circuits) replays
-    // in O(distinct jobs).
+    // shape (per-table bank heights included) have identical simulated
+    // latency; memoise so a cache-friendly job stream (many repeats of
+    // few circuits) replays in O(distinct jobs).
     std::map<std::tuple<uint32_t, uint64_t, uint64_t, uint64_t, uint64_t,
-                        uint64_t>,
+                        std::vector<uint64_t>>,
              double>
         memo;
     for (const auto &entry : trace) {
@@ -60,11 +60,15 @@ replay_trace(const std::vector<runtime::TraceEntry> &trace,
             report.sw_verify_ms += job.sw_ms;
             report.chip_verify_ms += job.chip_ms;
         } else {
+            // Legacy single-table entries memoise under {table_rows}.
+            std::vector<uint64_t> bank_shape =
+                entry.per_table_rows.empty() && entry.table_rows > 0
+                    ? std::vector<uint64_t>{entry.table_rows}
+                    : entry.per_table_rows;
             auto key = std::make_tuple(entry.num_vars, entry.zero_scalars,
                                        entry.one_scalars,
                                        entry.total_scalars,
-                                       entry.lookup_gates,
-                                       entry.table_rows);
+                                       entry.lookup_gates, bank_shape);
             auto it = memo.find(key);
             if (it == memo.end()) {
                 Workload wl = Workload::from_stats(
@@ -73,6 +77,7 @@ replay_trace(const std::vector<runtime::TraceEntry> &trace,
                     std::max<uint64_t>(1, entry.total_scalars));
                 wl.lookup_gates = entry.lookup_gates;
                 wl.table_rows = entry.table_rows;
+                wl.table_row_counts = bank_shape;
                 it = memo.emplace(key, chip.run(wl).runtime_ms).first;
             }
             job.sw_ms = entry.prove_ms;

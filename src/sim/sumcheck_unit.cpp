@@ -32,9 +32,10 @@ SumcheckShape::opencheck(size_t mu, bool lookup)
 SumcheckShape
 SumcheckShape::lookupcheck(size_t mu)
 {
-    // h_f, h_t, w1..w3, q_lookup, t1..t3, m plus the built eq factor;
-    // the wires/selectors are resident, the helpers stream from HBM.
-    return {mu, 11, 3, 4, 33};
+    // h_f, h_t, w1..w3, q_lookup, the bank tag column, t1..t3, m plus
+    // the built eq factor; the wires/selectors are resident, the
+    // helpers stream from HBM.
+    return {mu, 12, 3, 4, 36};
 }
 
 SumcheckRunCost

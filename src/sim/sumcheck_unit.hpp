@@ -35,8 +35,8 @@ struct SumcheckShape {
     /** OpenCheck on Eq. 5: 12 tables (6 y + 6 k), degree 2. With a
      * lookup argument one more (y, k) pair joins (7th opening point). */
     static SumcheckShape opencheck(size_t mu, bool lookup = false);
-    /** LookupCheck (DESIGN.md Section 8): 11 tables (h_f, h_t, w1..3,
-     * q_lookup, t1..3, m, eq), degree 3. */
+    /** LookupCheck (DESIGN.md Section 8): 12 tables (h_f, h_t, w1..3,
+     * q_lookup, tag, t1..3, m, eq), degree 3. */
     static SumcheckShape lookupcheck(size_t mu);
 };
 

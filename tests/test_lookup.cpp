@@ -1,16 +1,19 @@
 /**
  * @file
- * Lookup-argument suite (suite #21): table builders, LogUp helper
- * algebra, completeness/soundness property tests under
- * ZKSPEED_TEST_SEED, lookup-proof serialization round trips, a
- * proof-field mutation sweep over the lookup artifacts (every mutation
- * rejected; pairing-side ones isolated by batch bisection), and the
- * wire/request round trip for lookup circuits.
+ * Lookup-argument suite (suite #21): table builders, tagged LogUp
+ * helper algebra over fused multi-table banks, completeness/soundness
+ * property tests under ZKSPEED_TEST_SEED, lookup-proof serialization
+ * round trips, a proof-field mutation sweep over the lookup artifacts
+ * (every mutation rejected; pairing-side ones isolated by batch
+ * bisection), table-registration ergonomics (set_table alias,
+ * structured TableSizeError), parallel-multiplicity determinism, and
+ * the wire/request round trip for single- and multi-table circuits.
  */
 #include <gtest/gtest.h>
 
 #include <random>
 
+#include "ff/parallel.hpp"
 #include "hyperplonk/gadgets.hpp"
 #include "hyperplonk/protocol_common.hpp"
 #include "hyperplonk/serialize.hpp"
@@ -126,8 +129,9 @@ TEST(LogUp, MultiplicitiesCountEveryLookupAndFractionsBalance)
     ASSERT_TRUE(index.has_lookup);
     const std::array<const mle::Mle *, 3> wires = {&wit.w[0], &wit.w[1],
                                                    &wit.w[2]};
-    mle::Mle m = lookup::multiplicities(index.q_lookup, index.table,
-                                        index.table_rows, wires);
+    mle::Mle m = lookup::multiplicities(index.q_lookup, index.table_tag,
+                                        index.table, index.table_rows,
+                                        wires);
     // Total multiplicity == number of active lookup rows.
     Fr total = Fr::zero(), lookups = Fr::zero();
     for (size_t i = 0; i < m.size(); ++i) {
@@ -140,7 +144,8 @@ TEST(LogUp, MultiplicitiesCountEveryLookupAndFractionsBalance)
     std::mt19937_64 chal(kSeed + 3);
     Fr lambda = Fr::random(chal), gamma = Fr::random(chal);
     auto oracles = lookup::build_helper_oracles(
-        index.q_lookup, index.table, wires, m, lambda, gamma);
+        index.q_lookup, index.table_tag, index.table, wires, m, lambda,
+        gamma);
     Fr lhs = Fr::zero(), rhs = Fr::zero();
     for (size_t i = 0; i < m.size(); ++i) {
         lhs += (*oracles.h_f)[i];
@@ -149,16 +154,45 @@ TEST(LogUp, MultiplicitiesCountEveryLookupAndFractionsBalance)
     EXPECT_EQ(lhs, rhs) << "sum h_f != sum h_t on an honest witness";
 
     // Per-row well-formedness: h_f (lambda + f) == q_lookup and
-    // h_t (lambda + t) == m.
+    // h_t (lambda + t) == m, with the tagged 4-column folds.
     for (size_t i = 0; i < m.size(); ++i) {
-        Fr f = lambda + lookup::fold_triple(wit.w[0][i], wit.w[1][i],
+        Fr f = lambda + lookup::fold_tagged(index.q_lookup[i],
+                                            wit.w[0][i], wit.w[1][i],
                                             wit.w[2][i], gamma);
-        Fr t = lambda +
-               lookup::fold_triple(index.table[0][i], index.table[1][i],
-                                   index.table[2][i], gamma);
+        Fr t = lambda + lookup::fold_tagged(index.table_tag[i],
+                                            index.table[0][i],
+                                            index.table[1][i],
+                                            index.table[2][i], gamma);
         EXPECT_EQ((*oracles.h_f)[i] * f, index.q_lookup[i]);
         EXPECT_EQ((*oracles.h_t)[i] * t, m[i]);
     }
+}
+
+TEST(LogUp, ParallelMultiplicityConstructionMatchesSerial)
+{
+    SCOPED_TRACE(repro());
+    // Big enough that ff::parallel_for actually forks (2^mu > its
+    // min_chunk): ~2000 lookup gates put the circuit at 2^13 rows.
+    std::mt19937_64 rng(kSeed + 40);
+    auto [index, wit] =
+        scenarios::circuits::range_bank_lookup(2000, 8, rng, 2);
+    const std::array<const mle::Mle *, 3> wires = {&wit.w[0], &wit.w[1],
+                                                   &wit.w[2]};
+    mle::Mle serial, parallel;
+    {
+        zkspeed::ff::ParallelismGuard guard(1);
+        serial = lookup::multiplicities(index.q_lookup, index.table_tag,
+                                        index.table, index.table_rows,
+                                        wires);
+    }
+    {
+        zkspeed::ff::ParallelismGuard guard(8);
+        parallel = lookup::multiplicities(index.q_lookup, index.table_tag,
+                                          index.table, index.table_rows,
+                                          wires);
+    }
+    EXPECT_EQ(serial, parallel)
+        << "parallel multiplicity pass is not bit-identical to serial";
 }
 
 TEST(LookupProof, CompletenessAcrossEveryVerificationPath)
@@ -296,9 +330,9 @@ lookup_mutations()
          ++e) {
         static const char *kNames[] = {
             "at_lookup[w1]", "at_lookup[w2]", "at_lookup[w3]",
-            "at_lookup[q_lookup]", "at_lookup[t1]", "at_lookup[t2]",
-            "at_lookup[t3]", "at_lookup[m]", "at_lookup[h_f]",
-            "at_lookup[h_t]"};
+            "at_lookup[q_lookup]", "at_lookup[tag]", "at_lookup[t1]",
+            "at_lookup[t2]", "at_lookup[t3]", "at_lookup[m]",
+            "at_lookup[h_f]", "at_lookup[h_t]"};
         muts.push_back({kNames[e], [e](hyperplonk::Proof &p) {
                             p.evals.at_lookup[e] += Fr::one();
                         }});
@@ -362,7 +396,7 @@ TEST(LookupMutation, EveryFieldMutationIsRejectedAndBisectionFingersIt)
     // The transcript binds the lookup commitments and claimed evals, so
     // those mutations die algebraically; the quotient mutation is the
     // pairing-side corruption only the batch flush can see.
-    EXPECT_GE(algebra_rejections, 13u);
+    EXPECT_GE(algebra_rejections, 14u);
     EXPECT_GE(batch_rejections, 1u);
 }
 
@@ -380,7 +414,10 @@ TEST(LookupWire, RequestRoundTripCarriesTheTable)
     ASSERT_TRUE(back.has_value());
     ASSERT_TRUE(back->circuit.has_lookup);
     EXPECT_EQ(back->circuit.table_rows, index.table_rows);
+    EXPECT_EQ(back->circuit.table_row_counts, index.table_row_counts);
     EXPECT_EQ(back->circuit.q_lookup, index.q_lookup);
+    // The tag column is reconstructed from the counts, bit for bit.
+    EXPECT_EQ(back->circuit.table_tag, index.table_tag);
     for (size_t k = 0; k < 3; ++k) {
         EXPECT_EQ(back->circuit.table[k], index.table[k]);
     }
@@ -398,9 +435,23 @@ TEST(LookupWire, RequestRoundTripCarriesTheTable)
                      runtime::wire::encode_request(non_bool))
                      .has_value());
     auto oversized = req;
-    oversized.circuit.table_rows = index.num_gates() + 1;
+    oversized.circuit.table_row_counts[0] = index.num_gates() + 1;
     EXPECT_FALSE(runtime::wire::decode_request(
                      runtime::wire::encode_request(oversized))
+                     .has_value());
+    auto too_many_tables = req;
+    too_many_tables.circuit.table_row_counts.assign(
+        runtime::wire::kMaxRequestTables + 1, 1);
+    EXPECT_FALSE(runtime::wire::decode_request(
+                     runtime::wire::encode_request(too_many_tables))
+                     .has_value());
+    // A count huge enough to wrap the running total must be rejected
+    // before it can size the tag-column reconstruction (the decoder
+    // bounds each count before accumulating).
+    auto wrapping = req;
+    wrapping.circuit.table_row_counts = {1, ~uint64_t(0)};
+    EXPECT_FALSE(runtime::wire::decode_request(
+                     runtime::wire::encode_request(wrapping))
                      .has_value());
     // Padding rows must be copies of row 0: a garbage row past
     // table_rows would widen the committed table beyond the declared
@@ -421,6 +472,168 @@ TEST(LookupWire, RequestRoundTripCarriesTheTable)
     EXPECT_FALSE(runtime::wire::decode_request(
                      runtime::wire::encode_request(widened))
                      .has_value());
+}
+
+// ---------------------------------------------------------------------
+// Multi-table fusion: several tables in one circuit fold into one
+// tagged LogUp argument.
+// ---------------------------------------------------------------------
+
+/** A circuit mixing a range(bits) table and an xor(bits) table: every
+ * drawn value is range-checked under tag 1 and XOR-folded into a
+ * running checksum under tag 2, checksum public. */
+std::pair<CircuitIndex, Witness>
+fused_range_xor_circuit(uint64_t seed, size_t values = 4,
+                        unsigned bits = 3)
+{
+    std::mt19937_64 rng(seed);
+    const uint64_t mask = (uint64_t(1) << bits) - 1;
+    CircuitBuilder cb;
+    size_t range_tag = cb.add_table(lookup::Table::range(bits));
+    size_t xor_tag = cb.add_table(lookup::Table::xor_table(bits));
+    uint64_t acc_val = rng() & mask;
+    hyperplonk::Var acc = cb.add_variable(Fr::from_uint(acc_val));
+    gadgets::range_via_lookup(cb, acc, range_tag);
+    for (size_t i = 0; i < values; ++i) {
+        uint64_t v = rng() & mask;
+        hyperplonk::Var x = cb.add_variable(Fr::from_uint(v));
+        gadgets::range_via_lookup(cb, x, range_tag);
+        acc = gadgets::xor_via_lookup(cb, acc, x, xor_tag);
+        acc_val ^= v;
+    }
+    hyperplonk::Var pub = cb.add_public_input(Fr::from_uint(acc_val));
+    cb.assert_equal(pub, acc);
+    return cb.build(2);
+}
+
+TEST(MultiTable, FusedBankEmbedsTagsAndCounts)
+{
+    SCOPED_TRACE(repro());
+    auto [index, wit] = fused_range_xor_circuit(kSeed + 20);
+    ASSERT_TRUE(index.has_lookup);
+    ASSERT_EQ(index.num_tables(), 2u);
+    EXPECT_EQ(index.table_row_counts[0], 8u);   // range3
+    EXPECT_EQ(index.table_row_counts[1], 64u);  // xor3
+    EXPECT_EQ(index.table_rows, 72u);
+    // Tag column: 1 over the range slice, 2 over the xor slice, and
+    // padding copies bank row 0 (tag 1).
+    EXPECT_EQ(index.table_tag[0], Fr::one());
+    EXPECT_EQ(index.table_tag[7], Fr::one());
+    EXPECT_EQ(index.table_tag[8], Fr::from_uint(2));
+    EXPECT_EQ(index.table_tag[71], Fr::from_uint(2));
+    EXPECT_EQ(index.table_tag[72], Fr::one());
+    // q_lookup carries the per-gate tags.
+    bool saw_tag1 = false, saw_tag2 = false;
+    for (size_t i = 0; i < index.q_lookup.size(); ++i) {
+        if (index.q_lookup[i] == Fr::one()) saw_tag1 = true;
+        if (index.q_lookup[i] == Fr::from_uint(2)) saw_tag2 = true;
+    }
+    EXPECT_TRUE(saw_tag1);
+    EXPECT_TRUE(saw_tag2);
+    EXPECT_TRUE(wit.satisfies_gates(index));
+    EXPECT_TRUE(wit.satisfies_lookups(index));
+}
+
+TEST(MultiTable, FusedProofVerifiesOnEveryPath)
+{
+    SCOPED_TRACE(repro());
+    auto [index, wit] = fused_range_xor_circuit(kSeed + 21);
+    std::mt19937_64 srs_rng(kSeed + 22);
+    auto srs = std::make_shared<pcs::Srs>(
+        pcs::Srs::generate(index.num_vars, srs_rng));
+    auto [pk, vk] = hyperplonk::keygen(index, srs);
+    auto proof = hyperplonk::prove(pk, wit);
+    auto publics = wit.public_inputs(index);
+    EXPECT_TRUE(hyperplonk::verify(vk, publics, proof,
+                                   hyperplonk::PcsCheckMode::ideal));
+    EXPECT_TRUE(hyperplonk::verify(vk, publics, proof,
+                                   hyperplonk::PcsCheckMode::pairing));
+    verifier::PairingAccumulator acc;
+    ASSERT_TRUE(hyperplonk::verify_deferred(vk, publics, proof, acc));
+    EXPECT_TRUE(acc.check());
+    // Serialization round-trips the fused proof canonically.
+    auto bytes = hyperplonk::serde::serialize_proof(proof);
+    auto back = hyperplonk::serde::deserialize_proof(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(hyperplonk::serde::serialize_proof(*back), bytes);
+    // Wire round trip carries both tables.
+    runtime::JobRequest req;
+    req.request_id = 99;
+    req.circuit = index;
+    req.witness = wit;
+    auto frame = runtime::wire::encode_request(req);
+    auto decoded = runtime::wire::decode_request(frame);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->circuit.table_row_counts, index.table_row_counts);
+    EXPECT_EQ(decoded->circuit.table_tag, index.table_tag);
+}
+
+TEST(MultiTable, CrossTableClaimIsRejected)
+{
+    SCOPED_TRACE(repro());
+    // A triple valid under the range table (tag 1) claimed under the
+    // xor table's tag must fail: (v, 0, 0) is only an xor row when
+    // v = 0, so pick v != 0.
+    CircuitBuilder cb;
+    size_t range_tag = cb.add_table(lookup::Table::range(3));
+    size_t xor_tag = cb.add_table(lookup::Table::xor_table(3));
+    hyperplonk::Var v = cb.add_variable(Fr::from_uint(5));
+    gadgets::range_via_lookup(cb, v, range_tag);
+    // The forged gate: same (5, 0, 0) triple, wrong tag.
+    hyperplonk::Var z1 = cb.add_variable(Fr::zero());
+    hyperplonk::Var z2 = cb.add_variable(Fr::zero());
+    cb.add_lookup_gate(xor_tag, v, z1, z2);
+    auto [index, wit] = cb.build(2);
+    // Front door: the tagged membership check must refuse the witness.
+    EXPECT_TRUE(wit.satisfies_gates(index));
+    EXPECT_FALSE(wit.satisfies_lookups(index));
+    // Pushed past the front door, the proof must not verify: the
+    // (tag, triple) pole has no matching bank pole.
+    std::mt19937_64 srs_rng(kSeed + 24);
+    auto srs = std::make_shared<pcs::Srs>(
+        pcs::Srs::generate(index.num_vars, srs_rng));
+    auto [pk, vk] = hyperplonk::keygen(index, srs);
+    auto proof = hyperplonk::prove(pk, wit);
+    EXPECT_FALSE(hyperplonk::verify(vk, wit.public_inputs(index), proof,
+                                    hyperplonk::PcsCheckMode::ideal));
+    EXPECT_FALSE(hyperplonk::verify(vk, wit.public_inputs(index), proof,
+                                    hyperplonk::PcsCheckMode::pairing));
+}
+
+TEST(TableRegistration, SetTableIsAThinAliasOverAddTable)
+{
+    CircuitBuilder cb;
+    cb.set_table(lookup::Table::range(3));
+    EXPECT_EQ(cb.num_tables(), 1u);
+    EXPECT_EQ(cb.table().name, "range3");
+    // A second set_table must refuse (add_table is the fusion API).
+    EXPECT_THROW(cb.set_table(lookup::Table::xor_table(2)),
+                 std::logic_error);
+    EXPECT_EQ(cb.add_table(lookup::Table::xor_table(2)), 2u);
+    EXPECT_EQ(cb.table(2).name, "xor2");
+}
+
+TEST(TableRegistration, OversizedBankThrowsStructuredError)
+{
+    CircuitBuilder cb;
+    cb.set_max_vars(4);  // bank bound 2^4 = 16 rows
+    cb.add_table(lookup::Table::range(3));  // 8 rows: fits
+    try {
+        cb.add_table(lookup::Table::xor_table(3));  // 64 rows: breaks
+        FAIL() << "oversized table registration did not throw";
+    } catch (const lookup::TableSizeError &e) {
+        EXPECT_EQ(e.table, "xor3");
+        EXPECT_EQ(e.table_rows, 64u);
+        EXPECT_EQ(e.total_rows, 72u);
+        EXPECT_EQ(e.max_vars, 4u);
+        EXPECT_NE(std::string(e.what()).find("xor3"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("2^4"), std::string::npos);
+    }
+    // Lowering the bound below an already-registered bank throws the
+    // same structured error (the bound cannot be bypassed by ordering).
+    CircuitBuilder late;
+    late.add_table(lookup::Table::xor_table(3));  // 64 rows, fits 2^20
+    EXPECT_THROW(late.set_max_vars(4), lookup::TableSizeError);
 }
 
 }  // namespace
