@@ -26,6 +26,8 @@
 #include <string_view>
 
 #include "hyperplonk/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/service.hpp"
 #include "scenarios/registry.hpp"
 #include "sim/replay.hpp"
@@ -245,8 +247,39 @@ main(int argc, char **argv)
                 response_stream.size(),
                 futures.size() + verify_futures.size());
 
+    // Registry percentiles (Fig-12-style breakdown needs more than the
+    // struct view's min/mean/max).
+    {
+        auto snap = obs::MetricsRegistry::global().snapshot();
+        const auto *lat = snap.find(
+            "zkspeed_job_latency_ms",
+            {{"service", service.instance_label()},
+             {"class", "prove"},
+             {"status", "ok"}});
+        if (lat != nullptr && lat->hist.count > 0) {
+            std::printf("  prove latency p50/p90/p99: %.2f / %.2f / "
+                        "%.2f ms (±%.1f%% bucket error)\n",
+                        lat->hist.quantile(0.50), lat->hist.quantile(0.90),
+                        lat->hist.quantile(0.99),
+                        100.0 * obs::HistogramBuckets::kMaxRelativeError);
+        }
+    }
+
     // What would the paper's accelerator do with this exact job stream?
+    // Shutdown also fires the telemetry artifact hooks: set
+    // ZKSPEED_METRICS_OUT / ZKSPEED_TRACE_OUT to dump metrics.prom (or
+    // .json) and a Perfetto-loadable trace.json.
     service.shutdown();  // flush any parked verify window into the trace
+    if (const char *p = std::getenv("ZKSPEED_METRICS_OUT")) {
+        std::printf("  metrics exposition written to %s\n", p);
+    }
+    if (const char *p = std::getenv("ZKSPEED_TRACE_OUT")) {
+        std::printf("  trace (%zu span(s), %llu dropped) written to %s\n",
+                    obs::TraceRecorder::global().size(),
+                    (unsigned long long)obs::TraceRecorder::global()
+                        .dropped(),
+                    p);
+    }
     auto trace = service.trace();
     if (!trace.empty()) {
         auto report =

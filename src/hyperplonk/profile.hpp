@@ -8,15 +8,30 @@
  * the global modmul counters on entry/exit; byte counts are declared by
  * the instrumented code since they describe logical data movement
  * (table reads/writes), not allocator traffic.
+ *
+ * Kernel profiles fold into the process-wide obs::MetricsRegistry as
+ *   zkspeed_prover_kernel_modmuls_total{kernel=...}   (counter)
+ *   zkspeed_prover_kernel_bytes_total{direction,kernel} (counter)
+ *   zkspeed_prover_kernel_seconds{kernel=...}         (histogram,
+ *       count = calls, sum = total seconds)
+ * so they ride the same per-thread shards as the service metrics:
+ * record() resolves its handles through a thread-local cache and never
+ * takes a global lock in steady state — concurrent provers no longer
+ * serialise on every prover-step exit (the old design was one global
+ * mutex plus a std::map<std::string,...> lookup per call). Regions also
+ * emit trace spans, nesting under the service's prove span in the
+ * Perfetto export.
  */
 #pragma once
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "ff/counters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace zkspeed::hyperplonk {
 
@@ -36,7 +51,11 @@ struct KernelProfile {
     }
 };
 
-/** Process-wide kernel profile registry. */
+/**
+ * Process-wide kernel profile facade over obs::MetricsRegistry::global().
+ * The class survives as an API shim: record() is the sharded hot path,
+ * kernels() reconstructs the Table-1 view from a registry snapshot.
+ */
 class Profiler
 {
   public:
@@ -47,42 +66,103 @@ class Profiler
         return p;
     }
 
+    /**
+     * Zero every series in the global registry (kernel profiles have no
+     * private storage to clear in isolation). Bench/test setup only.
+     */
     void
     reset()
     {
-        std::lock_guard<std::mutex> lock(mu_);
-        kernels_.clear();
+        obs::MetricsRegistry::global().reset();
     }
 
     void
     record(const std::string &name, uint64_t modmuls, uint64_t bytes_in,
            uint64_t bytes_out, double seconds)
     {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto &k = kernels_[name];
-        k.modmuls += modmuls;
-        k.bytes_in += bytes_in;
-        k.bytes_out += bytes_out;
-        k.seconds += seconds;
-        ++k.calls;
+        if (!obs::enabled()) return;
+        const Handles &h = handles(name);
+        auto &reg = obs::MetricsRegistry::global();
+        reg.add(h.modmuls, modmuls);
+        reg.add(h.bytes_in, bytes_in);
+        reg.add(h.bytes_out, bytes_out);
+        reg.observe(h.seconds, seconds);
     }
 
-    /** Snapshot of the registry (concurrent provers keep recording). */
+    /** Snapshot of the kernel profiles (concurrent provers keep
+     * recording; reconstructed from the shared registry). */
     std::map<std::string, KernelProfile>
     kernels() const
     {
-        std::lock_guard<std::mutex> lock(mu_);
-        return kernels_;
+        std::map<std::string, KernelProfile> out;
+        auto label = [](const obs::MetricSnapshot &m,
+                        const char *key) -> const std::string * {
+            for (const auto &[k, v] : m.labels) {
+                if (k == key) return &v;
+            }
+            return nullptr;
+        };
+        auto snap = obs::MetricsRegistry::global().snapshot();
+        for (const auto &m : snap.metrics) {
+            const std::string *kernel = label(m, "kernel");
+            if (kernel == nullptr) continue;
+            if (m.name == "zkspeed_prover_kernel_modmuls_total") {
+                out[*kernel].modmuls = m.counter;
+            } else if (m.name == "zkspeed_prover_kernel_bytes_total") {
+                const std::string *dir = label(m, "direction");
+                if (dir == nullptr) continue;
+                if (*dir == "in") out[*kernel].bytes_in = m.counter;
+                else out[*kernel].bytes_out = m.counter;
+            } else if (m.name == "zkspeed_prover_kernel_seconds") {
+                out[*kernel].calls = m.hist.count;
+                out[*kernel].seconds = m.hist.sum;
+            }
+        }
+        // Drop all-zero rows a reset() leaves behind.
+        for (auto it = out.begin(); it != out.end();) {
+            if (it->second.calls == 0) it = out.erase(it);
+            else ++it;
+        }
+        return out;
     }
 
   private:
-    mutable std::mutex mu_;
-    std::map<std::string, KernelProfile> kernels_;
+    struct Handles {
+        obs::MetricId modmuls, bytes_in, bytes_out, seconds;
+    };
+
+    /** Thread-local name -> handles cache; a miss registers the series
+     * once (the only lock this path ever takes, once per thread). */
+    static const Handles &
+    handles(const std::string &name)
+    {
+        thread_local std::unordered_map<std::string, Handles> cache;
+        auto it = cache.find(name);
+        if (it != cache.end()) return it->second;
+        auto &reg = obs::MetricsRegistry::global();
+        Handles h;
+        h.modmuls = reg.counter(
+            "zkspeed_prover_kernel_modmuls_total", {{"kernel", name}},
+            "Modular multiplications per prover kernel (Table 1)");
+        h.bytes_in = reg.counter(
+            "zkspeed_prover_kernel_bytes_total",
+            {{"kernel", name}, {"direction", "in"}},
+            "Logical bytes moved per prover kernel (Table 1)");
+        h.bytes_out = reg.counter(
+            "zkspeed_prover_kernel_bytes_total",
+            {{"kernel", name}, {"direction", "out"}},
+            "Logical bytes moved per prover kernel (Table 1)");
+        h.seconds = reg.histogram(
+            "zkspeed_prover_kernel_seconds", {{"kernel", name}},
+            "Wall seconds per prover-kernel invocation");
+        return cache.emplace(name, h).first->second;
+    }
 };
 
 /**
  * RAII region: captures modmul deltas and wall time; the instrumented
- * code declares logical bytes moved via add_bytes_*().
+ * code declares logical bytes moved via add_bytes_*(). Each region is
+ * also a trace span (category "prover").
  */
 class ProfileRegion
 {
@@ -97,11 +177,13 @@ class ProfileRegion
 
     ~ProfileRegion()
     {
-        double secs = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - start_)
-                          .count();
+        auto end = std::chrono::steady_clock::now();
+        double secs =
+            std::chrono::duration<double>(end - start_).count();
         Profiler::instance().record(name_, scope_.total_delta(), bytes_in_,
                                     bytes_out_, secs);
+        obs::Span::record_complete(std::move(name_), "prover", start_,
+                                   end);
     }
 
     ProfileRegion(const ProfileRegion &) = delete;

@@ -113,11 +113,14 @@ record_sumcheck(const std::string &round_name, const SumcheckCosts &costs,
                                 seconds * (1.0 - round_share));
 }
 
-/** Timed sumcheck wrapper feeding the profiler. */
+/** Timed sumcheck wrapper feeding the profiler (and a trace span —
+ * the per-round/update metric split keeps its Table-1 row names while
+ * the span shows the whole sumcheck as one prover phase). */
 SumcheckProverResult
 profiled_sumcheck(const std::string &name, const VirtualPolynomial &vp,
                   hash::Transcript &tr)
 {
+    obs::Span span(name, "prover");
     SumcheckCosts costs;
     auto t0 = std::chrono::steady_clock::now();
     auto res = sumcheck_prove(vp, tr, &costs);

@@ -1,0 +1,220 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <numeric>
+
+namespace zkspeed::obs {
+
+namespace {
+
+std::string
+fmt_double(double v)
+{
+    char buf[64];
+    // %.17g round-trips doubles; trim the common integral case.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+prom_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\' || c == '"') out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+std::string
+prom_labels(const LabelSet &labels, const std::string &extra_key = "",
+            const std::string &extra_val = "")
+{
+    if (labels.empty() && extra_key.empty()) return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first) out += ",";
+        first = false;
+        out += k + "=\"" + prom_escape(v) + "\"";
+    }
+    if (!extra_key.empty()) {
+        if (!first) out += ",";
+        out += extra_key + "=\"" + prom_escape(extra_val) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+const char *
+prom_type(MetricKind k)
+{
+    switch (k) {
+        case MetricKind::counter: return "counter";
+        case MetricKind::gauge: return "gauge";
+        case MetricKind::histogram: return "histogram";
+    }
+    return "untyped";
+}
+
+}  // namespace
+
+std::string
+render_prometheus_text(const Snapshot &snap)
+{
+    // Group series of the same family (name) so HELP/TYPE render once,
+    // in first-seen registration order.
+    std::vector<size_t> order(snap.metrics.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return snap.metrics[a].name < snap.metrics[b].name;
+    });
+
+    std::string out;
+    const std::string *prev_family = nullptr;
+    for (size_t idx : order) {
+        const MetricSnapshot &m = snap.metrics[idx];
+        if (prev_family == nullptr || *prev_family != m.name) {
+            if (!m.help.empty()) {
+                out += "# HELP " + m.name + " " + prom_escape(m.help) +
+                       "\n";
+            }
+            out += "# TYPE " + m.name + " " + prom_type(m.kind) + "\n";
+            prev_family = &m.name;
+        }
+        switch (m.kind) {
+            case MetricKind::counter:
+                out += m.name + prom_labels(m.labels) + " " +
+                       std::to_string(m.counter) + "\n";
+                break;
+            case MetricKind::gauge:
+                out += m.name + prom_labels(m.labels) + " " +
+                       fmt_double(m.gauge) + "\n";
+                break;
+            case MetricKind::histogram: {
+                uint64_t cum = 0;
+                for (const auto &b : m.hist.buckets) {
+                    cum += b.count;
+                    out += m.name + "_bucket" +
+                           prom_labels(m.labels, "le",
+                                       fmt_double(b.upper)) +
+                           " " + std::to_string(cum) + "\n";
+                }
+                out += m.name + "_bucket" +
+                       prom_labels(m.labels, "le", "+Inf") + " " +
+                       std::to_string(m.hist.count) + "\n";
+                out += m.name + "_sum" + prom_labels(m.labels) + " " +
+                       fmt_double(m.hist.sum) + "\n";
+                out += m.name + "_count" + prom_labels(m.labels) + " " +
+                       std::to_string(m.hist.count) + "\n";
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += char(c);
+                }
+        }
+    }
+    return out;
+}
+
+std::string
+render_json(const Snapshot &snap)
+{
+    std::string out = "{\"metrics\":[";
+    bool first = true;
+    for (const MetricSnapshot &m : snap.metrics) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"name\":\"" + json_escape(m.name) + "\",\"labels\":{";
+        bool lfirst = true;
+        for (const auto &[k, v] : m.labels) {
+            if (!lfirst) out += ",";
+            lfirst = false;
+            out += "\"" + json_escape(k) + "\":\"" + json_escape(v) +
+                   "\"";
+        }
+        out += "},\"kind\":\"";
+        out += to_string(m.kind);
+        out += "\"";
+        switch (m.kind) {
+            case MetricKind::counter:
+                out += ",\"value\":" + std::to_string(m.counter);
+                break;
+            case MetricKind::gauge:
+                out += ",\"value\":" + fmt_double(m.gauge);
+                break;
+            case MetricKind::histogram: {
+                const auto &h = m.hist;
+                out += ",\"count\":" + std::to_string(h.count);
+                out += ",\"sum\":" + fmt_double(h.sum);
+                out += ",\"min\":" + fmt_double(h.min);
+                out += ",\"max\":" + fmt_double(h.max);
+                out += ",\"mean\":" + fmt_double(h.mean());
+                out += ",\"p50\":" + fmt_double(h.quantile(0.50));
+                out += ",\"p90\":" + fmt_double(h.quantile(0.90));
+                out += ",\"p99\":" + fmt_double(h.quantile(0.99));
+                out += ",\"p999\":" + fmt_double(h.quantile(0.999));
+                out += ",\"buckets\":[";
+                bool bfirst = true;
+                for (const auto &b : h.buckets) {
+                    if (!bfirst) out += ",";
+                    bfirst = false;
+                    out += "[" + fmt_double(b.upper) + "," +
+                           std::to_string(b.count) + "]";
+                }
+                out += "]";
+                break;
+            }
+        }
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+write_file(const std::string &path, const std::string &content)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+        return false;
+    }
+    bool ok =
+        std::fwrite(content.data(), 1, content.size(), f) == content.size();
+    std::fclose(f);
+    if (!ok) std::fprintf(stderr, "obs: short write to %s\n", path.c_str());
+    return ok;
+}
+
+}  // namespace zkspeed::obs

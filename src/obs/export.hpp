@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Exposition for metrics snapshots: Prometheus text format (v0.0.4)
+ * and a self-describing JSON document carrying the derived percentiles
+ * (p50/p90/p99/p99.9) next to the exact count/sum/min/max.
+ *
+ * Histograms render with cumulative `le` buckets (non-empty buckets
+ * plus `+Inf`), `_sum` and `_count`, so standard Prometheus quantile
+ * tooling works on the scrape; the JSON form is the artifact format
+ * written by benches and CI (BENCH_runtime.json embeds one).
+ */
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace zkspeed::obs {
+
+/** Prometheus text exposition of a merged snapshot. */
+std::string render_prometheus_text(const Snapshot &snap);
+
+/** JSON exposition: {"metrics":[{name, labels, kind, ...}, ...]}. */
+std::string render_json(const Snapshot &snap);
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string json_escape(const std::string &s);
+
+/** Write a string to a file; @return false (with stderr note) on error. */
+bool write_file(const std::string &path, const std::string &content);
+
+}  // namespace zkspeed::obs

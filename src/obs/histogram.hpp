@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Log-bucketed histogram geometry shared by the live (sharded) metric
+ * cells and their merged snapshots.
+ *
+ * Buckets grow geometrically at 2^(1/8) per bucket (8 buckets per
+ * doubling), spanning 2^-20 .. 2^40 — in milliseconds that is ~1 ns up
+ * to ~35 years, wide enough for every latency, size and per-kernel
+ * duration the system records. A quantile is reported at the geometric
+ * midpoint of its bucket, so the relative error of any reported
+ * percentile against the exact order statistic is bounded by
+ * 2^(1/16) - 1 (~4.4%, `kMaxRelativeError`); count, sum, min and max
+ * are tracked exactly alongside the buckets and quantiles clamp to
+ * [min, max]. test_obs checks the bound against exact quantiles on
+ * synthetic distributions.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace zkspeed::obs {
+
+struct HistogramBuckets {
+    /** Geometric resolution: 8 buckets per doubling (growth 2^(1/8)). */
+    static constexpr int kBucketsPerDoubling = 8;
+    /** Smallest bucket exponent k (bound 2^(k/8)): 2^-20. */
+    static constexpr int kMinExp = -20 * kBucketsPerDoubling;
+    /** Largest bucket exponent: 2^40. */
+    static constexpr int kMaxExp = 40 * kBucketsPerDoubling;
+    /** Dense bucket count (inclusive exponent range). */
+    static constexpr size_t kNumBuckets = size_t(kMaxExp - kMinExp) + 1;
+    /**
+     * Documented quantile error bound: a value in a bucket is reported
+     * at the bucket's geometric midpoint, off by at most sqrt(growth),
+     * i.e. 2^(1/16) - 1 ≈ 4.43% relative.
+     */
+    static constexpr double kMaxRelativeError = 0.044274;  // 2^(1/16)-1
+
+    /** Inclusive upper bound of bucket i: 2^((kMinExp + i) / 8). */
+    static double
+    upper_bound(size_t i)
+    {
+        return std::exp2(double(kMinExp + int(i)) / kBucketsPerDoubling);
+    }
+
+    /** Geometric midpoint of bucket i (the reported quantile value). */
+    static double
+    midpoint(size_t i)
+    {
+        return upper_bound(i) *
+               std::exp2(-0.5 / double(kBucketsPerDoubling));
+    }
+
+    /**
+     * Bucket index for a value: the smallest i whose upper bound is
+     * >= v. Non-positive values (and NaN) land in bucket 0; values
+     * beyond the range clamp to the first/last bucket (min/max/sum stay
+     * exact regardless).
+     */
+    static size_t
+    index_for(double v)
+    {
+        if (!(v > 0)) return 0;
+        int k = int(std::ceil(std::log2(v) * kBucketsPerDoubling));
+        // FP guard: ceil(log2) can land one bucket low near a boundary.
+        if (std::exp2(double(k) / kBucketsPerDoubling) < v) ++k;
+        long i = long(k) - kMinExp;
+        if (i < 0) return 0;
+        if (i >= long(kNumBuckets)) return kNumBuckets - 1;
+        return size_t(i);
+    }
+};
+
+/** One merged histogram: exact count/sum/min/max + sparse buckets. */
+struct HistogramSnapshot {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;  ///< exact; 0 when count == 0
+    double max = 0;
+
+    /** (bucket upper bound, count in bucket), ascending, non-zero only. */
+    struct Bucket {
+        size_t index = 0;
+        double upper = 0;
+        uint64_t count = 0;
+    };
+    std::vector<Bucket> buckets;
+
+    double
+    mean() const
+    {
+        return count == 0 ? 0.0 : sum / double(count);
+    }
+
+    /**
+     * Quantile estimate at q in [0, 1]: the geometric midpoint of the
+     * bucket holding the rank-ceil(q*count) order statistic, clamped to
+     * the exact [min, max]. Within kMaxRelativeError of the exact order
+     * statistic by construction.
+     */
+    double
+    quantile(double q) const
+    {
+        if (count == 0) return 0.0;
+        if (q <= 0.0) return min;
+        if (q >= 1.0) return max;
+        uint64_t rank = uint64_t(std::ceil(q * double(count)));
+        rank = std::clamp<uint64_t>(rank, 1, count);
+        uint64_t cum = 0;
+        for (const Bucket &b : buckets) {
+            cum += b.count;
+            if (cum >= rank) {
+                return std::clamp(HistogramBuckets::midpoint(b.index),
+                                  min, max);
+            }
+        }
+        return max;
+    }
+};
+
+}  // namespace zkspeed::obs

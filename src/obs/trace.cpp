@@ -1,0 +1,225 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/export.hpp"   // json_escape, write_file
+#include "obs/metrics.hpp"  // obs::enabled()
+
+namespace zkspeed::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint32_t> g_next_tid{1};
+
+/** Per-thread stack of open span ids (same-thread nesting links). */
+std::vector<uint64_t> &
+span_stack()
+{
+    thread_local std::vector<uint64_t> stack;
+    return stack;
+}
+
+std::string
+fmt_us(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity))
+{
+    ring_.reserve(capacity_);
+}
+
+TraceRecorder &
+TraceRecorder::global()
+{
+    static TraceRecorder rec;
+    return rec;
+}
+
+std::chrono::steady_clock::time_point
+TraceRecorder::epoch()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    return t0;
+}
+
+double
+TraceRecorder::to_us(std::chrono::steady_clock::time_point tp)
+{
+    return std::chrono::duration<double, std::micro>(tp - epoch()).count();
+}
+
+uint32_t
+TraceRecorder::current_tid()
+{
+    thread_local uint32_t tid = g_next_tid.fetch_add(1);
+    return tid;
+}
+
+void
+TraceRecorder::set_capacity(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = std::max<size_t>(1, capacity);
+    ring_.clear();
+    ring_.reserve(capacity_);
+    next_ = 0;
+    total_ = 0;
+}
+
+uint64_t
+TraceRecorder::next_span_id()
+{
+    return g_next_span_id.fetch_add(1);
+}
+
+void
+TraceRecorder::record(SpanEvent ev)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(ev));
+    } else {
+        ring_[next_] = std::move(ev);
+        next_ = (next_ + 1) % capacity_;
+    }
+}
+
+std::vector<SpanEvent>
+TraceRecorder::events() const
+{
+    std::vector<SpanEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        out = ring_;
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const SpanEvent &a, const SpanEvent &b) {
+                         return a.ts_us < b.ts_us;
+                     });
+    return out;
+}
+
+size_t
+TraceRecorder::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+}
+
+uint64_t
+TraceRecorder::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_ - ring_.size();
+}
+
+void
+TraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.clear();
+    next_ = 0;
+    total_ = 0;
+}
+
+std::string
+TraceRecorder::render_chrome_json() const
+{
+    auto evs = events();
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const SpanEvent &ev : evs) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
+               json_escape(ev.category) + "\",\"ph\":\"X\",\"pid\":1";
+        out += ",\"tid\":" + std::to_string(ev.tid);
+        out += ",\"ts\":" + fmt_us(ev.ts_us);
+        out += ",\"dur\":" + fmt_us(ev.dur_us);
+        out += ",\"args\":{\"span\":" + std::to_string(ev.span_id);
+        out += ",\"parent\":" + std::to_string(ev.parent_id);
+        out += ",\"job\":" + std::to_string(ev.correlation_id);
+        out += "}}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+TraceRecorder::dump_to_env()
+{
+    const char *path = std::getenv("ZKSPEED_TRACE_OUT");
+    if (path == nullptr || *path == '\0') return "";
+    if (!write_file(path, global().render_chrome_json())) return "";
+    return path;
+}
+
+Span::Span(std::string name, std::string category, uint64_t correlation_id)
+    : name_(std::move(name)),
+      category_(std::move(category)),
+      correlation_id_(correlation_id)
+{
+    if (!enabled()) return;
+    auto &stack = span_stack();
+    parent_id_ = stack.empty() ? 0 : stack.back();
+    id_ = TraceRecorder::next_span_id();
+    stack.push_back(id_);
+    start_ = std::chrono::steady_clock::now();
+    active_ = true;
+}
+
+Span::~Span()
+{
+    if (!active_) return;
+    auto end = std::chrono::steady_clock::now();
+    auto &stack = span_stack();
+    // Pop our own id; tolerate a disable() between open and close.
+    if (!stack.empty() && stack.back() == id_) stack.pop_back();
+    SpanEvent ev;
+    ev.span_id = id_;
+    ev.parent_id = parent_id_;
+    ev.correlation_id = correlation_id_;
+    ev.tid = TraceRecorder::current_tid();
+    ev.ts_us = TraceRecorder::to_us(start_);
+    ev.dur_us = TraceRecorder::to_us(end) - ev.ts_us;
+    ev.name = std::move(name_);
+    ev.category = std::move(category_);
+    TraceRecorder::global().record(std::move(ev));
+}
+
+void
+Span::record_complete(std::string name, std::string category,
+                      std::chrono::steady_clock::time_point start,
+                      std::chrono::steady_clock::time_point end,
+                      uint64_t correlation_id, uint64_t parent_id)
+{
+    if (!enabled()) return;
+    if (parent_id == 0) {
+        auto &stack = span_stack();
+        parent_id = stack.empty() ? 0 : stack.back();
+    }
+    SpanEvent ev;
+    ev.span_id = TraceRecorder::next_span_id();
+    ev.parent_id = parent_id;
+    ev.correlation_id = correlation_id;
+    ev.tid = TraceRecorder::current_tid();
+    ev.ts_us = TraceRecorder::to_us(start);
+    ev.dur_us = TraceRecorder::to_us(end) - ev.ts_us;
+    ev.name = std::move(name);
+    ev.category = std::move(category);
+    TraceRecorder::global().record(std::move(ev));
+}
+
+}  // namespace zkspeed::obs

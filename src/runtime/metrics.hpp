@@ -4,6 +4,16 @@
  * the folded-in ff modmul counters, matching the Table-1 style of
  * instrumentation so service throughput can sit next to the paper's
  * kernel characterisation.
+ *
+ * Since the obs rewiring these structs are a *derived snapshot view*:
+ * the authoritative stats live in obs::MetricsRegistry::global() as
+ * per-service-labelled histograms and counters (full percentiles, and
+ * latency of rejected/failed jobs too — status-labelled
+ * zkspeed_job_latency_ms series, where this view's min/mean/max only
+ * summarise ok jobs). ProofService::metrics() reconstructs the struct
+ * from a registry snapshot, so existing callers keep working; add()
+ * remains for code that aggregates JobResponses outside a service.
+ * With obs::set_enabled(false) the view reads as all zeros.
  */
 #pragma once
 

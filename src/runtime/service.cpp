@@ -1,9 +1,13 @@
 #include "runtime/service.hpp"
 
+#include <cstdlib>
 #include <exception>
+#include <string_view>
 
 #include "ff/parallel.hpp"
 #include "hyperplonk/serialize.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace zkspeed::runtime {
 
@@ -18,10 +22,48 @@ ms_since(Clock::time_point t0)
         .count();
 }
 
+/** Distinguishes each instance's series in the process registry. */
+std::atomic<uint32_t> g_next_instance{0};
+
+/** ClassMetrics status bucket: 0 = ok, 1 = rejected, 2 = failed. */
+int
+status_bucket(JobStatus s)
+{
+    switch (s) {
+        case JobStatus::ok: return 0;
+        case JobStatus::malformed_request:
+        case JobStatus::unsatisfiable:
+        case JobStatus::too_large:
+        case JobStatus::invalid_proof: return 1;
+        case JobStatus::internal_error:
+        case JobStatus::cancelled: return 2;
+    }
+    return 2;
+}
+
+/**
+ * Shutdown artifact hooks: ZKSPEED_TRACE_OUT dumps the span ring as
+ * Chrome trace JSON, ZKSPEED_METRICS_OUT dumps a registry snapshot
+ * (JSON when the path ends in .json, Prometheus text otherwise).
+ */
+void
+dump_telemetry_env()
+{
+    obs::TraceRecorder::dump_to_env();
+    const char *path = std::getenv("ZKSPEED_METRICS_OUT");
+    if (path == nullptr || *path == '\0') return;
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    std::string_view p(path);
+    bool json = p.size() >= 5 && p.substr(p.size() - 5) == ".json";
+    obs::write_file(path, json ? obs::render_json(snap)
+                               : obs::render_prometheus_text(snap));
+}
+
 }  // namespace
 
 ProofService::ProofService(ServiceConfig cfg)
     : cfg_(cfg),
+      instance_("svc" + std::to_string(g_next_instance.fetch_add(1))),
       queue_(std::max<size_t>(1, cfg.queue_capacity)),
       cache_(cfg.key_cache_capacity, cfg.srs_seed)
 {
@@ -32,7 +74,142 @@ ProofService::ProofService(ServiceConfig cfg)
                        : std::max<size_t>(
                              1, std::thread::hardware_concurrency());
     per_worker_budget_ = std::max<size_t>(1, total / cfg_.num_workers);
+    register_telemetry();
     if (!cfg_.start_paused) start();
+}
+
+void
+ProofService::register_telemetry()
+{
+    auto &reg = obs::MetricsRegistry::global();
+    const std::pair<std::string, std::string> svc{"service", instance_};
+    static const char *kClass[2] = {"prove", "verify"};
+    static const char *kStatus[3] = {"ok", "rejected", "failed"};
+    for (int c = 0; c < 2; ++c) {
+        for (int s = 0; s < 3; ++s) {
+            tele_.latency[c][s] = reg.histogram(
+                "zkspeed_job_latency_ms",
+                {svc, {"class", kClass[c]}, {"status", kStatus[s]}},
+                "End-to-end job latency (submit -> response), every "
+                "terminal job including rejected/failed ones");
+        }
+        tele_.queue_ms[c] = reg.histogram(
+            "zkspeed_job_queue_ms", {svc, {"class", kClass[c]}},
+            "Submit -> worker-pickup wait per job");
+        tele_.active_ms[c] = reg.histogram(
+            "zkspeed_job_active_ms", {svc, {"class", kClass[c]}},
+            "Worker-active time per job (prove / algebraic verify)");
+    }
+    tele_.modmul_fr =
+        reg.counter("zkspeed_modmuls_total", {svc, {"field", "fr"}},
+                    "Modular multiplications across all jobs");
+    tele_.modmul_fq =
+        reg.counter("zkspeed_modmuls_total", {svc, {"field", "fq"}},
+                    "Modular multiplications across all jobs");
+    tele_.cache_hits =
+        reg.counter("zkspeed_key_cache_hits_total", {svc},
+                    "Jobs that found their proving key resident");
+    tele_.proof_bytes =
+        reg.counter("zkspeed_proof_bytes_total", {svc},
+                    "Canonical proof bytes produced");
+    tele_.flush_ms = reg.histogram(
+        "zkspeed_verify_flush_ms", {svc},
+        "Wall time of each folded batch-verify flush");
+    tele_.batch_size = reg.histogram(
+        "zkspeed_verify_batch_size", {svc},
+        "Proofs folded per batch-verify flush");
+    tele_.flush_reason[0] = reg.counter(
+        "zkspeed_verify_flushes_total", {svc, {"reason", "size"}},
+        "Batch flushes by trigger");
+    tele_.flush_reason[1] = reg.counter(
+        "zkspeed_verify_flushes_total", {svc, {"reason", "timeout"}},
+        "Batch flushes by trigger (timeout includes shutdown drains)");
+    tele_.verdicts[0] = reg.counter(
+        "zkspeed_verify_verdicts_total", {svc, {"verdict", "accepted"}},
+        "Per-proof batch-verify verdicts");
+    tele_.verdicts[1] = reg.counter(
+        "zkspeed_verify_verdicts_total", {svc, {"verdict", "rejected"}},
+        "Per-proof batch-verify verdicts");
+    tele_.pairing_checks = reg.counter(
+        "zkspeed_verify_pairing_checks_total", {svc},
+        "Pairing checks run, bisection probes included");
+    tele_.bisection_steps = reg.counter(
+        "zkspeed_verify_bisection_steps_total", {svc},
+        "Bisection probes isolating rejected proofs");
+    tele_.msm_points = reg.counter(
+        "zkspeed_verify_msm_points_total", {svc},
+        "Folded RLC MSM points across all flushes");
+    tele_.queue_depth =
+        reg.gauge("zkspeed_queue_depth", {svc},
+                  "Jobs waiting in the admission queue");
+    tele_.busy_workers = reg.gauge(
+        "zkspeed_busy_workers", {svc}, "Workers currently running a job");
+    tele_.utilization = reg.gauge(
+        "zkspeed_worker_utilization", {svc},
+        "busy_workers / num_workers, 0..1");
+    tele_.window_depth = reg.gauge(
+        "zkspeed_verify_window_depth", {svc},
+        "VERIFY jobs parked in the open batch window");
+}
+
+std::vector<std::string>
+ProofService::telemetry_series() const
+{
+    std::vector<std::string> out;
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    std::vector<obs::MetricId> ids;
+    for (int c = 0; c < 2; ++c) {
+        for (int s = 0; s < 3; ++s) ids.push_back(tele_.latency[c][s]);
+        ids.push_back(tele_.queue_ms[c]);
+        ids.push_back(tele_.active_ms[c]);
+        ids.push_back(tele_.flush_reason[c]);
+        ids.push_back(tele_.verdicts[c]);
+    }
+    for (obs::MetricId id :
+         {tele_.modmul_fr, tele_.modmul_fq, tele_.cache_hits,
+          tele_.proof_bytes, tele_.flush_ms, tele_.batch_size,
+          tele_.pairing_checks, tele_.bisection_steps, tele_.msm_points,
+          tele_.queue_depth, tele_.busy_workers, tele_.utilization,
+          tele_.window_depth}) {
+        ids.push_back(id);
+    }
+    for (obs::MetricId id : ids) {
+        const obs::MetricSnapshot *m = snap[id];
+        if (m != nullptr) out.push_back(m->full_name());
+    }
+    return out;
+}
+
+void
+ProofService::record_job_telemetry(const JobResponse &resp)
+{
+    if (!obs::enabled()) return;
+    auto &reg = obs::MetricsRegistry::global();
+    int cls = resp.kind == JobKind::verify ? 1 : 0;
+    const JobMetrics &m = resp.metrics;
+    reg.observe(tele_.latency[cls][status_bucket(resp.status)],
+                m.total_ms);
+    reg.observe(tele_.queue_ms[cls], m.queue_ms);
+    reg.observe(tele_.active_ms[cls], m.prove_ms);
+    if (m.modmul_fr != 0) reg.add(tele_.modmul_fr, m.modmul_fr);
+    if (m.modmul_fq != 0) reg.add(tele_.modmul_fq, m.modmul_fq);
+    if (m.key_cache_hit) reg.add(tele_.cache_hits);
+    if (m.proof_bytes != 0) reg.add(tele_.proof_bytes, m.proof_bytes);
+}
+
+void
+ProofService::set_worker_gauges(size_t busy)
+{
+    auto &reg = obs::MetricsRegistry::global();
+    reg.set(tele_.busy_workers, double(busy));
+    reg.set(tele_.utilization, double(busy) / double(cfg_.num_workers));
+}
+
+void
+ProofService::set_queue_depth_gauge()
+{
+    obs::MetricsRegistry::global().set(tele_.queue_depth,
+                                       double(queue_.size()));
 }
 
 ProofService::~ProofService() { shutdown(); }
@@ -70,13 +247,12 @@ ProofService::submit(std::vector<uint8_t> request_bytes)
         resp.kind = kind;
         resp.status = JobStatus::cancelled;
         resp.error = "service is shutting down";
-        {
-            // Same accounting as every other cancellation path.
-            std::lock_guard<std::mutex> lock(stats_mu_);
-            metrics_.add(resp);
-        }
+        // Same accounting as every other cancellation path.
+        record_job_telemetry(resp);
         p.set_value(std::move(resp));
+        return future;
     }
+    set_queue_depth_gauge();
     return future;
 }
 
@@ -88,6 +264,7 @@ ProofService::try_submit(std::vector<uint8_t> request_bytes)
     job.enqueued = Clock::now();
     auto future = job.promise.get_future();
     if (!queue_.try_push(job)) return std::nullopt;
+    set_queue_depth_gauge();
     return future;
 }
 
@@ -119,6 +296,7 @@ ProofService::shutdown()
             resp.error = "service shut down before the job ran";
             finish(*job, std::move(resp));
         }
+        dump_telemetry_env();
         return;
     }
     for (auto &t : workers_) {
@@ -132,6 +310,7 @@ ProofService::shutdown()
     }
     window_cv_.notify_all();
     if (flusher_.joinable()) flusher_.join();
+    dump_telemetry_env();
 }
 
 void
@@ -142,7 +321,10 @@ ProofService::worker_loop(uint32_t worker_id)
     // proofs never oversubscribe the machine (two-level parallelism).
     ff::WorkerBudgetScope budget(per_worker_budget_);
     while (auto job = queue_.pop()) {
+        set_queue_depth_gauge();
+        set_worker_gauges(busy_workers_.fetch_add(1) + 1);
         handle(std::move(*job), worker_id);
+        set_worker_gauges(busy_workers_.fetch_sub(1) - 1);
     }
 }
 
@@ -205,6 +387,7 @@ ProofService::process_prove(QueuedJob &job)
 {
     JobResponse resp;
     ff::ModmulScope muls;
+    auto picked_up = Clock::now();
 
     auto decoded = wire::decode_request(job.request);
     if (!decoded.has_value()) {
@@ -217,6 +400,10 @@ ProofService::process_prove(QueuedJob &job)
     resp.request_id = req.request_id;
     resp.metrics.num_vars = uint32_t(req.circuit.num_vars);
 
+    obs::Span job_span("prove.job", "service", req.request_id);
+    obs::Span::record_complete("job.queue_wait", "service", job.enqueued,
+                               picked_up, req.request_id, job_span.id());
+
     if (req.circuit.num_vars > cfg_.max_circuit_vars) {
         resp.status = JobStatus::too_large;
         resp.error = "circuit exceeds this instance's size cap";
@@ -224,22 +411,35 @@ ProofService::process_prove(QueuedJob &job)
         return resp;
     }
 
-    if (cfg_.check_witness &&
-        (!req.witness.satisfies_gates(req.circuit) ||
-         !req.witness.satisfies_wiring(req.circuit) ||
-         !req.witness.satisfies_lookups(req.circuit))) {
-        resp.status = JobStatus::unsatisfiable;
-        resp.error = "witness does not satisfy the circuit";
-        resp.metrics.total_ms = ms_since(job.enqueued);
-        return resp;
+    if (cfg_.check_witness) {
+        obs::Span check_span("prove.witness_check", "service",
+                             req.request_id);
+        if (!req.witness.satisfies_gates(req.circuit) ||
+            !req.witness.satisfies_wiring(req.circuit) ||
+            !req.witness.satisfies_lookups(req.circuit)) {
+            resp.status = JobStatus::unsatisfiable;
+            resp.error = "witness does not satisfy the circuit";
+            resp.metrics.total_ms = ms_since(job.enqueued);
+            return resp;
+        }
     }
 
     auto prove_start = Clock::now();
     bool cache_hit = false;
     try {
+        auto kc_start = Clock::now();
         auto [keys, hit] = cache_.get_or_create(req.circuit);
+        obs::Span::record_complete("prove.key_cache", "service", kc_start,
+                                   Clock::now(), req.request_id);
         cache_hit = hit;
-        hyperplonk::Proof proof = hyperplonk::prove(*keys.pk, req.witness);
+        hyperplonk::Proof proof;
+        {
+            // Prover-phase spans (ProfileRegion, category "prover")
+            // nest under this one via the thread-local span stack.
+            obs::Span prove_span("prove.prove", "service", req.request_id);
+            proof = hyperplonk::prove(*keys.pk, req.witness);
+        }
+        obs::Span encode_span("prove.encode", "service", req.request_id);
         resp.proof = hyperplonk::serde::serialize_proof(proof);
     } catch (const std::exception &e) {
         // Catch here rather than in handle() so the response keeps
@@ -284,6 +484,7 @@ std::optional<ProofService::PendingVerify>
 ProofService::process_verify(QueuedJob &job, JobResponse &resp)
 {
     ff::ModmulScope muls;
+    auto picked_up = Clock::now();
 
     auto decoded = wire::decode_verify_request(job.request);
     if (!decoded.has_value()) {
@@ -293,6 +494,10 @@ ProofService::process_verify(QueuedJob &job, JobResponse &resp)
     }
     VerifyRequest &req = *decoded;
     resp.request_id = req.request_id;
+
+    obs::Span job_span("verify.job", "service", req.request_id);
+    obs::Span::record_complete("job.queue_wait", "service", job.enqueued,
+                               picked_up, req.request_id, job_span.id());
 
     auto vk = hyperplonk::serde::deserialize_verifying_key(req.vk);
     if (!vk.has_value()) {
@@ -318,8 +523,12 @@ ProofService::process_verify(QueuedJob &job, JobResponse &resp)
     // inline on this worker; only the pairing check is deferred.
     auto alg_start = Clock::now();
     verifier::PairingAccumulator acc;
-    bool algebraic_ok =
-        hyperplonk::verify_deferred(*vk, req.public_inputs, *proof, acc);
+    bool algebraic_ok;
+    {
+        obs::Span alg_span("verify.algebraic", "service", req.request_id);
+        algebraic_ok = hyperplonk::verify_deferred(*vk, req.public_inputs,
+                                                   *proof, acc);
+    }
     double alg_ms = ms_since(alg_start);
     if (!algebraic_ok) {
         resp.status = JobStatus::invalid_proof;
@@ -348,7 +557,9 @@ ProofService::process_verify(QueuedJob &job, JobResponse &resp)
 void
 ProofService::park_verify(PendingVerify pending)
 {
+    pending.parked = Clock::now();
     std::vector<PendingVerify> batch;
+    size_t depth = 0;
     {
         std::lock_guard<std::mutex> lock(window_mu_);
         if (window_.empty()) window_opened_ = Clock::now();
@@ -356,7 +567,9 @@ ProofService::park_verify(PendingVerify pending)
         if (window_.size() >= cfg_.verify_batch_size) {
             batch.swap(window_);
         }
+        depth = window_.size();
     }
+    obs::MetricsRegistry::global().set(tele_.window_depth, double(depth));
     if (!batch.empty()) {
         flush_verify_batch(std::move(batch), /*timed_out=*/false);
     } else {
@@ -399,10 +612,18 @@ ProofService::flush_verify_batch(std::vector<PendingVerify> batch,
                                  bool timed_out)
 {
     if (batch.empty()) return;
+    obs::MetricsRegistry::global().set(tele_.window_depth, 0.0);
     auto flush_start = Clock::now();
+    // Residency spans: parked -> flush start, one per folded job, so
+    // Perfetto shows what each proof spent waiting in the window.
+    for (const auto &p : batch) {
+        obs::Span::record_complete("verify.window_wait", "service",
+                                   p.parked, flush_start, p.request_id);
+    }
     std::optional<verifier::BatchResult> result;
     std::string flush_error;
     try {
+        obs::Span flush_span("verify.flush", "service");
         verifier::BatchVerifier bv;
         for (auto &p : batch) bv.add(std::move(p.acc));
         result = bv.flush();
@@ -439,18 +660,21 @@ ProofService::flush_verify_batch(std::vector<PendingVerify> batch,
         if (result->verdicts[i]) ++accepted;
     }
 
+    if (obs::enabled()) {
+        auto &reg = obs::MetricsRegistry::global();
+        reg.observe(tele_.flush_ms, flush_ms);
+        reg.observe(tele_.batch_size, double(batch.size()));
+        reg.add(tele_.flush_reason[timed_out ? 1 : 0]);
+        if (accepted != 0) reg.add(tele_.verdicts[0], accepted);
+        if (accepted != batch.size()) {
+            reg.add(tele_.verdicts[1], batch.size() - accepted);
+        }
+        reg.add(tele_.pairing_checks, result->stats.pairing_checks);
+        reg.add(tele_.bisection_steps, result->stats.bisection_steps);
+        reg.add(tele_.msm_points, result->stats.msm_points);
+    }
     {
         std::lock_guard<std::mutex> lock(stats_mu_);
-        auto &vb = metrics_.verify_batches;
-        ++vb.batches;
-        if (timed_out) ++vb.flushed_on_timeout;
-        else ++vb.flushed_on_size;
-        vb.proofs_accepted += accepted;
-        vb.proofs_rejected += batch.size() - accepted;
-        vb.pairing_checks += result->stats.pairing_checks;
-        vb.bisection_steps += result->stats.bisection_steps;
-        vb.msm_points += result->stats.msm_points;
-        vb.total_flush_ms += flush_ms;
         if (cfg_.record_trace) {
             TraceEntry entry;
             entry.kind = JobKind::verify;
@@ -496,18 +720,64 @@ void
 ProofService::finish_response(std::promise<JobResponse> &promise,
                               JobResponse resp)
 {
-    {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        metrics_.add(resp);
-    }
+    record_job_telemetry(resp);
     promise.set_value(std::move(resp));
 }
 
 ServiceMetrics
 ProofService::metrics() const
 {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    return metrics_;
+    // Reconstruct the legacy struct from this instance's registry
+    // series (runtime/metrics.hpp documents the derived-view contract).
+    ServiceMetrics out;
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    auto hist = [&](obs::MetricId id) -> const obs::HistogramSnapshot * {
+        const obs::MetricSnapshot *m = snap[id];
+        return m != nullptr ? &m->hist : nullptr;
+    };
+    auto count = [&](obs::MetricId id) -> uint64_t {
+        const obs::MetricSnapshot *m = snap[id];
+        return m != nullptr ? m->counter : 0;
+    };
+    ClassMetrics *cls[2] = {&out.prove_class, &out.verify_class};
+    for (int c = 0; c < 2; ++c) {
+        if (const auto *h = hist(tele_.latency[c][0])) {
+            cls[c]->jobs_ok = h->count;
+            cls[c]->min_latency_ms = h->count != 0 ? h->min : 0.0;
+            cls[c]->max_latency_ms = h->count != 0 ? h->max : 0.0;
+            cls[c]->sum_latency_ms = h->sum;
+        }
+        if (const auto *h = hist(tele_.latency[c][1])) {
+            cls[c]->jobs_rejected = h->count;
+        }
+        if (const auto *h = hist(tele_.latency[c][2])) {
+            cls[c]->jobs_failed = h->count;
+        }
+        if (const auto *h = hist(tele_.queue_ms[c])) {
+            out.total_queue_ms += h->sum;
+        }
+        if (const auto *h = hist(tele_.active_ms[c])) {
+            out.total_prove_ms += h->sum;
+        }
+    }
+    out.modmul_fr = count(tele_.modmul_fr);
+    out.modmul_fq = count(tele_.modmul_fq);
+    out.key_cache_hits = count(tele_.cache_hits);
+    out.proof_bytes_total = count(tele_.proof_bytes);
+
+    auto &vb = out.verify_batches;
+    if (const auto *h = hist(tele_.flush_ms)) {
+        vb.batches = h->count;
+        vb.total_flush_ms = h->sum;
+    }
+    vb.flushed_on_size = count(tele_.flush_reason[0]);
+    vb.flushed_on_timeout = count(tele_.flush_reason[1]);
+    vb.proofs_accepted = count(tele_.verdicts[0]);
+    vb.proofs_rejected = count(tele_.verdicts[1]);
+    vb.pairing_checks = count(tele_.pairing_checks);
+    vb.bisection_steps = count(tele_.bisection_steps);
+    vb.msm_points = count(tele_.msm_points);
+    return out;
 }
 
 std::vector<TraceEntry>

@@ -23,11 +23,13 @@
  */
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <future>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/key_cache.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/queue.hpp"
@@ -102,6 +104,11 @@ class ProofService
     /** Stop accepting work, drain the queue, join the workers. */
     void shutdown();
 
+    /**
+     * Derived view over this instance's series in the global
+     * obs::MetricsRegistry (the struct API predates the registry and is
+     * kept as a snapshot reconstruction — see runtime/metrics.hpp).
+     */
     ServiceMetrics metrics() const;
     KeyCacheStats cache_stats() const { return cache_.stats(); }
     /** Snapshot of the replayable trace (record_trace only). */
@@ -110,6 +117,12 @@ class ProofService
     const ServiceConfig &config() const { return cfg_; }
     /** Kernel-thread budget each worker proves under. */
     size_t worker_budget() const { return per_worker_budget_; }
+
+    /** `service` label value of this instance's registry series. */
+    const std::string &instance_label() const { return instance_; }
+    /** Canonical `name{labels}` of every series this instance
+     * registered (exposition-exhaustiveness tests sweep this). */
+    std::vector<std::string> telemetry_series() const;
 
   private:
     struct QueuedJob {
@@ -125,7 +138,32 @@ class ProofService
         verifier::PairingAccumulator acc;
         JobMetrics metrics;
         std::chrono::steady_clock::time_point enqueued;
+        /** When it entered the batch window (residency trace span). */
+        std::chrono::steady_clock::time_point parked;
     };
+
+    /** MetricIds of this instance's registry series (obs rewiring).
+     * Class index: 0 = prove, 1 = verify. Status index: 0 = ok,
+     * 1 = rejected, 2 = failed (ClassMetrics buckets). */
+    struct Telemetry {
+        obs::MetricId latency[2][3];  ///< total_ms, ALL terminal jobs
+        obs::MetricId queue_ms[2];
+        obs::MetricId active_ms[2];
+        obs::MetricId modmul_fr, modmul_fq;
+        obs::MetricId cache_hits, proof_bytes;
+        obs::MetricId flush_ms, batch_size;
+        obs::MetricId flush_reason[2];  ///< 0 = size, 1 = timeout
+        obs::MetricId verdicts[2];      ///< 0 = accepted, 1 = rejected
+        obs::MetricId pairing_checks, bisection_steps, msm_points;
+        obs::MetricId queue_depth, busy_workers, utilization,
+            window_depth;
+    };
+
+    void register_telemetry();
+    /** Fold one terminal job into the registry (all statuses). */
+    void record_job_telemetry(const JobResponse &resp);
+    void set_worker_gauges(size_t busy);
+    void set_queue_depth_gauge();
 
     void worker_loop(uint32_t worker_id);
     /** Answer or park one job (VERIFY jobs park in the batch window). */
@@ -144,12 +182,15 @@ class ProofService
 
     ServiceConfig cfg_;
     size_t per_worker_budget_ = 1;
+    std::string instance_;  ///< `service` label value (svc0, svc1, ...)
+    Telemetry tele_;
     BoundedQueue<QueuedJob> queue_;
     KeyCache cache_;
     std::vector<std::thread> workers_;
     std::thread flusher_;
     bool started_ = false;
     bool stopped_ = false;
+    std::atomic<size_t> busy_workers_{0};
 
     std::mutex window_mu_;
     std::condition_variable window_cv_;
@@ -158,7 +199,6 @@ class ProofService
     bool draining_ = false;
 
     mutable std::mutex stats_mu_;
-    ServiceMetrics metrics_;
     std::vector<TraceEntry> trace_;
 };
 

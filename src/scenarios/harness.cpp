@@ -1,6 +1,8 @@
 #include "scenarios/harness.hpp"
 
 #include "hyperplonk/serialize.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace zkspeed::scenarios {
 
@@ -180,6 +182,16 @@ Harness::finish()
     if (cfg_.replay) {
         suite.replay = sim::replay_trace(service_.trace(),
                                          sim::DesignConfig::paper_default());
+    }
+    if (cfg_.capture_telemetry) {
+        // Snapshot after shutdown so the drained batch window and every
+        // worker's shard are in; render both expositions and the span
+        // trace so callers can persist the artifacts directly.
+        suite.telemetry = obs::MetricsRegistry::global().snapshot();
+        suite.metrics_prom = obs::render_prometheus_text(suite.telemetry);
+        suite.metrics_json = obs::render_json(suite.telemetry);
+        suite.trace_json =
+            obs::TraceRecorder::global().render_chrome_json();
     }
     predicted_.clear();
     return suite;

@@ -23,6 +23,7 @@
  */
 #pragma once
 
+#include "obs/metrics.hpp"
 #include "runtime/service.hpp"
 #include "scenarios/scenario.hpp"
 #include "sim/replay.hpp"
@@ -34,6 +35,9 @@ struct HarnessConfig {
     runtime::ServiceConfig service;
     /** Replay the service trace through the chip model in finish(). */
     bool replay = true;
+    /** Capture the telemetry artifacts (metrics exposition + Chrome
+     * trace JSON) into the SuiteResult in finish(). */
+    bool capture_telemetry = true;
 
     HarnessConfig()
     {
@@ -81,6 +85,15 @@ struct SuiteResult {
     /** Chip-model replay of the service trace (config.replay). */
     sim::ReplayReport replay;
     runtime::ServiceMetrics service_metrics;
+
+    /** Telemetry artifacts (config.capture_telemetry): a registry
+     * snapshot taken after shutdown plus the rendered expositions and
+     * the Chrome trace of the whole suite — callers write these
+     * straight to metrics.prom / metrics.json / trace.json. */
+    obs::Snapshot telemetry;
+    std::string metrics_prom;
+    std::string metrics_json;
+    std::string trace_json;
 };
 
 class Harness
