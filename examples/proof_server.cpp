@@ -20,14 +20,19 @@
  * one deliberately corrupted proof must be rejected — isolated by the
  * batch verifier's bisection, without dragging honest proofs down.
  */
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <random>
 #include <string_view>
+#include <thread>
 
 #include "hyperplonk/serialize.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "runtime/service.hpp"
 #include "scenarios/registry.hpp"
 #include "sim/replay.hpp"
@@ -88,6 +93,21 @@ demo_stream()
     return stream;
 }
 
+/**
+ * ^C / SIGTERM: flush the ZKSPEED_METRICS_OUT / ZKSPEED_TRACE_OUT
+ * artifacts before dying, so an interrupted run keeps its telemetry.
+ * Not strictly async-signal-safe (the exporters allocate and lock),
+ * but the alternative is losing the artifacts entirely — acceptable
+ * for a demo driver on its way out.
+ */
+void
+on_interrupt(int sig)
+{
+    obs::dump_artifacts_to_env();
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
 std::vector<uint8_t>
 read_file(const char *path)
 {
@@ -126,10 +146,44 @@ main(int argc, char **argv)
     std::printf("proof_server: %zu request frame(s), %zu worker(s)\n\n",
                 frames->size(), workers);
 
+    std::signal(SIGINT, on_interrupt);
+    std::signal(SIGTERM, on_interrupt);
+
     ServiceConfig cfg;
     cfg.num_workers = workers;
     cfg.queue_capacity = 32;
     ProofService service(cfg);
+
+    // Live stats line every 500 ms while jobs are in flight: windowed
+    // rates and interval percentiles from successive registry snapshots
+    // (obs::WindowDelta), on stderr so the report stream stays clean.
+    std::atomic<bool> live_stop{false};
+    std::thread live_stats([&service, &live_stop] {
+        auto &reg = obs::MetricsRegistry::global();
+        const obs::SeriesSelector ok_sel{
+            "zkspeed_job_latency_ms",
+            {{"service", service.instance_label()}, {"status", "ok"}}};
+        obs::Snapshot prev = reg.snapshot();
+        auto prev_t = std::chrono::steady_clock::now();
+        while (!live_stop.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(500));
+            auto now_t = std::chrono::steady_clock::now();
+            obs::Snapshot snap = reg.snapshot();
+            double dt =
+                std::chrono::duration<double>(now_t - prev_t).count();
+            auto delta = obs::WindowDelta::between(snap, prev, dt);
+            auto hist = delta.merged_histogram(ok_sel);
+            if (hist.count > 0) {
+                std::fprintf(stderr,
+                             "[live] %.1f jobs/s  p50 %.1f ms  p99 "
+                             "%.1f ms  queue %zu\n",
+                             double(hist.count) / dt, hist.quantile(0.50),
+                             hist.quantile(0.99), service.queue_depth());
+            }
+            prev = std::move(snap);
+            prev_t = now_t;
+        }
+    });
 
     std::vector<std::future<JobResponse>> futures;
     futures.reserve(frames->size());
@@ -212,6 +266,9 @@ main(int argc, char **argv)
             corrupted_rejected = true;
         }
     }
+    live_stop.store(true, std::memory_order_relaxed);
+    live_stats.join();
+
     bool round_trip_ok =
         verified_ok == expected_ok && corrupted_rejected;
     std::printf("  => %zu/%zu accepted, corrupted proof %s\n",

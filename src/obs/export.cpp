@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <numeric>
+#include <string_view>
+
+#include "obs/trace.hpp"
 
 namespace zkspeed::obs {
 
@@ -215,6 +219,19 @@ write_file(const std::string &path, const std::string &content)
     std::fclose(f);
     if (!ok) std::fprintf(stderr, "obs: short write to %s\n", path.c_str());
     return ok;
+}
+
+void
+dump_artifacts_to_env()
+{
+    TraceRecorder::dump_to_env();
+    const char *path = std::getenv("ZKSPEED_METRICS_OUT");
+    if (path == nullptr || *path == '\0') return;
+    auto snap = MetricsRegistry::global().snapshot();
+    std::string_view p(path);
+    bool json = p.size() >= 5 && p.substr(p.size() - 5) == ".json";
+    write_file(path, json ? render_json(snap)
+                          : render_prometheus_text(snap));
 }
 
 }  // namespace zkspeed::obs

@@ -29,4 +29,14 @@ std::string json_escape(const std::string &s);
 /** Write a string to a file; @return false (with stderr note) on error. */
 bool write_file(const std::string &path, const std::string &content);
 
+/**
+ * Flush both telemetry artifacts to the paths named by the environment:
+ * `ZKSPEED_TRACE_OUT` gets the span ring as Chrome trace JSON and
+ * `ZKSPEED_METRICS_OUT` a registry snapshot (JSON when the path ends in
+ * `.json`, Prometheus text otherwise). Unset variables are skipped.
+ * Shared by service shutdown and the examples' interrupt handlers so an
+ * aborted run keeps its artifacts.
+ */
+void dump_artifacts_to_env();
+
 }  // namespace zkspeed::obs

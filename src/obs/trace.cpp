@@ -31,6 +31,38 @@ fmt_us(double v)
     return buf;
 }
 
+/**
+ * Registry series mirroring the global recorder's ring health, so span
+ * loss is visible in metrics.prom rather than only via the C++ API:
+ *   zkspeed_trace_spans_dropped_total  counter, evictions ever
+ *   zkspeed_trace_ring_spans{kind=live|capacity}  gauges
+ * Only the process-wide recorder exports (local recorders in tests
+ * would fight over the shared series).
+ */
+struct RingTelemetry {
+    MetricId dropped, live, capacity;
+};
+
+RingTelemetry &
+ring_telemetry()
+{
+    static RingTelemetry t = [] {
+        auto &reg = MetricsRegistry::global();
+        RingTelemetry r;
+        r.dropped = reg.counter(
+            "zkspeed_trace_spans_dropped_total", {},
+            "Spans evicted from the trace ring since process start");
+        r.live =
+            reg.gauge("zkspeed_trace_ring_spans", {{"kind", "live"}},
+                      "Spans currently retained in the trace ring");
+        r.capacity =
+            reg.gauge("zkspeed_trace_ring_spans", {{"kind", "capacity"}},
+                      "Trace ring capacity in spans");
+        return r;
+    }();
+    return t;
+}
+
 }  // namespace
 
 TraceRecorder::TraceRecorder(size_t capacity)
@@ -43,6 +75,12 @@ TraceRecorder &
 TraceRecorder::global()
 {
     static TraceRecorder rec;
+    static const bool telemetry_init = [] {
+        MetricsRegistry::global().set(ring_telemetry().capacity,
+                                      double(rec.capacity_));
+        return true;
+    }();
+    (void)telemetry_init;
     return rec;
 }
 
@@ -69,12 +107,19 @@ TraceRecorder::current_tid()
 void
 TraceRecorder::set_capacity(size_t capacity)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    capacity_ = std::max<size_t>(1, capacity);
-    ring_.clear();
-    ring_.reserve(capacity_);
-    next_ = 0;
-    total_ = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        capacity_ = std::max<size_t>(1, capacity);
+        ring_.clear();
+        ring_.reserve(capacity_);
+        next_ = 0;
+        total_ = 0;
+    }
+    if (this == &global()) {
+        auto &reg = MetricsRegistry::global();
+        reg.set(ring_telemetry().capacity, double(capacity_));
+        reg.set(ring_telemetry().live, 0.0);
+    }
 }
 
 uint64_t
@@ -86,13 +131,24 @@ TraceRecorder::next_span_id()
 void
 TraceRecorder::record(SpanEvent ev)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++total_;
-    if (ring_.size() < capacity_) {
-        ring_.push_back(std::move(ev));
-    } else {
-        ring_[next_] = std::move(ev);
-        next_ = (next_ + 1) % capacity_;
+    bool evicted = false;
+    size_t live = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++total_;
+        if (ring_.size() < capacity_) {
+            ring_.push_back(std::move(ev));
+        } else {
+            ring_[next_] = std::move(ev);
+            next_ = (next_ + 1) % capacity_;
+            evicted = true;
+        }
+        live = ring_.size();
+    }
+    if (this == &global()) {
+        auto &reg = MetricsRegistry::global();
+        if (evicted) reg.add(ring_telemetry().dropped);
+        reg.set(ring_telemetry().live, double(live));
     }
 }
 
@@ -128,10 +184,15 @@ TraceRecorder::dropped() const
 void
 TraceRecorder::clear()
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    ring_.clear();
-    next_ = 0;
-    total_ = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ring_.clear();
+        next_ = 0;
+        total_ = 0;
+    }
+    if (this == &global()) {
+        MetricsRegistry::global().set(ring_telemetry().live, 0.0);
+    }
 }
 
 std::string

@@ -63,7 +63,11 @@ class TraceRecorder
     /** Retained spans in start-timestamp order. */
     std::vector<SpanEvent> events() const;
     size_t size() const;
-    /** Spans evicted by the ring since the last clear(). */
+    /** Spans evicted by the ring since the last clear(). The global
+     * recorder also exports span loss as registry series
+     * (`zkspeed_trace_spans_dropped_total`,
+     * `zkspeed_trace_ring_spans{kind=live|capacity}`) so it shows up
+     * in metrics.prom, not only through this API. */
     uint64_t dropped() const;
     void clear();
 

@@ -1,0 +1,309 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zkspeed::obs {
+
+namespace {
+
+/** Lower edge of bucket `index` (buckets are (lo, hi] geometrically). */
+double
+bucket_lower(size_t index)
+{
+    return index == 0 ? 0.0 : HistogramBuckets::upper_bound(index - 1);
+}
+
+/** Merge `src` buckets into `dst` bucket-wise (both sparse ascending). */
+void
+merge_buckets(std::vector<HistogramSnapshot::Bucket> &dst,
+              const std::vector<HistogramSnapshot::Bucket> &src)
+{
+    std::vector<HistogramSnapshot::Bucket> out;
+    out.reserve(dst.size() + src.size());
+    size_t i = 0, j = 0;
+    while (i < dst.size() || j < src.size()) {
+        if (j == src.size() ||
+            (i < dst.size() && dst[i].index < src[j].index)) {
+            out.push_back(dst[i++]);
+        } else if (i == dst.size() || src[j].index < dst[i].index) {
+            out.push_back(src[j++]);
+        } else {
+            auto b = dst[i++];
+            b.count += src[j++].count;
+            out.push_back(b);
+        }
+    }
+    dst = std::move(out);
+}
+
+}  // namespace
+
+uint64_t
+counter_delta(uint64_t now, uint64_t prev, bool *reset)
+{
+    if (now >= prev) return now - prev;
+    if (reset != nullptr) *reset = true;
+    return now;  // restart semantics: everything since the reset
+}
+
+HistogramSnapshot
+histogram_delta(const HistogramSnapshot &now, const HistogramSnapshot &prev,
+                bool *reset)
+{
+    if (prev.count == 0) return now;
+    if (now.count < prev.count) {
+        if (reset != nullptr) *reset = true;
+        return now;
+    }
+
+    HistogramSnapshot d;
+    d.count = now.count - prev.count;
+    d.sum = now.sum - prev.sum;
+    if (d.count == 0) return d;  // min/max stay 0, no buckets
+
+    // Bucket-wise subtraction over the two sparse ascending lists. Any
+    // individual bucket going backwards means the series restarted
+    // between the snapshots even though total count grew past the old
+    // cumulative value — clamp to restart semantics like the count case.
+    size_t i = 0, j = 0;
+    while (i < now.buckets.size()) {
+        const auto &nb = now.buckets[i];
+        uint64_t sub = 0;
+        while (j < prev.buckets.size() &&
+               prev.buckets[j].index < nb.index) {
+            // prev has counts in a bucket now lacks: reset.
+            if (reset != nullptr) *reset = true;
+            return now;
+        }
+        if (j < prev.buckets.size() && prev.buckets[j].index == nb.index) {
+            sub = prev.buckets[j].count;
+            ++j;
+        }
+        if (nb.count < sub) {
+            if (reset != nullptr) *reset = true;
+            return now;
+        }
+        if (nb.count > sub) {
+            d.buckets.push_back({nb.index, nb.upper, nb.count - sub});
+        }
+        ++i;
+    }
+    if (j < prev.buckets.size()) {
+        if (reset != nullptr) *reset = true;
+        return now;
+    }
+
+    // Interval min/max: exact when the window moved the cumulative
+    // extremum, else bounded by the edge buckets of the delta (keeps
+    // quantile clamping inside the documented bucket error).
+    d.min = now.min < prev.min ? now.min
+                               : (d.buckets.empty()
+                                      ? 0.0
+                                      : bucket_lower(d.buckets.front().index));
+    d.max = now.max > prev.max
+                ? now.max
+                : (d.buckets.empty()
+                       ? 0.0
+                       : HistogramBuckets::upper_bound(
+                             d.buckets.back().index));
+    return d;
+}
+
+double
+fraction_over(const HistogramSnapshot &h, double threshold)
+{
+    if (h.count == 0) return 0.0;
+    if (h.max <= threshold) return 0.0;
+    if (h.min > threshold) return 1.0;
+    uint64_t over = 0;
+    for (const auto &b : h.buckets) {
+        if (HistogramBuckets::midpoint(b.index) > threshold) {
+            over += b.count;
+        }
+    }
+    return double(over) / double(h.count);
+}
+
+bool
+SeriesSelector::matches(const MetricSnapshot &m) const
+{
+    if (m.name != name) return false;
+    for (const auto &[k, v] : labels) {
+        bool found = false;
+        for (const auto &[mk, mv] : m.labels) {
+            if (mk == k) {
+                found = mv == v;
+                break;
+            }
+        }
+        if (!found) return false;
+    }
+    return true;
+}
+
+std::string
+SeriesSelector::describe() const
+{
+    return format_series(name, labels);
+}
+
+WindowDelta
+WindowDelta::between(const Snapshot &now, const Snapshot &prev,
+                     double window_s)
+{
+    WindowDelta w;
+    w.window_s = window_s;
+    w.series.metrics.reserve(now.metrics.size());
+    for (size_t i = 0; i < now.metrics.size(); ++i) {
+        const MetricSnapshot &n = now.metrics[i];
+        // Index-aligned fast path (two snapshots of one registry:
+        // registration order is stable, the newer one is a superset);
+        // fall back to a lookup so re-ordered inputs still pair up.
+        const MetricSnapshot *p = nullptr;
+        if (i < prev.metrics.size() && prev.metrics[i].name == n.name &&
+            prev.metrics[i].labels == n.labels) {
+            p = &prev.metrics[i];
+        } else {
+            p = prev.find(n.name, n.labels);
+        }
+
+        MetricSnapshot d = n;  // name/labels/help/kind carried over
+        bool reset = false;
+        switch (n.kind) {
+            case MetricKind::counter:
+                d.counter =
+                    counter_delta(n.counter, p ? p->counter : 0, &reset);
+                break;
+            case MetricKind::gauge:
+                break;  // point-in-time value, no delta semantics
+            case MetricKind::histogram:
+                d.hist = histogram_delta(
+                    n.hist, p ? p->hist : HistogramSnapshot{}, &reset);
+                break;
+        }
+        if (reset) ++w.counter_resets;
+        w.series.metrics.push_back(std::move(d));
+    }
+    return w;
+}
+
+const MetricSnapshot *
+WindowDelta::find(const std::string &name, const LabelSet &labels) const
+{
+    return series.find(name, labels);
+}
+
+double
+WindowDelta::rate(const std::string &name, const LabelSet &labels) const
+{
+    if (window_s <= 0) return 0.0;
+    const MetricSnapshot *m = find(name, labels);
+    if (m == nullptr) return 0.0;
+    switch (m->kind) {
+        case MetricKind::counter: return double(m->counter) / window_s;
+        case MetricKind::histogram:
+            return double(m->hist.count) / window_s;
+        case MetricKind::gauge: return m->gauge;
+    }
+    return 0.0;
+}
+
+uint64_t
+WindowDelta::total(const SeriesSelector &sel) const
+{
+    uint64_t sum = 0;
+    for (const auto &m : series.metrics) {
+        if (!sel.matches(m)) continue;
+        if (m.kind == MetricKind::counter) sum += m.counter;
+        if (m.kind == MetricKind::histogram) sum += m.hist.count;
+    }
+    return sum;
+}
+
+HistogramSnapshot
+WindowDelta::merged_histogram(const SeriesSelector &sel) const
+{
+    HistogramSnapshot out;
+    bool first = true;
+    for (const auto &m : series.metrics) {
+        if (m.kind != MetricKind::histogram || !sel.matches(m)) continue;
+        if (m.hist.count == 0) continue;
+        out.count += m.hist.count;
+        out.sum += m.hist.sum;
+        out.min = first ? m.hist.min : std::min(out.min, m.hist.min);
+        out.max = first ? m.hist.max : std::max(out.max, m.hist.max);
+        merge_buckets(out.buckets, m.hist.buckets);
+        first = false;
+    }
+    return out;
+}
+
+std::string
+SloObjective::describe() const
+{
+    char buf[128];
+    if (kind == Kind::quantile) {
+        std::snprintf(buf, sizeof(buf), " p%g <= %g", q * 100.0,
+                      threshold);
+        return name + ": " + series.describe() + buf;
+    }
+    std::snprintf(buf, sizeof(buf), " ratio <= %g", threshold);
+    return name + ": " + errors.describe() + " / " + series.describe() +
+           buf;
+}
+
+SloEvaluator::SloEvaluator(std::vector<SloObjective> objectives)
+    : objectives_(std::move(objectives))
+{
+}
+
+std::vector<SloVerdict>
+SloEvaluator::evaluate(const WindowDelta &w) const
+{
+    std::vector<SloVerdict> out;
+    out.reserve(objectives_.size());
+    for (const SloObjective &o : objectives_) {
+        SloVerdict v;
+        v.objective = o.name;
+        v.threshold = o.threshold;
+        if (o.kind == SloObjective::Kind::quantile) {
+            HistogramSnapshot h = w.merged_histogram(o.series);
+            v.samples = h.count;
+            if (h.count == 0) {
+                v.pass = true;  // idle window: vacuous pass, zero burn
+            } else {
+                v.value = h.quantile(o.q);
+                v.pass = v.value <= o.threshold;
+                double allowed = std::max(1e-9, 1.0 - o.q);
+                v.budget_burn = fraction_over(h, o.threshold) / allowed;
+            }
+        } else {
+            uint64_t total = w.total(o.series);
+            uint64_t errors = w.total(o.errors);
+            v.samples = total;
+            if (total == 0) {
+                v.pass = true;
+            } else {
+                v.value = double(errors) / double(total);
+                v.pass = v.value <= o.threshold;
+                v.budget_burn =
+                    o.threshold > 0 ? v.value / o.threshold
+                                    : (errors != 0 ? 1e9 : 0.0);
+            }
+        }
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+bool
+SloEvaluator::all_pass(const std::vector<SloVerdict> &verdicts)
+{
+    for (const auto &v : verdicts) {
+        if (!v.pass) return false;
+    }
+    return true;
+}
+
+}  // namespace zkspeed::obs

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Snapshot-delta engine and SLO evaluation over the metrics registry.
+ *
+ * Everything the registry exports is cumulative-since-process-start; a
+ * production question ("is this instance inside its latency SLO *right
+ * now*?") is about an interval. `WindowDelta::between` subtracts two
+ * `obs::Snapshot`s series-by-series: counter deltas, bucket-wise
+ * histogram subtraction (so interval p50/p90/p99/p99.9 come out of the
+ * same 2^(1/8) bucket geometry with the same ±4.43% bound), and
+ * windowed rates (delta / window seconds). Counter resets — a
+ * `MetricsRegistry::reset()` between the two snapshots — are detected
+ * per series (any cumulative value going backwards) and clamped to
+ * restart semantics: the delta becomes everything recorded since the
+ * reset, never a negative number. A brand-new thread shard appearing
+ * mid-window only *adds* counts and needs no special casing.
+ *
+ * `SloEvaluator` turns declarative objectives ({series selector,
+ * quantile-or-error-ratio, threshold}) into per-window verdicts with an
+ * error-budget burn rate: for a `p99 <= T` objective at most 1% of the
+ * window's requests may exceed T, so burn = (observed fraction over T)
+ * / (1 - q) — burn 1.0 is exactly on budget, burn 3.0 means the window
+ * spent its budget three times over. The load generator
+ * (src/loadgen/) streams these verdicts per window and enforces them
+ * via exit status; DESIGN.md §11 documents the semantics.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace zkspeed::obs {
+
+/**
+ * Counter delta with reset clamping: `now - prev` when monotone,
+ * otherwise the series restarted and the delta is everything since the
+ * restart (`now`), flagged via `*reset`.
+ */
+uint64_t counter_delta(uint64_t now, uint64_t prev, bool *reset = nullptr);
+
+/**
+ * Bucket-wise histogram subtraction. Quantiles of the result are
+ * *interval* quantiles of only the in-window observations, within
+ * `HistogramBuckets::kMaxRelativeError` of the exact in-window order
+ * statistics. Interval min/max are exact when the window moved the
+ * cumulative min/max, else bounded by the first/last delta bucket.
+ * A count or bucket going backwards flags a reset and returns `now`.
+ */
+HistogramSnapshot histogram_delta(const HistogramSnapshot &now,
+                                  const HistogramSnapshot &prev,
+                                  bool *reset = nullptr);
+
+/**
+ * Fraction of a histogram's samples above `threshold`, resolved at
+ * bucket granularity (a bucket counts as over when its geometric
+ * midpoint exceeds the threshold; exact min/max short-circuit the
+ * all-under / all-over cases). The SLO burn numerator.
+ */
+double fraction_over(const HistogramSnapshot &h, double threshold);
+
+/**
+ * Label-subset series match: name must equal, every selector label
+ * must be present with the same value, extra labels on the series are
+ * fine. `{service="svc0", status="ok"}` therefore matches both the
+ * prove- and verify-class latency series of one instance.
+ */
+struct SeriesSelector {
+    std::string name;
+    LabelSet labels;
+
+    bool matches(const MetricSnapshot &m) const;
+    std::string describe() const;
+};
+
+/** One interval between two registry snapshots. */
+struct WindowDelta {
+    /** Wall seconds between the two snapshots (rate denominator). */
+    double window_s = 0;
+    /** Series whose cumulative values went backwards (reset-clamped). */
+    uint64_t counter_resets = 0;
+    /**
+     * The delta'd series, same order as the newer snapshot: counters
+     * and histograms carry in-window values, gauges carry the newer
+     * snapshot's point-in-time value (a gauge has no delta semantics).
+     */
+    Snapshot series;
+
+    /**
+     * Subtract `prev` from `now`. Series are matched by (name, labels)
+     * — index-aligned in the common case of two snapshots of one
+     * registry, with a lookup fallback so a series registered
+     * mid-window deltas against zero.
+     */
+    static WindowDelta between(const Snapshot &now, const Snapshot &prev,
+                               double window_s);
+
+    const MetricSnapshot *find(const std::string &name,
+                               const LabelSet &labels = {}) const;
+
+    /**
+     * Windowed rate of one exactly-named series: counter delta (or
+     * histogram count delta) per second; 0 when absent or the window
+     * has no duration.
+     */
+    double rate(const std::string &name, const LabelSet &labels = {}) const;
+
+    /** Sum of counter deltas + histogram count deltas over matches. */
+    uint64_t total(const SeriesSelector &sel) const;
+
+    /** Bucket-wise merge of every matching delta histogram. */
+    HistogramSnapshot merged_histogram(const SeriesSelector &sel) const;
+};
+
+/**
+ * One declarative objective. `kind == quantile`: the merged matching
+ * interval histogram must satisfy `quantile(q) <= threshold` (threshold
+ * in the series' native unit, ms for latency series). `kind ==
+ * error_ratio`: `total(errors) / total(series) <= threshold`. Windows
+ * with no samples pass vacuously — an idle service is not in breach.
+ */
+struct SloObjective {
+    enum class Kind : uint8_t { quantile = 0, error_ratio = 1 };
+
+    std::string name;      ///< report key, e.g. "prove-p99"
+    Kind kind = Kind::quantile;
+    SeriesSelector series; ///< quantile source / error-ratio denominator
+    SeriesSelector errors; ///< error-ratio numerator (kind == error_ratio)
+    double q = 0.99;       ///< quantile point (kind == quantile)
+    double threshold = 0;  ///< ms (quantile) or ratio in [0,1]
+
+    std::string describe() const;
+};
+
+/** One objective evaluated over one window. */
+struct SloVerdict {
+    std::string objective;
+    bool pass = true;
+    double value = 0;       ///< measured interval quantile or ratio
+    double threshold = 0;
+    /**
+     * Error-budget burn this window: 1.0 = exactly on budget. For
+     * quantile objectives, fraction-over-threshold / (1 - q); for
+     * error ratios, observed / allowed.
+     */
+    double budget_burn = 0;
+    uint64_t samples = 0;   ///< in-window observations backing the verdict
+};
+
+class SloEvaluator
+{
+  public:
+    explicit SloEvaluator(std::vector<SloObjective> objectives);
+
+    const std::vector<SloObjective> &objectives() const
+    {
+        return objectives_;
+    }
+
+    /** Evaluate every objective against one window. */
+    std::vector<SloVerdict> evaluate(const WindowDelta &w) const;
+
+    static bool all_pass(const std::vector<SloVerdict> &verdicts);
+
+  private:
+    std::vector<SloObjective> objectives_;
+};
+
+}  // namespace zkspeed::obs

@@ -42,21 +42,13 @@ status_bucket(JobStatus s)
 }
 
 /**
- * Shutdown artifact hooks: ZKSPEED_TRACE_OUT dumps the span ring as
- * Chrome trace JSON, ZKSPEED_METRICS_OUT dumps a registry snapshot
- * (JSON when the path ends in .json, Prometheus text otherwise).
+ * Shutdown artifact hooks: ZKSPEED_TRACE_OUT / ZKSPEED_METRICS_OUT
+ * (shared with the examples' interrupt handlers — obs/export.hpp).
  */
 void
 dump_telemetry_env()
 {
-    obs::TraceRecorder::dump_to_env();
-    const char *path = std::getenv("ZKSPEED_METRICS_OUT");
-    if (path == nullptr || *path == '\0') return;
-    auto snap = obs::MetricsRegistry::global().snapshot();
-    std::string_view p(path);
-    bool json = p.size() >= 5 && p.substr(p.size() - 5) == ".json";
-    obs::write_file(path, json ? obs::render_json(snap)
-                               : obs::render_prometheus_text(snap));
+    obs::dump_artifacts_to_env();
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include "hyperplonk/serialize.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
+#include "scenarios/registry.hpp"
 
 namespace zkspeed::scenarios {
 
@@ -195,6 +196,87 @@ Harness::finish()
     }
     predicted_.clear();
     return suite;
+}
+
+std::vector<loadgen::FramePool>
+make_frame_pools(const std::vector<loadgen::MixEntry> &mix,
+                 runtime::ProofService &service,
+                 runtime::KeyCache &client_keys, size_t frames_per_pool)
+{
+    if (mix.empty()) {
+        throw loadgen::PlanError("capacity: plan has no mix entries");
+    }
+    if (frames_per_pool == 0) {
+        throw loadgen::PlanError("capacity: frames_per_pool must be >= 1");
+    }
+    const Registry &registry = Registry::global();
+    std::vector<loadgen::FramePool> pools;
+    pools.reserve(mix.size());
+    for (size_t p = 0; p < mix.size(); ++p) {
+        const auto &entry = mix[p];
+        const Family *family = registry.find(entry.family);
+        if (family == nullptr) {
+            throw loadgen::PlanError("capacity: unknown scenario family '" +
+                                     entry.family + "'");
+        }
+        if (family->adversarial()) {
+            throw loadgen::PlanError(
+                "capacity: family '" + entry.family +
+                "' is adversarial; capacity plans replay honest traffic "
+                "only");
+        }
+        loadgen::FramePool pool;
+        pool.name = entry.family;
+        pool.weight = entry.weight;
+        for (size_t i = 0; i < frames_per_pool; ++i) {
+            Spec spec;
+            spec.name = entry.family;
+            spec.log_size = entry.log_size;
+            spec.seed = entry.seed + i;
+            Instance inst = registry.build(spec);
+
+            runtime::JobRequest prove_req;
+            prove_req.request_id = (uint64_t(p) << 32) | i;
+            prove_req.circuit = inst.circuit;
+            prove_req.witness = inst.witness;
+            pool.prove_frames.push_back(wire::encode_request(prove_req));
+
+            // The matching VERIFY frame needs a real proof: prove once
+            // through the service (also warms its key cache) and pair
+            // the proof with the client-side vk.
+            JobResponse proved = service.submit(prove_req).get();
+            if (!proved.ok()) {
+                throw loadgen::PlanError(
+                    "capacity: pre-prove failed for " + spec.describe() +
+                    ": " + proved.error);
+            }
+            auto keys = client_keys.get_or_create(inst.circuit).first;
+            VerifyRequest vreq;
+            vreq.request_id =
+                (uint64_t(1) << 63) | (uint64_t(p) << 32) | i;
+            vreq.vk = hyperplonk::serde::serialize_verifying_key(*keys.vk);
+            vreq.public_inputs = inst.witness.public_inputs(inst.circuit);
+            vreq.proof = proved.proof;
+            pool.verify_frames.push_back(
+                wire::encode_verify_request(vreq));
+        }
+        pools.push_back(std::move(pool));
+    }
+    return pools;
+}
+
+loadgen::Report
+run_capacity(const CapacityConfig &cfg)
+{
+    runtime::ProofService service(cfg.service);
+    runtime::KeyCache client_keys(cfg.service.key_cache_capacity,
+                                  cfg.service.srs_seed);
+    std::vector<loadgen::FramePool> pools = make_frame_pools(
+        cfg.plan.mix, service, client_keys, cfg.frames_per_pool);
+    loadgen::LoadGen generator(service, std::move(pools), cfg.plan);
+    loadgen::Report report = generator.run(cfg.stream);
+    service.shutdown();
+    return report;
 }
 
 }  // namespace zkspeed::scenarios

@@ -23,6 +23,7 @@
  */
 #pragma once
 
+#include "loadgen/loadgen.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/service.hpp"
 #include "scenarios/scenario.hpp"
@@ -116,5 +117,51 @@ class Harness
     verifier::BatchVerifier batch_;
     std::vector<bool> predicted_;
 };
+
+/**
+ * Soak-lane capacity mode: drive a loadgen plan against a dedicated
+ * service instance and report the windowed SLO series + knee estimate.
+ */
+struct CapacityConfig {
+    loadgen::Plan plan;
+    runtime::ServiceConfig service;
+    /** Distinct pre-proved instances cycled per mix entry. */
+    size_t frames_per_pool = 4;
+    /** Per-window streaming output (nullptr = silent). */
+    std::FILE *stream = nullptr;
+
+    CapacityConfig()
+    {
+        // Capacity runs stress the queue on purpose: keep it short so
+        // over-capacity offered load sheds instead of building an
+        // unbounded latency backlog, and coalesce verify traffic on a
+        // tight window like the conformance harness does.
+        service.queue_capacity = 32;
+        service.verify_batch_size = 4;
+        service.verify_batch_window_ms = 2.0;
+    }
+};
+
+/**
+ * Expand a plan's mix into pre-encoded frame pools: per entry,
+ * `frames_per_pool` honest instances (seeds entry.seed, entry.seed+1,
+ * ...) encoded as PROVE frames, plus matching VERIFY frames built by
+ * proving each instance through `service` and pairing the proof with
+ * the client-side vk. Unknown and adversarial family names throw
+ * loadgen::PlanError — capacity runs measure the honest-path knee,
+ * not the rejection paths.
+ */
+std::vector<loadgen::FramePool> make_frame_pools(
+    const std::vector<loadgen::MixEntry> &mix,
+    runtime::ProofService &service, runtime::KeyCache &client_keys,
+    size_t frames_per_pool);
+
+/**
+ * Run one capacity plan end to end: spin up a service from
+ * `cfg.service`, pre-prove the frame pools, replay the plan through
+ * `loadgen::LoadGen`, shut down, and return the report (callers render
+ * SLO_report.json from it and enforce `slo_ok` via exit status).
+ */
+loadgen::Report run_capacity(const CapacityConfig &cfg);
 
 }  // namespace zkspeed::scenarios

@@ -17,6 +17,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "runtime/key_cache.hpp"
@@ -285,6 +286,50 @@ TEST(SoakSweep, RegistryAcrossSeedsAndSizes)
         EXPECT_TRUE(suite.batch_matches_direct);
         EXPECT_GT(suite.replay.speedup, 1.0);
     }
+}
+
+// Capacity ramp in the soak lane: a monotone offered-QPS sweep through
+// the load generator against a dedicated service. Shallow by default
+// (a handful of short windows); CI's soak job raises the dials via
+// ZKSPEED_CAPACITY_WINDOWS / ZKSPEED_CAPACITY_QPS. The SLO here is a
+// liveness gate, not a latency target — the interesting output is the
+// windowed percentile series and the knee estimate.
+TEST(SoakSweep, CapacityRamp)
+{
+    const uint64_t windows =
+        scenarios::env_u64("ZKSPEED_CAPACITY_WINDOWS", 4);
+    const uint64_t qps1 = scenarios::env_u64("ZKSPEED_CAPACITY_QPS", 12);
+    scenarios::CapacityConfig cfg;
+    cfg.plan.mix.push_back(
+        loadgen::MixEntry{"rescue-chain", 3.0, 4, kSeed});
+    cfg.plan.mix.push_back(
+        loadgen::MixEntry{"range-bank", 1.0, 4, kSeed + 7});
+    cfg.plan.profile.kind = loadgen::Profile::Kind::ramp;
+    cfg.plan.profile.qps0 = 2;
+    cfg.plan.profile.qps1 = double(qps1);
+    cfg.plan.windows = size_t(std::max<uint64_t>(2, windows));
+    cfg.plan.window_ms = 500;
+    cfg.plan.seed = kSeed;
+    cfg.plan.verify_fraction = 0.25;
+    obs::SloObjective o;
+    o.name = "liveness-p99";
+    o.series = {"zkspeed_job_latency_ms", {{"status", "ok"}}};
+    o.q = 0.99;
+    o.threshold = 60000.0;
+    cfg.plan.objectives.push_back(o);
+    cfg.frames_per_pool = 2;
+    cfg.stream = stdout;
+
+    auto rep = scenarios::run_capacity(cfg);
+    EXPECT_TRUE(rep.slo_ok) << "liveness SLO breached in the ramp";
+    EXPECT_GT(rep.completed_total, 0u);
+    ASSERT_EQ(rep.windows.size(), cfg.plan.windows);
+    // The offered-QPS targets sweep monotonically by construction.
+    for (size_t w = 1; w < rep.windows.size(); ++w) {
+        EXPECT_GT(rep.windows[w].qps_target,
+                  rep.windows[w - 1].qps_target);
+    }
+    EXPECT_TRUE(rep.knee_found);
 }
 
 }  // namespace
