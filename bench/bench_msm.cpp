@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Signed-digit affine-batch Pippenger vs. the pre-PR 8 kernel.
+ *
+ * Runs the same random MSM through curve::msm (GLV-split signed
+ * digits, affine bucket accumulation behind batched inversions) and
+ * curve::msm_reference (unsigned digits, Jacobian buckets — the seed
+ * kernel kept verbatim), checks the results agree with each other and
+ * with msm_naive on a prefix, checks serial and threaded runs return
+ * identical points with identical modmul counts, and reports wall time
+ * and Fq-mul counts for both kernels.
+ *
+ * Usage: bench_msm [--points N] [--window W] [--reps R] [--quick]
+ *                  [--json PATH]
+ * Exit status is non-zero unless the new kernel is >= 2x faster than
+ * the reference (the PR's acceptance gate) and every cross-check holds.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "curve/msm.hpp"
+#include "ff/counters.hpp"
+#include "ff/parallel.hpp"
+#include "report.hpp"
+
+using namespace zkspeed;
+using curve::G1;
+using curve::G1Affine;
+using ff::Fr;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+ms_since(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** n pseudo-random-looking bases: the orbit i * G materialized with
+ * incremental adds + one batch normalization (per-point scalar muls
+ * would dominate the bench's start-up time). */
+std::vector<G1Affine>
+make_points(size_t n)
+{
+    std::vector<G1> jac(n);
+    const G1Affine gen = curve::g1_generator().to_affine();
+    G1 acc = G1::from_affine(gen);
+    for (size_t i = 0; i < n; ++i) {
+        jac[i] = acc;
+        acc = acc.add_mixed(gen);
+    }
+    return curve::batch_to_affine<curve::G1Params>(
+        std::span<const G1>(jac));
+}
+
+struct Side {
+    const char *label = "";
+    double best_ms = 0;
+    uint64_t fq_muls = 0;
+
+    template <typename F>
+    void
+    rep(size_t r, F &&kernel)
+    {
+        ff::ModmulScope scope;
+        auto t0 = Clock::now();
+        kernel();
+        double ms = ms_since(t0);
+        if (r == 0 || ms < best_ms) best_ms = ms;
+        fq_muls = scope.fq_delta();
+    }
+};
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t n = size_t(1) << 16;
+    unsigned window = 0;
+    size_t reps = 1;
+    const char *json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--points") && i + 1 < argc) {
+            n = size_t(std::atoll(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--window") && i + 1 < argc) {
+            window = unsigned(std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
+            reps = size_t(std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            // CI smoke size: large enough that the bucket-aggregation
+            // fraction (where signed digits pay off) is representative,
+            // small enough to stay under a second per rep.
+            n = size_t(1) << 15;
+            reps = 2;
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+    if (n == 0 || reps == 0) {
+        std::fprintf(stderr, "--points and --reps must be positive\n");
+        return 2;
+    }
+
+    bench::title("MSM: signed-digit affine-batch Pippenger vs. seed "
+                 "kernel, n = " + std::to_string(n));
+
+    std::printf("generating %zu base points...\n", n);
+    auto points = make_points(n);
+    std::mt19937_64 rng(0x5eed1);
+    std::vector<Fr> scalars(n);
+    for (auto &s : scalars) s = Fr::random(rng);
+
+    // Reps are interleaved (ref, new, ref, new, ...) so a machine-state
+    // shift mid-bench (noisy neighbors, frequency steps) hits both
+    // kernels instead of skewing the ratio.
+    G1 got_new, got_ref;
+    Side side_new{"signed-affine"};
+    Side side_ref{"seed-jacobian"};
+    for (size_t r = 0; r < reps; ++r) {
+        side_ref.rep(r, [&] {
+            got_ref = curve::msm_reference(points, scalars, window);
+        });
+        side_new.rep(r, [&] {
+            got_new = curve::msm(points, scalars, window);
+        });
+    }
+
+    // Cross-checks: the two kernels agree; both agree with the naive
+    // reference on a prefix; serial == threaded bit-for-bit with exact
+    // counter migration (the ff::parallel_for contract).
+    bool match_ref = got_new == got_ref;
+    size_t prefix = std::min<size_t>(n, 64);
+    G1 naive = curve::msm_naive(
+        std::span<const G1Affine>(points).first(prefix),
+        std::span<const Fr>(scalars).first(prefix));
+    G1 prefix_new = curve::msm(
+        std::span<const G1Affine>(points).first(prefix),
+        std::span<const Fr>(scalars).first(prefix));
+    bool match_naive = prefix_new == naive;
+
+    G1 serial, threaded;
+    uint64_t serial_muls = 0, threaded_muls = 0;
+    {
+        ff::ParallelismGuard guard(1);
+        ff::ModmulScope scope;
+        serial = curve::msm(points, scalars, window);
+        serial_muls = scope.total_delta();
+    }
+    {
+        ff::ParallelismGuard guard(8);
+        ff::ModmulScope scope;
+        threaded = curve::msm(points, scalars, window);
+        threaded_muls = scope.total_delta();
+    }
+    bool match_parallel =
+        serial.to_affine() == threaded.to_affine() &&
+        serial_muls == threaded_muls;
+
+    bench::Table table(
+        {{"kernel", 16}, {"best ms", 12}, {"Fq muls", 14}, {"muls/pt", 10}});
+    for (const Side *s : {&side_ref, &side_new}) {
+        table.row({s->label, bench::fmt(s->best_ms),
+                   bench::fmt_int(s->fq_muls),
+                   bench::fmt(double(s->fq_muls) / double(n), 1)});
+    }
+
+    double speedup =
+        side_new.best_ms > 0 ? side_ref.best_ms / side_new.best_ms : 0;
+    double mul_ratio = side_new.fq_muls > 0
+                           ? double(side_ref.fq_muls) / double(side_new.fq_muls)
+                           : 0;
+    std::printf("\nspeedup: %.2fx wall time, %.2fx Fq muls "
+                "(ref agrees: %s, naive prefix agrees: %s, "
+                "serial == threaded: %s)\n",
+                speedup, mul_ratio, match_ref ? "yes" : "NO",
+                match_naive ? "yes" : "NO", match_parallel ? "yes" : "NO");
+
+    bool ok = match_ref && match_naive && match_parallel && speedup >= 2.0;
+
+    if (json_path != nullptr) {
+        FILE *f = std::fopen(json_path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", json_path);
+            return 2;
+        }
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"msm\",\n"
+            "  \"points\": %zu,\n"
+            "  \"reps\": %zu,\n"
+            "  \"reference\": {\"best_ms\": %.3f, \"fq_muls\": %llu},\n"
+            "  \"signed_affine\": {\"best_ms\": %.3f, \"fq_muls\": %llu},\n"
+            "  \"speedup\": %.3f,\n"
+            "  \"fq_mul_ratio\": %.3f,\n"
+            "  \"matches_reference\": %s,\n"
+            "  \"matches_naive_prefix\": %s,\n"
+            "  \"serial_matches_threaded\": %s,\n"
+            "  \"meets_2x_target\": %s\n"
+            "}\n",
+            n, reps, side_ref.best_ms,
+            (unsigned long long)side_ref.fq_muls, side_new.best_ms,
+            (unsigned long long)side_new.fq_muls, speedup, mul_ratio,
+            match_ref ? "true" : "false", match_naive ? "true" : "false",
+            match_parallel ? "true" : "false",
+            speedup >= 2.0 ? "true" : "false");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path);
+    }
+
+    if (!ok) {
+        std::fprintf(stderr,
+                     "FAILED: msm overhaul below target (speedup=%.2fx, "
+                     "ref=%d, naive=%d, parallel=%d)\n",
+                     speedup, match_ref, match_naive, match_parallel);
+        return 1;
+    }
+    return 0;
+}

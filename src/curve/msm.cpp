@@ -6,6 +6,7 @@
 
 namespace zkspeed::curve {
 
+using ff::Fq;
 using ff::Fr;
 
 unsigned
@@ -19,11 +20,23 @@ pippenger_window_size(size_t n)
 
 namespace {
 
-/** Extract the w-bit digit starting at bit offset off. */
+/** Window override clamp: w >= 64 shifts are UB and huge w allocates
+ * 2^w buckets per worker, so every user-supplied value is forced into
+ * the same [2, 16] range pippenger_window_size chooses from. */
+unsigned
+clamp_window(unsigned window, size_t n)
+{
+    if (window == 0) return pippenger_window_size(n);
+    return std::clamp(window, kMinWindowBits, kMaxWindowBits);
+}
+
+/** Extract the w-bit digit starting at bit offset off (w <= 16, so the
+ * mask shift is always defined; offsets past the top limb read as 0). */
 inline uint64_t
 digit_at(const Fr::Repr &r, unsigned off, unsigned w)
 {
     unsigned limb = off / 64;
+    if (limb >= Fr::kLimbs) return 0;
     unsigned shift = off % 64;
     uint64_t v = r.limbs[limb] >> shift;
     if (shift + w > 64 && limb + 1 < Fr::kLimbs) {
@@ -32,16 +45,664 @@ digit_at(const Fr::Repr &r, unsigned off, unsigned w)
     return v & ((uint64_t(1) << w) - 1);
 }
 
+// ---------------------------------------------------------------------------
+// Signed-digit Pippenger with affine batch-add bucket accumulation.
+//
+// Digits are recoded into [-(2^{w-1}-1), 2^{w-1}] with a carry chain, so a
+// window needs 2^{w-1} buckets instead of 2^w - 1 (negative digits add the
+// cheaply-negated point). Bucket contents are reduced in *affine*
+// coordinates: pending additions accumulate into cache-resident batches
+// sharing one inversion over their slope denominators (the paper's
+// bucket-aggregation trick, software twin of bench_fig5 / bench_fig8),
+// making an addition cost ~6 Fq muls instead of the ~11 of a Jacobian
+// mixed add. Large MSMs are first halved in scalar width by the GLV
+// endomorphism split below.
+// See DESIGN.md section 12 for the soundness argument.
+// ---------------------------------------------------------------------------
+
+/** Number of signed w-bit windows covering a `bits`-bit scalar plus its
+ * recoding carry. When bits % w != 0 the top window has r = bits % w
+ * <= w-1 payload bits, so its digit (raw + carry <= 2^r) never exceeds
+ * 2^{w-1} and absorbs the final carry for free; only when w divides
+ * bits exactly is an extra carry-only window needed. */
+inline unsigned
+num_signed_windows(unsigned w, unsigned bits)
+{
+    unsigned nw = (bits + w - 1) / w;
+    if (bits % w == 0) ++nw;
+    return nw;
+}
+
+/** Cost-model window choice for the signed kernel: the bucket phase
+ * costs ~6 Fq muls per nonzero digit and the chunked aggregation
+ * ~12.5 per bucket, so minimize nw(w) * (6n + 12.5 * 2^{w-1}). The
+ * reference kernel keeps its own pre-PR heuristic. */
+unsigned
+auto_signed_window(size_t n, unsigned bits)
+{
+    unsigned best_w = kMinWindowBits;
+    double best_cost = 0;
+    for (unsigned w = kMinWindowBits; w <= kMaxWindowBits; ++w) {
+        double cost = double(num_signed_windows(w, bits)) *
+                      (6.0 * double(n) + 12.5 * double(1u << (w - 1)));
+        if (best_cost == 0 || cost < best_cost) {
+            best_cost = cost;
+            best_w = w;
+        }
+    }
+    return best_w;
+}
+
+/** Signed-digit recoding of one scalar into a column-major digit matrix
+ * (stride = point count, one column per scalar). */
+inline void
+decompose_signed(const Fr::Repr &r, unsigned w, unsigned nw, int32_t *col,
+                 size_t stride)
+{
+    const int32_t full = int32_t(1) << w;
+    const int32_t half = int32_t(1) << (w - 1);
+    int32_t carry = 0;
+    for (unsigned win = 0; win < nw; ++win) {
+        int32_t d = int32_t(digit_at(r, win * w, w)) + carry;
+        carry = 0;
+        if (d > half) {
+            d -= full;
+            carry = 1;
+        }
+        col[size_t(win) * stride] = d;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GLV endomorphism decomposition.
+//
+// BLS12-381's G1 carries the cube-root endomorphism phi(x, y) = (beta x, y)
+// with beta^3 = 1 in Fq, acting on the r-torsion as multiplication by a
+// lambda with lambda^2 + lambda + 1 = r *exactly* (not just mod r, a BLS
+// family identity: r = z^4 - z^2 + 1 and lambda = z^2 - 1). That exact
+// identity makes the scalar split plain integer division — s = s1 +
+// lambda*s2 with s1 = s mod lambda and s2 = s div lambda, both < 2^128 —
+// so an n-point 255-bit MSM becomes a 2n-point 128-bit MSM: the bucket
+// work is unchanged (2n points, half the windows) but the per-window
+// aggregation, inversion and digit-recoding overheads all halve.
+//
+// Every constant is derived and validated at startup rather than
+// transcribed: lambda is found as an order-3 element of Fr* and checked
+// against r limb-for-limb, beta as an order-3 element of Fq* checked by
+// comparing phi(G) with lambda*G on the actual generator. If any check
+// fails, ok stays false and msm() keeps the direct 255-bit path.
+// ---------------------------------------------------------------------------
+
+struct GlvCtx {
+    bool ok = false;
+    uint64_t lam[2] = {0, 0};    ///< lambda; lambda^2 + lambda + 1 == r.
+    uint64_t recip[2] = {0, 0};  ///< floor(2^255 / lambda).
+    Fq beta;                     ///< phi(x, y) = (beta x, y).
+};
+
+using u128 = unsigned __int128;
+
+/** 128 x 128 -> 256 bit product on raw limbs. */
+inline void
+mul_2x2(const uint64_t a[2], const uint64_t b[2], uint64_t out[4])
+{
+    u128 p00 = u128(a[0]) * b[0];
+    u128 p01 = u128(a[0]) * b[1];
+    u128 p10 = u128(a[1]) * b[0];
+    u128 p11 = u128(a[1]) * b[1];
+    out[0] = uint64_t(p00);
+    u128 mid = (p00 >> 64) + uint64_t(p01) + uint64_t(p10);
+    out[1] = uint64_t(mid);
+    u128 hi = (mid >> 64) + (p01 >> 64) + (p10 >> 64) + uint64_t(p11);
+    out[2] = uint64_t(hi);
+    out[3] = uint64_t((hi >> 64) + (p11 >> 64));
+}
+
+/** (m - 1) / 3 when exact; returns false when 3 does not divide m - 1
+ * (no order-3 element exists, so no GLV). m is odd (a field modulus). */
+template <size_t N>
+bool
+sub1_div3(ff::BigInt<N> m, ff::BigInt<N> &out)
+{
+    m.limbs[0] -= 1;  // m odd => no borrow
+    uint64_t rem = 0;
+    for (size_t i = N; i-- > 0;) {
+        u128 cur = (u128(rem) << 64) | m.limbs[i];
+        out.limbs[i] = uint64_t(cur / 3);
+        rem = uint64_t(cur % 3);
+    }
+    return rem == 0;
+}
+
+/** An element of multiplicative order 3, or zero() when none is found
+ * from small bases (then GLV is disabled). */
+template <typename F, size_t N>
+F
+order3_element(const ff::BigInt<N> &exp)
+{
+    for (uint64_t base : {2, 3, 5, 7, 11, 13}) {
+        F t = F::from_uint(base).pow(exp);
+        if (!(t == F::one())) return t;
+    }
+    return F::zero();
+}
+
+GlvCtx
+build_glv()
+{
+    GlvCtx g;
+
+    // lambda: an order-3 element of Fr* whose canonical lift satisfies
+    // lambda^2 + lambda + 1 == r exactly. Order-3 elements come in
+    // pairs {t, t^2} (the two primitive cube roots); only one lift is
+    // < 2^128, and the exact-integer check rejects everything else.
+    ff::BigInt<Fr::kLimbs> e3r;
+    if (!sub1_div3(Fr::kModulus, e3r)) return g;
+    Fr t = order3_element<Fr>(e3r);
+    if (t == Fr::zero()) return g;
+    Fr lam_fr = Fr::zero();
+    for (Fr cand : {t, t * t}) {
+        auto rep = cand.to_repr();
+        if (rep.limbs[2] != 0 || rep.limbs[3] != 0) continue;
+        uint64_t sq[4];
+        mul_2x2(rep.limbs.data(), rep.limbs.data(), sq);
+        // sq += lambda + 1, then compare with r.
+        u128 c = u128(sq[0]) + rep.limbs[0] + 1;
+        sq[0] = uint64_t(c);
+        c = (c >> 64) + sq[1] + rep.limbs[1];
+        sq[1] = uint64_t(c);
+        c = (c >> 64) + sq[2];
+        sq[2] = uint64_t(c);
+        sq[3] += uint64_t(c >> 64);
+        if (sq[0] == Fr::kModulus.limbs[0] &&
+            sq[1] == Fr::kModulus.limbs[1] &&
+            sq[2] == Fr::kModulus.limbs[2] &&
+            sq[3] == Fr::kModulus.limbs[3]) {
+            g.lam[0] = rep.limbs[0];
+            g.lam[1] = rep.limbs[1];
+            lam_fr = cand;
+        }
+    }
+    if (lam_fr == Fr::zero()) return g;
+
+    // recip = floor(2^255 / lambda) by binary long division; must fit
+    // 128 bits (i.e. lambda > 2^127) for the split's error bound.
+    {
+        uint64_t q[3] = {0, 0, 0};
+        uint64_t r0 = 0, r1 = 0, r2 = 0;  // remainder < lambda < 2^128
+        for (int i = 255; i >= 0; --i) {
+            r2 = (r2 << 1) | (r1 >> 63);
+            r1 = (r1 << 1) | (r0 >> 63);
+            r0 = r0 << 1;
+            if (i == 255) r0 |= 1;  // dividend = 2^255
+            bool ge = r2 != 0 || r1 > g.lam[1] ||
+                      (r1 == g.lam[1] && r0 >= g.lam[0]);
+            if (ge) {
+                u128 d = u128(r0) - g.lam[0];
+                r0 = uint64_t(d);
+                d = u128(r1) - g.lam[1] - ((d >> 64) & 1);
+                r1 = uint64_t(d);
+                r2 -= uint64_t((d >> 64) & 1);
+                q[i / 64] |= uint64_t(1) << (i % 64);
+            }
+        }
+        if (q[2] != 0) return g;
+        g.recip[0] = q[0];
+        g.recip[1] = q[1];
+    }
+
+    // beta: the primitive cube root in Fq for which phi(G) == lambda*G
+    // on the actual subgroup generator (the other root corresponds to
+    // lambda^2). G1 is cyclic of prime order, so checking the generator
+    // proves phi acts as lambda on every subgroup point.
+    ff::BigInt<Fq::kLimbs> e3q;
+    if (!sub1_div3(Fq::kModulus, e3q)) return g;
+    Fq u = order3_element<Fq>(e3q);
+    if (u == Fq::zero()) return g;
+    const G1Affine gen = G1Params::generator();
+    const G1 lam_g = G1::from_affine(gen).mul(lam_fr);
+    for (Fq cand : {u, u * u}) {
+        if (G1::from_affine(G1Affine(cand * gen.x, gen.y)) == lam_g) {
+            g.beta = cand;
+            g.ok = true;
+            break;
+        }
+    }
+    return g;
+}
+
+const GlvCtx &
+glv_ctx()
+{
+    static const GlvCtx g = build_glv();
+    return g;
+}
+
+/** Split s (canonical, < r) as s = s1 + lambda * s2 — exact integer
+ * identity, so correctness needs nothing mod r. Quotient estimate via
+ * the precomputed reciprocal: q^ = floor(s * recip / 2^255) undershoots
+ * floor(s / lambda) by at most 2 and is corrected by subtraction. */
+inline void
+glv_split(const Fr::Repr &s, const GlvCtx &g, uint64_t s1[2],
+          uint64_t s2[2])
+{
+    using u128 = unsigned __int128;
+    uint64_t p[6] = {0, 0, 0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+        u128 carry = 0;
+        for (int j = 0; j < 2; ++j) {
+            u128 cur = u128(s.limbs[i]) * g.recip[j] + p[i + j] + carry;
+            p[i + j] = uint64_t(cur);
+            carry = cur >> 64;
+        }
+        for (int k = i + 2; carry != 0 && k < 6; ++k) {
+            u128 cur = u128(p[k]) + carry;
+            p[k] = uint64_t(cur);
+            carry = cur >> 64;
+        }
+    }
+    uint64_t q0 = (p[3] >> 63) | (p[4] << 1);
+    uint64_t q1 = (p[4] >> 63) | (p[5] << 1);
+
+    // rem = s - q^ * lambda, corrected until rem < lambda (<= 2 steps).
+    uint64_t ql[4];
+    const uint64_t qhat[2] = {q0, q1};
+    mul_2x2(qhat, g.lam, ql);
+    uint64_t r4[4];
+    u128 borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+        u128 d = u128(s.limbs[i]) - ql[i] - uint64_t(borrow);
+        r4[i] = uint64_t(d);
+        borrow = (d >> 64) & 1;
+    }
+    while (r4[2] != 0 || r4[3] != 0 || r4[1] > g.lam[1] ||
+           (r4[1] == g.lam[1] && r4[0] >= g.lam[0])) {
+        u128 d = u128(r4[0]) - g.lam[0];
+        r4[0] = uint64_t(d);
+        d = u128(r4[1]) - g.lam[1] - ((d >> 64) & 1);
+        r4[1] = uint64_t(d);
+        d = u128(r4[2]) - ((d >> 64) & 1);
+        r4[2] = uint64_t(d);
+        r4[3] -= uint64_t((d >> 64) & 1);
+        if (++q0 == 0) ++q1;
+    }
+    s1[0] = r4[0];
+    s1[1] = r4[1];
+    s2[0] = q0;
+    s2[1] = q1;
+}
+
+/** Affine point in a bucket-reduction buffer (never the identity; empty
+ * buckets and cancelled pairs are simply not stored). */
+struct AffineSlot {
+    Fq x, y;
+};
+
+/** One scheduled affine addition P1 + P2 (or doubling), waiting on the
+ * batched inversion of its slope denominator. sum_x pre-stores x1 + x2
+ * so completion is exactly lambda, lambda^2 and the y3 product. `out`
+ * is the pair's bucket during bucket accumulation (the result feeds
+ * back into that waiting slot) and the chain slot during aggregation. */
+struct Pending {
+    Fq x1, y1, sum_x, num;
+    uint32_t out = 0;
+};
+
+/** Per-worker scratch, reused across windows so buffers are only ever
+ * grown. Pending batches are double-buffered: completing batch `cur`
+ * feeds results back into the waiting slots, which may schedule new
+ * pairs into batch `cur ^ 1`. */
+struct WindowScratch {
+    std::vector<Fq> denoms[2];
+    std::vector<Fq> prefix;
+    std::vector<Pending> pend[2];
+    std::vector<AffineSlot> bucket_val;
+    std::vector<uint8_t> bucket_set;
+    std::vector<AffineSlot> chain;
+    std::vector<uint8_t> chain_set;
+};
+
+/**
+ * Reduce one window's signed digits to a window sum.
+ *
+ * Entries stream through in point order against an L2-resident
+ * per-bucket waiting slot: the first occupant of a bucket waits, the
+ * next one pairs with it (vacating the slot), and pairs accumulate into
+ * a pending batch that shares ONE inversion over its slope
+ * denominators. Batches are completed every kFlush pairs — small enough
+ * that the batch buffers stay cache-resident — and each completed pair
+ * feeds straight back into its bucket's waiting slot, where it either
+ * waits or pairs again (into the *other* pending batch). No sorting, no
+ * index-gathers, no result streams: pending work strictly shrinks per
+ * feedback generation and whatever rests in the slots at the end IS the
+ * bucket table. Equal-x pairs never reach the inversion: P + (-P)
+ * cancels (the pair just disappears) and P + P is scheduled as a
+ * doubling with denominator 2y != 0 (y = 0 would be a 2-torsion point,
+ * and E(Fq) has odd order), so no zero denominator can poison the
+ * batch.
+ */
 G1
-pippenger_impl(std::span<const G1Affine> points,
-               std::span<const Fr::Repr> reprs, unsigned w)
+accumulate_window(std::span<const G1Affine> points, const int32_t *col,
+                  unsigned half, WindowScratch &ws)
+{
+    const size_t n = points.size();
+
+    if (ws.bucket_val.size() < size_t(half) + 1) {
+        ws.bucket_val.resize(size_t(half) + 1);
+    }
+    ws.bucket_set.assign(size_t(half) + 1, 0);
+    constexpr size_t kFlush = 4096;
+    int cur = 0;
+    for (int s = 0; s < 2; ++s) {
+        ws.pend[s].clear();
+        ws.denoms[s].clear();
+    }
+
+    // Classify one pair: emit a Pending op into the current batch, or
+    // nothing when the pair cancels (P + (-P), or doubling a y = 0
+    // point).
+    auto schedule_pair = [&](const AffineSlot &p, const AffineSlot &q,
+                             uint32_t out) -> bool {
+        if (p.x == q.x) {
+            if (p.y == q.y) {
+                if (p.y.is_zero()) return false;  // 2P = identity
+                Fq x_sq = p.x.square();
+                ws.denoms[cur].push_back(p.y.dbl());
+                ws.pend[cur].push_back(
+                    {p.x, p.y, p.x.dbl(), x_sq.dbl() + x_sq, out});
+                return true;
+            }
+            return false;  // P + (-P) = identity
+        }
+        ws.denoms[cur].push_back(q.x - p.x);
+        ws.pend[cur].push_back({p.x, p.y, p.x + q.x, q.y - p.y, out});
+        return true;
+    };
+
+    // Montgomery's trick over one batch: invert every denominator in
+    // place behind a single field inversion. The backward peel is kept
+    // as its own tight loop so callers' completion loops are free of
+    // serial dependencies (their per-pair muls pipeline). Every
+    // denominator is nonzero by construction (see schedule_pair), so no
+    // zero-skip is needed.
+    auto invert_batch = [&](std::vector<Fq> &dens) {
+        const size_t m = dens.size();
+        if (ws.prefix.size() < m) ws.prefix.resize(m);
+        Fq acc = dens[0];
+        ws.prefix[0] = acc;
+        for (size_t j = 1; j < m; ++j) {
+            acc = acc * dens[j];
+            ws.prefix[j] = acc;
+        }
+        Fq inv = acc.inverse();
+        for (size_t j = m; j-- > 1;) {
+            Fq x_inv = inv * ws.prefix[j - 1];
+            inv = inv * dens[j];
+            dens[j] = x_inv;
+        }
+        dens[0] = inv;
+    };
+
+    // One streamed entry: pair with the bucket's waiting occupant, or
+    // become the waiting occupant (a scheduled pair vacates the slot).
+    auto feed = [&](uint32_t b, const AffineSlot &p) {
+        if (!ws.bucket_set[b]) {
+            ws.bucket_val[b] = p;
+            ws.bucket_set[b] = 1;
+            return;
+        }
+        ws.bucket_set[b] = 0;
+        schedule_pair(ws.bucket_val[b], p, b);
+    };
+
+    // Complete the current batch: one shared inversion, then per pair
+    // lambda = num / den, x3 = lambda^2 - (x1 + x2),
+    // y3 = lambda (x1 - x3) - y1, feeding the result straight back into
+    // its bucket's waiting slot. Feedback pairs land in the swapped-in
+    // batch, which cannot overflow mid-completion (at most m/2 of
+    // them).
+    auto flush = [&]() {
+        auto &pend = ws.pend[cur];
+        auto &dens = ws.denoms[cur];
+        const size_t m = pend.size();
+        if (m == 0) return;
+        cur ^= 1;
+        invert_batch(dens);
+        for (size_t j = 0; j < m; ++j) {
+            const Pending &p = pend[j];
+            Fq lambda = p.num * dens[j];
+            Fq x3 = lambda.square() - p.sum_x;
+            feed(p.out, {x3, lambda * (p.x1 - x3) - p.y1});
+        }
+        pend.clear();
+        dens.clear();
+    };
+
+    // Stream the input points in order (signed digits pick the
+    // cheaply-negated point), completing a batch whenever it fills,
+    // then drain the feedback; whatever then rests in the waiting slots
+    // IS the final bucket table.
+    for (size_t i = 0; i < n; ++i) {
+        int32_t d = col[i];
+        if (d == 0) continue;
+        AffineSlot p{points[i].x,
+                     d < 0 ? -points[i].y : points[i].y};
+        feed(uint32_t(d < 0 ? -d : d), p);
+        if (ws.pend[cur].size() >= kFlush) flush();
+    }
+    while (!ws.pend[cur].empty()) flush();
+
+    // Aggregation: sum_b b * bucket_b over 2^{w-1} buckets (half the
+    // unsigned count). Small windows use the classic Jacobian running
+    // sum; large windows keep the chains affine too.
+    constexpr uint32_t kAggChunk = 16;
+    if (half < 16 * kAggChunk) {
+        uint32_t top = half;
+        while (top > 0 && !ws.bucket_set[top]) --top;
+        G1 acc = G1::identity();
+        G1 window_sum = G1::identity();
+        for (uint32_t b = top; b >= 1; --b) {
+            if (ws.bucket_set[b]) {
+                acc = acc.add_mixed(
+                    G1Affine(ws.bucket_val[b].x, ws.bucket_val[b].y));
+            }
+            window_sum += acc;
+        }
+        return window_sum;
+    }
+
+    // Chunked batch-affine running sums. Split the buckets into C
+    // chunks of L: with bucket b = c*L + (j+1),
+    //   sum_b b * B_b = L * sum_c c*S_c + sum_c T_c,
+    // where S_c is chunk c's sum and T_c its local triangle
+    // sum_j (j+1)*B_{c,j}. Every chunk's (acc, T) chains advance in
+    // lockstep (for j = L-1..0: acc += B_j; T += acc), which gives
+    // 2C independent affine additions per step to batch behind one
+    // inversion — the dependent "T += acc" of step j fuses with the
+    // independent "acc += B_{j-1}" of the next step.
+    const uint32_t C = half / kAggChunk;
+    ws.chain.resize(size_t(2) * C);  // [0,C) = acc_c, [C,2C) = T_c
+    ws.chain_set.assign(size_t(2) * C, 0);
+
+    // Complete the current batch into chain slots (aggregation results
+    // are consumed by the combine below, not fed back into buckets).
+    auto complete_chain = [&]() {
+        auto &pend = ws.pend[cur];
+        auto &dens = ws.denoms[cur];
+        const size_t m = pend.size();
+        if (m == 0) return;
+        invert_batch(dens);
+        for (size_t j = 0; j < m; ++j) {
+            const Pending &p = pend[j];
+            Fq lambda = p.num * dens[j];
+            Fq x3 = lambda.square() - p.sum_x;
+            ws.chain[p.out] = {x3, lambda * (p.x1 - x3) - p.y1};
+        }
+        pend.clear();
+        dens.clear();
+    };
+
+    auto chain_add = [&](uint32_t dst, const AffineSlot &src) {
+        if (!ws.chain_set[dst]) {
+            ws.chain[dst] = src;
+            ws.chain_set[dst] = 1;
+            return;
+        }
+        if (!schedule_pair(ws.chain[dst], src, dst)) ws.chain_set[dst] = 0;
+    };
+    auto acc_step = [&](uint32_t j) {  // acc_c += B_{c*L + j + 1}
+        for (uint32_t c = 0; c < C; ++c) {
+            uint32_t b = c * kAggChunk + j + 1;
+            if (ws.bucket_set[b]) chain_add(c, ws.bucket_val[b]);
+        }
+    };
+    auto tri_step = [&]() {  // T_c += acc_c (pre-batch value)
+        for (uint32_t c = 0; c < C; ++c) {
+            if (ws.chain_set[c]) chain_add(C + c, ws.chain[c]);
+        }
+    };
+
+    acc_step(kAggChunk - 1);
+    complete_chain();
+    for (uint32_t j = kAggChunk - 1; j-- > 0;) {
+        tri_step();      // reads acc after step j+1
+        acc_step(j);     // writes acc for step j
+        complete_chain();
+    }
+    tri_step();
+    complete_chain();
+
+    // Combine: hi = sum_c c*S_c via a short Jacobian running sum over
+    // the C chunk sums, then window_sum = L*hi + sum_c T_c.
+    G1 racc = G1::identity();
+    G1 hi = G1::identity();
+    for (uint32_t c = C; c-- > 1;) {
+        if (ws.chain_set[c]) {
+            racc = racc.add_mixed(G1Affine(ws.chain[c].x, ws.chain[c].y));
+        }
+        hi += racc;
+    }
+    static_assert((kAggChunk & (kAggChunk - 1)) == 0);
+    for (uint32_t l = kAggChunk; l > 1; l >>= 1) hi = hi.dbl();
+    for (uint32_t c = 0; c < C; ++c) {
+        if (ws.chain_set[C + c]) {
+            hi = hi.add_mixed(
+                G1Affine(ws.chain[C + c].x, ws.chain[C + c].y));
+        }
+    }
+    return hi;
+}
+
+G1
+pippenger_signed(std::span<const G1Affine> points,
+                 std::span<const Fr::Repr> reprs, unsigned w,
+                 unsigned bits)
+{
+    const size_t n = points.size();
+    const unsigned nw = num_signed_windows(w, bits);
+    const unsigned half = 1u << (w - 1);
+
+    // Signed-digit recoding, column-major so each window walks a
+    // contiguous digit column. Identity points decompose to all-zero
+    // columns (they contribute nothing and the affine kernel assumes
+    // finite points).
+    std::vector<int32_t> digits(size_t(nw) * n);
+    ff::parallel_for(
+        n,
+        [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+                if (points[i].is_identity()) {
+                    for (unsigned win = 0; win < nw; ++win) {
+                        digits[size_t(win) * n + i] = 0;
+                    }
+                    continue;
+                }
+                decompose_signed(reprs[i], w, nw, digits.data() + i, n);
+            }
+        },
+        1024);
+
+    // Windows are independent: reduce them in parallel (per-worker
+    // scratch), then combine serially MSB-first.
+    std::vector<G1> window_sums(nw, G1::identity());
+    ff::parallel_for(
+        nw,
+        [&](size_t win_begin, size_t win_end) {
+            WindowScratch ws;
+            for (size_t win = win_begin; win < win_end; ++win) {
+                window_sums[win] = accumulate_window(
+                    points, digits.data() + win * n, half, ws);
+            }
+        },
+        // Threading only pays off for MSMs with real work per window.
+        n >= 4096 ? 1 : nw);
+
+    G1 result = G1::identity();
+    for (unsigned win = nw; win-- > 0;) {
+        for (unsigned b = 0; b < w; ++b) result = result.dbl();
+        result += window_sums[win];
+    }
+    return result;
+}
+
+/** GLV threshold: below this the split's phi-points and divisions cost
+ * more than the halved aggregation saves (and keeping small MSMs on the
+ * direct path keeps both code paths unit-test-covered). */
+constexpr size_t kGlvMinPoints = 32;
+constexpr unsigned kGlvBits = 128;
+
+G1
+pippenger_glv(std::span<const G1Affine> points,
+              std::span<const Fr::Repr> reprs, unsigned window,
+              const GlvCtx &g)
+{
+    const size_t n = points.size();
+    // Interleave (P_i, phi(P_i)) so the bucket phase's point stream
+    // stays a single sequential read; the matching scalar halves sit at
+    // the same indices. phi of the identity is the identity (the digit
+    // pass zeroes its columns either way).
+    std::vector<G1Affine> pts2(2 * n);
+    std::vector<Fr::Repr> reprs2(2 * n);
+    ff::parallel_for(
+        n,
+        [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+                pts2[2 * i] = points[i];
+                pts2[2 * i + 1] =
+                    points[i].is_identity()
+                        ? points[i]
+                        : G1Affine(g.beta * points[i].x, points[i].y);
+                uint64_t s1[2], s2[2];
+                glv_split(reprs[i], g, s1, s2);
+                Fr::Repr r1(0), r2(0);
+                r1.limbs[0] = s1[0];
+                r1.limbs[1] = s1[1];
+                r2.limbs[0] = s2[0];
+                r2.limbs[1] = s2[1];
+                reprs2[2 * i] = r1;
+                reprs2[2 * i + 1] = r2;
+            }
+        },
+        1024);
+    unsigned w = window == 0
+                     ? auto_signed_window(2 * n, kGlvBits)
+                     : std::clamp(window, kMinWindowBits, kMaxWindowBits);
+    return pippenger_signed(pts2, reprs2, w, kGlvBits);
+}
+
+// ---------------------------------------------------------------------------
+// Pre-PR 8 kernel: unsigned digits, Jacobian bucket accumulation. Kept
+// verbatim as the bench_msm baseline and an independent cross-check.
+// ---------------------------------------------------------------------------
+
+G1
+pippenger_reference_impl(std::span<const G1Affine> points,
+                         std::span<const Fr::Repr> reprs, unsigned w)
 {
     const unsigned kScalarBits = Fr::kBits;
     const unsigned num_windows = (kScalarBits + w - 1) / w;
     const size_t num_buckets = (size_t(1) << w) - 1;
 
-    // Windows are independent: bucket and aggregate them in parallel
-    // (one bucket array per worker), then combine serially MSB-first.
     std::vector<G1> window_sums(num_windows, G1::identity());
     ff::parallel_for(
         num_windows,
@@ -67,7 +728,6 @@ pippenger_impl(std::span<const G1Affine> points,
                 window_sums[win] = window_sum;
             }
         },
-        // Threading only pays off for MSMs with real work per window.
         points.size() >= 4096 ? 1 : num_windows);
     G1 result = G1::identity();
     for (unsigned win = num_windows; win-- > 0;) {
@@ -77,21 +737,47 @@ pippenger_impl(std::span<const G1Affine> points,
     return result;
 }
 
+std::vector<Fr::Repr>
+to_reprs(std::span<const Fr> scalars)
+{
+    std::vector<Fr::Repr> reprs(scalars.size());
+    for (size_t i = 0; i < scalars.size(); ++i) {
+        reprs[i] = scalars[i].to_repr();
+    }
+    return reprs;
+}
+
 }  // namespace
 
 G1
 msm(std::span<const G1Affine> points, std::span<const Fr> scalars,
     unsigned window)
 {
-    if (points.size() != scalars.size() || points.empty()) {
-        return G1::identity();
+    if (points.size() != scalars.size()) {
+        throw MsmSizeError("curve::msm", points.size(), scalars.size());
     }
-    if (window == 0) window = pippenger_window_size(points.size());
-    std::vector<Fr::Repr> reprs(scalars.size());
-    for (size_t i = 0; i < scalars.size(); ++i) {
-        reprs[i] = scalars[i].to_repr();
+    if (points.empty()) return G1::identity();
+    const GlvCtx &g = glv_ctx();
+    if (g.ok && points.size() >= kGlvMinPoints) {
+        return pippenger_glv(points, to_reprs(scalars), window, g);
     }
-    return pippenger_impl(points, reprs, window);
+    unsigned w = window == 0
+                     ? auto_signed_window(points.size(), Fr::kBits)
+                     : std::clamp(window, kMinWindowBits, kMaxWindowBits);
+    return pippenger_signed(points, to_reprs(scalars), w, Fr::kBits);
+}
+
+G1
+msm_reference(std::span<const G1Affine> points, std::span<const Fr> scalars,
+              unsigned window)
+{
+    if (points.size() != scalars.size()) {
+        throw MsmSizeError("curve::msm_reference", points.size(),
+                           scalars.size());
+    }
+    if (points.empty()) return G1::identity();
+    unsigned w = clamp_window(window, points.size());
+    return pippenger_reference_impl(points, to_reprs(scalars), w);
 }
 
 G1
@@ -123,6 +809,10 @@ G1
 msm_sparse(std::span<const G1Affine> points, std::span<const Fr> scalars,
            MsmStats *stats, unsigned window)
 {
+    if (points.size() != scalars.size()) {
+        throw MsmSizeError("curve::msm_sparse", points.size(),
+                           scalars.size());
+    }
     MsmStats st;
     std::vector<G1Affine> one_points;
     std::vector<G1Affine> dense_points;
@@ -151,6 +841,10 @@ msm_sparse(std::span<const G1Affine> points, std::span<const Fr> scalars,
 G1
 msm_naive(std::span<const G1Affine> points, std::span<const Fr> scalars)
 {
+    if (points.size() != scalars.size()) {
+        throw MsmSizeError("curve::msm_naive", points.size(),
+                           scalars.size());
+    }
     G1 acc = G1::identity();
     for (size_t i = 0; i < points.size(); ++i) {
         acc += G1::from_affine(points[i]).mul(scalars[i]);

@@ -8,11 +8,19 @@
  * of scalars are 0 or 1 (paper Section 3.3.1); the sparse path adds the
  * 1-scalar points directly and runs Pippenger only on the dense remainder,
  * exactly like the zkSpeed/SZKP scheme.
+ *
+ * The dense kernel uses signed-digit (wNAF-style) windows, which halve the
+ * bucket count, and accumulates buckets in affine coordinates with batched
+ * inversion over the pending-add slopes — the software twin of the paper's
+ * bucket-aggregation scheme (Section 4.2 / bench_fig5), built on the
+ * ff::batch_inverse idiom of bench_fig8. See DESIGN.md section 12.
  */
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "curve/g1.hpp"
@@ -28,17 +36,48 @@ struct MsmStats {
 };
 
 /**
+ * Structured error for an MSM called with points.size() !=
+ * scalars.size(). A silent identity return here turns a caller bug into
+ * a wrong-but-valid-looking commitment, so the mismatch throws with both
+ * lengths attached (same idiom as lookup::TableSizeError).
+ */
+class MsmSizeError : public std::runtime_error
+{
+  public:
+    MsmSizeError(const char *where, size_t points_, size_t scalars_)
+        : std::runtime_error(std::string(where) + ": points/scalars length "
+                             "mismatch (" + std::to_string(points_) +
+                             " points vs " + std::to_string(scalars_) +
+                             " scalars) — an MSM over misaligned spans "
+                             "would silently commit to the wrong value"),
+          points(points_), scalars(scalars_)
+    {}
+
+    size_t points;   ///< number of base points passed
+    size_t scalars;  ///< number of scalars passed
+};
+
+/**
  * Heuristic Pippenger window size (bits) for an n-point MSM,
- * approximately log2(n) - 3, clamped to [2, 16].
+ * approximately log2(n) - 3, clamped to [2, 16]. User-supplied window
+ * overrides outside [2, 16] are clamped to the same range (a shift by
+ * >= 64 bits is UB and 2^w buckets per worker must stay bounded).
  */
 unsigned pippenger_window_size(size_t n);
 
+/** Clamp of user-supplied window overrides; [2, 16]. */
+inline constexpr unsigned kMinWindowBits = 2;
+inline constexpr unsigned kMaxWindowBits = 16;
+
 /**
- * Dense MSM via Pippenger's bucket method.
+ * Dense MSM via Pippenger's bucket method (signed digits + affine
+ * batch-add bucket accumulation).
  *
  * @param points base points (affine).
  * @param scalars multipliers, same length as points.
- * @param window window size in bits; 0 selects automatically.
+ * @param window window size in bits; 0 selects automatically, other
+ *        values are clamped to [kMinWindowBits, kMaxWindowBits].
+ * @throws MsmSizeError when the span lengths differ.
  */
 G1 msm(std::span<const G1Affine> points, std::span<const ff::Fr> scalars,
        unsigned window = 0);
@@ -48,6 +87,7 @@ G1 msm(std::span<const G1Affine> points, std::span<const ff::Fr> scalars,
  * Pippenger on the dense remainder.
  *
  * @param stats optional out-parameter for the scalar population.
+ * @throws MsmSizeError when the span lengths differ.
  */
 G1 msm_sparse(std::span<const G1Affine> points,
               std::span<const ff::Fr> scalars, MsmStats *stats = nullptr,
@@ -60,8 +100,18 @@ G1 msm_sparse(std::span<const G1Affine> points,
  */
 G1 tree_sum(std::span<const G1Affine> points);
 
-/** Naive reference MSM (double-and-add per point); used in tests only. */
+/** Naive reference MSM (double-and-add per point); used in tests only.
+ * @throws MsmSizeError when the span lengths differ. */
 G1 msm_naive(std::span<const G1Affine> points,
              std::span<const ff::Fr> scalars);
+
+/**
+ * The pre-PR 8 Pippenger kernel (unsigned digits, Jacobian bucket
+ * accumulation), kept verbatim as the bench_msm baseline and as an
+ * independent correctness cross-check for the signed-digit kernel.
+ * Same validation and window clamping as msm().
+ */
+G1 msm_reference(std::span<const G1Affine> points,
+                 std::span<const ff::Fr> scalars, unsigned window = 0);
 
 }  // namespace zkspeed::curve

@@ -11,8 +11,11 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
+
+#include "ff/parallel.hpp"
 
 namespace zkspeed::ff {
 
@@ -54,6 +57,44 @@ void
 batch_inverse(std::vector<F> &xs)
 {
     batch_inverse(std::span<F>(xs));
+}
+
+/**
+ * Parallel batch inversion over a FIXED 8192-element chunk grid: each
+ * grid chunk runs Montgomery's trick independently (one true inversion
+ * per chunk), and workers claim whole chunks. The chunk layout depends
+ * only on xs.size(), never on the worker count, so both the resulting
+ * values and the modmul counter totals are bit-identical across thread
+ * counts (the ff::parallel_for contract).
+ */
+template <typename F>
+void
+parallel_batch_inverse(std::span<F> xs)
+{
+    constexpr size_t kChunk = 8192;
+    if (xs.size() <= kChunk) {
+        batch_inverse(xs);
+        return;
+    }
+    const size_t nchunks = (xs.size() + kChunk - 1) / kChunk;
+    parallel_for(
+        nchunks,
+        [&](size_t cb, size_t ce) {
+            for (size_t c = cb; c < ce; ++c) {
+                size_t b = c * kChunk;
+                size_t e = std::min(xs.size(), b + kChunk);
+                batch_inverse(xs.subspan(b, e - b));
+            }
+        },
+        /*min_chunk=*/1);
+}
+
+/** Convenience overload for vectors. */
+template <typename F>
+void
+parallel_batch_inverse(std::vector<F> &xs)
+{
+    parallel_batch_inverse(std::span<F>(xs));
 }
 
 }  // namespace zkspeed::ff

@@ -17,11 +17,29 @@
 #include <cstdint>
 #include <random>
 #include <string>
+#include <utility>
 
 #include "ff/bigint.hpp"
 #include "ff/counters.hpp"
 
 namespace zkspeed::ff {
+
+namespace detail {
+
+/** Invoke f(integral_constant<size_t, 0>) ... f(<N-1>) in order: a
+ * guaranteed compile-time unroll for the CIOS limb loops, so the 4-limb
+ * Fr and 6-limb Fq multipliers specialise with constant limb indices
+ * and keep the accumulator row in registers. */
+template <size_t N, typename F>
+inline void
+unroll(F &&f)
+{
+    [&]<size_t... Is>(std::index_sequence<Is...>) {
+        (f(std::integral_constant<size_t, Is>{}), ...);
+    }(std::make_index_sequence<N>{});
+}
+
+}  // namespace detail
 
 /**
  * Prime field element in Montgomery form.
@@ -302,39 +320,45 @@ class Fp
         return from_repr(h);
     }
 
-    /** CIOS Montgomery multiplication: returns a*b*R^{-1} mod p. */
+    /**
+     * CIOS Montgomery multiplication: returns a*b*R^{-1} mod p.
+     *
+     * Both limb loops are unrolled at compile time (detail::unroll) and
+     * the multiply and REDC passes are fused per outer limb, so each
+     * instantiation (4-limb Fr, 6-limb Fq) compiles to a straight-line
+     * chain of 64x64->128 multiplies with the accumulator row held in
+     * registers: t[j] + a_i*b[j] + m_i*p[j] with two carry chains, where
+     * m_i = (t[0] + a_i*b[0]) * (-p^{-1}) mod 2^64.
+     */
     static Repr
     mont_mul(const Repr &a, const Repr &b)
     {
         constexpr size_t n = kLimbs;
-        uint64_t t[n + 2] = {0};
-        for (size_t i = 0; i < n; ++i) {
-            // t += a[i] * b
-            uint64_t carry = 0;
-            for (size_t j = 0; j < n; ++j) {
-                uint128 s = (uint128)a.limbs[i] * b.limbs[j] + t[j] + carry;
-                t[j] = (uint64_t)s;
-                carry = (uint64_t)(s >> 64);
-            }
-            uint128 s = (uint128)t[n] + carry;
-            t[n] = (uint64_t)s;
-            t[n + 1] = (uint64_t)(s >> 64);
-            // t += m*p; t >>= 64
-            uint64_t m = t[0] * kInv;
-            uint128 c = (uint128)m * kModulus.limbs[0] + t[0];
-            carry = (uint64_t)(c >> 64);
-            for (size_t j = 1; j < n; ++j) {
-                uint128 s2 = (uint128)m * kModulus.limbs[j] + t[j] + carry;
-                t[j - 1] = (uint64_t)s2;
-                carry = (uint64_t)(s2 >> 64);
-            }
-            s = (uint128)t[n] + carry;
-            t[n - 1] = (uint64_t)s;
-            t[n] = t[n + 1] + (uint64_t)(s >> 64);
-            t[n + 1] = 0;
-        }
+        uint64_t t[n + 1] = {0};
+        detail::unroll<n>([&](auto i) {
+            const uint64_t a_i = a.limbs[i];
+            // m is derived from t[0] after adding a_i*b[0]; the fused
+            // pass then guarantees the low limb reduces to zero.
+            uint128 s0 = (uint128)a_i * b.limbs[0] + t[0];
+            const uint64_t m = (uint64_t)s0 * kInv;
+            uint128 r0 = (uint128)m * kModulus.limbs[0] + (uint64_t)s0;
+            uint64_t carry_ab = (uint64_t)(s0 >> 64);
+            uint64_t carry_mp = (uint64_t)(r0 >> 64);
+            detail::unroll<n - 1>([&](auto jm) {
+                constexpr size_t j = jm + 1;
+                uint128 s = (uint128)a_i * b.limbs[j] + t[j] + carry_ab;
+                carry_ab = (uint64_t)(s >> 64);
+                uint128 r = (uint128)m * kModulus.limbs[j] + (uint64_t)s +
+                            carry_mp;
+                t[j - 1] = (uint64_t)r;
+                carry_mp = (uint64_t)(r >> 64);
+            });
+            uint128 top = (uint128)t[n] + carry_ab + carry_mp;
+            t[n - 1] = (uint64_t)top;
+            t[n] = (uint64_t)(top >> 64);
+        });
         Repr r;
-        for (size_t i = 0; i < n; ++i) r.limbs[i] = t[i];
+        detail::unroll<n>([&](auto i) { r.limbs[i] = t[i]; });
         if (t[n] != 0 || r >= kModulus) r.sub_assign(kModulus);
         return r;
     }

@@ -1,22 +1,25 @@
 /**
  * @file
- * Minimal fork-join parallelism for prover kernels.
+ * Minimal data parallelism for prover kernels.
  *
- * parallel_for splits [0, n) into per-thread ranges; worker threads
+ * parallel_for splits [0, n) into per-thread ranges executed on a
+ * persistent worker pool (ff/thread_pool.hpp) — the calling thread
+ * participates, so calls never wait on a busy pool. Worker threads
  * migrate their thread-local modmul counters back to the caller so the
  * Table-1 instrumentation stays exact under parallel execution. Field
  * arithmetic is exact, so results are bit-identical to serial runs as
- * long as callers merge per-range partial results deterministically.
+ * long as callers merge per-range partial results deterministically;
+ * the chunk partition depends only on (n, workers, min_chunk), never on
+ * which thread runs a chunk.
  */
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <thread>
-#include <vector>
 
 #include "ff/counters.hpp"
+#include "ff/thread_pool.hpp"
 
 namespace zkspeed::ff {
 
@@ -28,23 +31,9 @@ parallel_threads()
     return n;
 }
 
-/**
- * Thread-local worker budget; 0 defers to the global parallel_threads().
- *
- * A runtime worker proving one job while other workers prove theirs sets
- * a budget on its own thread (see WorkerBudgetScope) so the kernels it
- * calls fan out to its share of the cores only. Being thread-local, the
- * budget needs no synchronisation and cannot race the way mutating the
- * global from concurrent proofs would.
- */
-inline size_t &
-worker_budget()
-{
-    thread_local size_t n = 0;
-    return n;
-}
-
-/** Worker count after applying the calling thread's budget override. */
+/** Worker count after applying the calling thread's budget override.
+ * worker_budget() (ff/thread_pool.hpp) is the thread-local override a
+ * runtime worker sets for its own proof; 0 defers to the global. */
 inline size_t
 effective_parallelism()
 {
@@ -70,29 +59,11 @@ parallel_for(size_t n, const std::function<void(size_t, size_t)> &fn,
         return;
     }
     size_t chunks = std::min(workers, (n + min_chunk - 1) / min_chunk);
-    size_t per = (n + chunks - 1) / chunks;
-    std::atomic<uint64_t> migrated_fr{0}, migrated_fq{0};
-    std::vector<std::thread> threads;
-    threads.reserve(chunks);
-    for (size_t c = 0; c < chunks; ++c) {
-        size_t begin = c * per;
-        size_t end = std::min(n, begin + per);
-        if (begin >= end) break;
-        threads.emplace_back([&, begin, end] {
-            // Kernels never nest parallel_for today, but if one ever
-            // does, its inner loops must run inline rather than fork a
-            // second level of threads.
-            worker_budget() = 1;
-            ModmulScope scope;
-            fn(begin, end);
-            migrated_fr += scope.fr_delta();
-            migrated_fq += scope.fq_delta();
-        });
+    if (chunks <= 1) {
+        fn(0, n);
+        return;
     }
-    for (auto &t : threads) t.join();
-    // Migrate worker-thread counter deltas into the caller's counters.
-    modmul_counters().counts[0] += migrated_fr.load();
-    modmul_counters().counts[1] += migrated_fq.load();
+    WorkerPool::instance().run(n, fn, chunks);
 }
 
 /** RAII override of the worker count (tests and benches). */
@@ -114,7 +85,9 @@ class ParallelismGuard
  * ParallelismGuard this touches no shared state, so concurrent proofs
  * on different threads can carve up the machine without racing: a pool
  * of W runtime workers on C cores gives each worker a budget of about
- * C / W and the per-proof kernels stay within it.
+ * C / W and the per-proof kernels stay within it. Budgets bound the
+ * number of chunks a call enqueues on the shared WorkerPool, so a
+ * budgeted proof still uses at most its share of threads at a time.
  */
 class WorkerBudgetScope
 {

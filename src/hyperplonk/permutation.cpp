@@ -14,20 +14,24 @@ build_permutation_oracles(const CircuitIndex &index, const Witness &witness,
     PermutationOracles out;
 
     // Construct N&D: elementwise affine combinations of witness, identity
-    // and permutation MLEs (one multiplication per element per table; the
-    // id_j term folds into an incrementing constant).
+    // and permutation MLEs. The id_j term folds into an incrementing
+    // constant; each parallel range re-seats it with one multiply at its
+    // start (beta * (j*n + begin)), so chunking adds a handful of muls
+    // per worker range but every element's value is chunk-independent.
     {
         ProfileRegion reg("Construct N & D");
         for (size_t j = 0; j < 3; ++j) {
             out.n_parts[j] = std::make_shared<Mle>(mu);
             out.d_parts[j] = std::make_shared<Mle>(mu);
-            Fr id_term = beta * Fr::from_uint(j * n) + gamma;
-            for (size_t i = 0; i < n; ++i) {
-                (*out.n_parts[j])[i] = witness.w[j][i] + id_term;
-                (*out.d_parts[j])[i] =
-                    witness.w[j][i] + beta * index.sigma[j][i] + gamma;
-                id_term += beta;
-            }
+            ff::parallel_for(n, [&](size_t begin, size_t end) {
+                Fr id_term = beta * Fr::from_uint(j * n + begin) + gamma;
+                for (size_t i = begin; i < end; ++i) {
+                    (*out.n_parts[j])[i] = witness.w[j][i] + id_term;
+                    (*out.d_parts[j])[i] =
+                        witness.w[j][i] + beta * index.sigma[j][i] + gamma;
+                    id_term += beta;
+                }
+            });
         }
         reg.add_bytes_in(2 * 3 * n * kFrBytes);   // w_j and sigma_j reads
         reg.add_bytes_out(6 * n * kFrBytes);      // N1..3, D1..3 writes

@@ -43,8 +43,11 @@ sumcheck_prove(const VirtualPolynomial &vp, Transcript &transcript,
     const size_t d = std::max<size_t>(vp.max_degree(), 1);
     const size_t num_mles = vp.mles().size();
 
-    // Working copies of the tables; the originals stay intact.
+    // Working copies of the tables; the originals stay intact. The
+    // scratch vectors are the fold destinations, swapped with the live
+    // tables every round (allocated once, shrink-resized thereafter).
     std::vector<std::vector<Fr>> tables(num_mles);
+    std::vector<std::vector<Fr>> scratch(num_mles);
     for (size_t m = 0; m < num_mles; ++m) tables[m] = vp.mles()[m]->evals();
 
     SumcheckProverResult out;
@@ -98,19 +101,26 @@ sumcheck_prove(const VirtualPolynomial &vp, Transcript &transcript,
         Fr r = transcript.challenge_fr("sumcheck_r");
         out.challenges.push_back(r);
         out.proof.round_evals.push_back(std::move(acc));
-        // MLE Update (Eq. 2) on every table, out of place so parallel
-        // chunks never write entries another chunk still reads.
+        // MLE Update (Eq. 2), batched: all tables fold in ONE
+        // parallel_for over the flattened (mle, pair) index space, so a
+        // round costs a single pool dispatch instead of num_mles of
+        // them and short tables still fill worker chunks. Folds write
+        // into per-MLE ping-pong scratch (out of place, so chunks never
+        // write entries another chunk still reads), then swap.
         ff::ModmulScope update_scope;
-        for (size_t m = 0; m < num_mles; ++m) {
-            auto &t = tables[m];
-            std::vector<Fr> next(pairs);
-            ff::parallel_for(pairs, [&](size_t begin, size_t end) {
-                for (size_t i = begin; i < end; ++i) {
-                    next[i] = t[2 * i] + (t[2 * i + 1] - t[2 * i]) * r;
+        for (size_t m = 0; m < num_mles; ++m) scratch[m].resize(pairs);
+        ff::parallel_for(
+            num_mles * pairs,
+            [&](size_t begin, size_t end) {
+                for (size_t idx = begin; idx < end; ++idx) {
+                    const size_t m = idx / pairs;
+                    const size_t i = idx % pairs;
+                    const auto &t = tables[m];
+                    scratch[m][i] = t[2 * i] + (t[2 * i + 1] - t[2 * i]) * r;
                 }
-            });
-            t = std::move(next);
-        }
+            },
+            std::max<size_t>(size_t(64), 4096 / std::max<size_t>(num_mles, 1)));
+        for (size_t m = 0; m < num_mles; ++m) tables[m].swap(scratch[m]);
         if (costs != nullptr) {
             costs->update_modmuls += update_scope.total_delta();
             costs->update_bytes_in += num_mles * len * 32;

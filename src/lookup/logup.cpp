@@ -156,27 +156,35 @@ build_helper_oracles(const Mle &q_lookup, const Mle &table_tag,
     LookupOracles o;
     o.h_f = std::make_shared<Mle>(mu);
     o.h_t = std::make_shared<Mle>(mu);
-    // Denominators for both helpers, inverted in one batch each (a zero
-    // denominator — probability ~n/r over lambda — stays zero, yielding
-    // an invalid proof rather than a crash).
+    // Denominators for both helpers, inverted chunk-batched in parallel
+    // (a zero denominator — probability ~n/r over lambda — stays zero,
+    // yielding an invalid proof rather than a crash). All three passes
+    // are elementwise, so any chunking gives identical results; the
+    // inversion runs on parallel_batch_inverse's fixed grid so the
+    // modmul counts are identical across thread counts too.
     std::vector<Fr> den_f(n), den_t(n);
-    for (size_t i = 0; i < n; ++i) {
-        den_f[i] = lambda + fold_tagged(q_lookup[i], (*wires[0])[i],
-                                        (*wires[1])[i], (*wires[2])[i],
-                                        gamma);
-        den_t[i] = lambda + fold_tagged(table_tag[i], table[0][i],
-                                        table[1][i], table[2][i], gamma);
-    }
-    ff::batch_inverse(den_f);
-    ff::batch_inverse(den_t);
-    for (size_t i = 0; i < n; ++i) {
-        if (!q_lookup[i].is_zero()) {
-            (*o.h_f)[i] = q_lookup[i] * den_f[i];
+    ff::parallel_for(n, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+            den_f[i] = lambda + fold_tagged(q_lookup[i], (*wires[0])[i],
+                                            (*wires[1])[i], (*wires[2])[i],
+                                            gamma);
+            den_t[i] = lambda + fold_tagged(table_tag[i], table[0][i],
+                                            table[1][i], table[2][i],
+                                            gamma);
         }
-        if (!m[i].is_zero()) {
-            (*o.h_t)[i] = m[i] * den_t[i];
+    });
+    ff::parallel_batch_inverse(den_f);
+    ff::parallel_batch_inverse(den_t);
+    ff::parallel_for(n, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+            if (!q_lookup[i].is_zero()) {
+                (*o.h_f)[i] = q_lookup[i] * den_f[i];
+            }
+            if (!m[i].is_zero()) {
+                (*o.h_t)[i] = m[i] * den_t[i];
+            }
         }
-    }
+    });
     return o;
 }
 

@@ -196,6 +196,150 @@ TEST(Msm, TreeSumMatchesSequential)
     }
 }
 
+TEST(Msm, SizeMismatchThrowsStructuredError)
+{
+    // A silent identity here turned a caller bug into a wrong-but-
+    // valid-looking commitment (the PR 8 bugfix); every entry point
+    // must throw with both lengths attached.
+    std::vector<G1Affine> pts(3, g1_generator().to_affine());
+    std::vector<Fr> scalars(2, Fr::one());
+    try {
+        msm(pts, scalars);
+        FAIL() << "msm accepted mismatched spans";
+    } catch (const MsmSizeError &e) {
+        EXPECT_EQ(e.points, 3u);
+        EXPECT_EQ(e.scalars, 2u);
+        EXPECT_NE(std::string(e.what()).find("mismatch"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(msm_sparse(pts, scalars), MsmSizeError);
+    EXPECT_THROW(msm_naive(pts, scalars), MsmSizeError);
+    EXPECT_THROW(msm_reference(pts, scalars), MsmSizeError);
+    // Empty inputs are fine (identity), not an error.
+    EXPECT_TRUE(msm(std::span<const G1Affine>(), std::span<const Fr>())
+                    .is_identity());
+}
+
+TEST(Msm, WindowClampBoundaries)
+{
+    // window >= 64 used to hit uint64_t(1) << w UB; any out-of-range
+    // value must clamp into [kMinWindowBits, kMaxWindowBits] and still
+    // produce the correct result.
+    std::mt19937_64 rng(77);
+    const size_t n = 33;
+    std::vector<G1Affine> pts(n);
+    std::vector<Fr> scalars(n);
+    G1 acc = g1_generator();
+    for (size_t i = 0; i < n; ++i) {
+        pts[i] = acc.to_affine();
+        acc = acc.dbl() + g1_generator();
+        scalars[i] = Fr::random(rng);
+    }
+    G1 want = msm_naive(pts, scalars);
+    for (unsigned w : {1u, 2u, 3u, 15u, 16u, 17u, 63u, 64u, 65u, 1000u}) {
+        EXPECT_EQ(msm(pts, scalars, w), want) << "window " << w;
+        EXPECT_EQ(msm_reference(pts, scalars, w), want) << "window " << w;
+    }
+}
+
+TEST(Msm, SignedDigitAdversarialScalars)
+{
+    // Scalars chosen to stress the signed-digit recoding: 0, 1, r-1
+    // (every digit maximal after recoding), single set bits at window
+    // boundaries, digits exactly at +/- 2^{w-1}, and long carry chains
+    // (0xFFFF... patterns propagate a carry across every window).
+    std::mt19937_64 rng(78);
+    std::vector<Fr> special;
+    special.push_back(Fr::zero());
+    special.push_back(Fr::one());
+    special.push_back(-Fr::one());  // r - 1
+    for (unsigned k : {1u, 7u, 8u, 63u, 64u, 127u, 128u, 254u}) {
+        auto bits = Fr::Repr(0);
+        bits.limbs[k / 64] = uint64_t(1) << (k % 64);
+        special.push_back(Fr::from_repr(bits));  // 2^k < r for k <= 254
+    }
+    for (unsigned w = 2; w <= 13; ++w) {
+        special.push_back(Fr::from_uint(uint64_t(1) << (w - 1)));      // +half
+        special.push_back(Fr::from_uint((uint64_t(1) << (w - 1)) + 1));
+        special.push_back(Fr::from_uint((uint64_t(1) << w) - 1));      // carry
+    }
+    auto all_ones = Fr::Repr(0);
+    for (size_t l = 0; l < 3; ++l) all_ones.limbs[l] = ~uint64_t(0);
+    special.push_back(Fr::from_repr(all_ones));  // 2^192 - 1 < r
+
+    std::vector<G1Affine> pts(special.size());
+    G1 acc = g1_generator();
+    for (size_t i = 0; i < pts.size(); ++i) {
+        pts[i] = acc.to_affine();
+        acc = acc.dbl() + g1_generator();
+    }
+    G1 want = msm_naive(pts, special);
+    for (unsigned w : {0u, 2u, 5u, 8u, 13u}) {
+        EXPECT_EQ(msm(pts, special, w), want) << "window " << w;
+    }
+    EXPECT_EQ(msm_reference(pts, special), want);
+}
+
+TEST(Msm, DuplicateAndNegatedPoints)
+{
+    // Duplicate points land in the same bucket and force the affine
+    // batch kernel through its doubling branch (equal x, equal y);
+    // P next to -P with equal scalars forces the cancellation branch
+    // (equal x, opposite y). Identity points must decompose to nothing.
+    std::mt19937_64 rng(79);
+    G1Affine p = g1_generator().mul(Fr::from_uint(5)).to_affine();
+    G1Affine q = g1_generator().mul(Fr::from_uint(9)).to_affine();
+    G1Affine minus_p = p.neg();
+
+    std::vector<G1Affine> pts;
+    std::vector<Fr> scalars;
+    // 64 copies of p with the same scalar: every window reduces a
+    // bucket run of equal points (doubling ladder).
+    Fr s = Fr::random(rng);
+    for (int i = 0; i < 64; ++i) {
+        pts.push_back(p);
+        scalars.push_back(s);
+    }
+    // P and -P with the same scalar: cancels to identity pairwise.
+    for (int i = 0; i < 7; ++i) {
+        pts.push_back(p);
+        scalars.push_back(s);
+        pts.push_back(minus_p);
+        scalars.push_back(s);
+    }
+    // A few distinct points and an explicit identity point.
+    pts.push_back(q);
+    scalars.push_back(Fr::random(rng));
+    pts.push_back(G1Affine::identity());
+    scalars.push_back(Fr::random(rng));
+
+    G1 want = msm_naive(pts, scalars);
+    for (unsigned w : {0u, 2u, 4u, 9u}) {
+        EXPECT_EQ(msm(pts, scalars, w), want) << "window " << w;
+    }
+    zkspeed::curve::MsmStats st;
+    EXPECT_EQ(msm_sparse(pts, scalars, &st), want);
+}
+
+TEST(Msm, SignedKernelMatchesReferenceKernel)
+{
+    // The frozen pre-PR 8 kernel doubles as an independent oracle for
+    // the signed-digit path on larger random instances.
+    std::mt19937_64 rng(80);
+    for (size_t n : {100u, 1000u, 4097u}) {
+        std::vector<G1Affine> pts(n);
+        std::vector<Fr> scalars(n);
+        G1 acc = g1_generator();
+        for (size_t i = 0; i < n; ++i) {
+            pts[i] = acc.to_affine();
+            acc = acc.dbl() + g1_generator();
+            scalars[i] = Fr::random(rng);
+        }
+        EXPECT_EQ(msm(pts, scalars), msm_reference(pts, scalars))
+            << "n = " << n;
+    }
+}
+
 TEST(Fq2Tower, FieldAxioms)
 {
     std::mt19937_64 rng(17);

@@ -163,6 +163,46 @@ TYPED_TEST(FieldTest, BatchInverse)
     }
 }
 
+TYPED_TEST(FieldTest, UnrolledCiosMatchesSchoolbookReference)
+{
+    // The fused, compile-time-unrolled CIOS multiplier (PR 8) against
+    // the obviously-correct path: widen to 2N limbs, schoolbook
+    // multiply, long-divide by p. Also pins the worst-case operands
+    // (p-1)^2 and values with all-ones limbs that maximise the carry
+    // chains the fusion reorders.
+    using F = TypeParam;
+    using Wide = zkspeed::ff::BigInt<2 * F::kLimbs>;
+    auto reference_mul = [](const F &a, const F &b) {
+        Wide prod = a.to_repr().mul_wide(b.to_repr());
+        Wide q, r;
+        zkspeed::ff::divmod(prod, zkspeed::ff::widen<2 * F::kLimbs>(
+                                      F::kModulus),
+                            q, r);
+        typename F::Repr lo;
+        for (size_t i = 0; i < F::kLimbs; ++i) lo.limbs[i] = r.limbs[i];
+        return lo;
+    };
+
+    std::mt19937_64 rng(55);
+    std::vector<F> specials = {F::zero(), F::one(), -F::one(),
+                               F::one() + F::one()};
+    auto maxlimbs = typename F::Repr(0);
+    for (size_t i = 0; i + 1 < F::kLimbs; ++i) {
+        maxlimbs.limbs[i] = ~uint64_t(0);
+    }
+    specials.push_back(F::from_repr(maxlimbs));
+    for (const F &a : specials) {
+        for (const F &b : specials) {
+            EXPECT_EQ((a * b).to_repr(), reference_mul(a, b));
+        }
+    }
+    for (int it = 0; it < 200; ++it) {
+        F a = F::random(rng), b = F::random(rng);
+        EXPECT_EQ((a * b).to_repr(), reference_mul(a, b));
+        EXPECT_EQ(a.square().to_repr(), reference_mul(a, a));
+    }
+}
+
 TEST(FrSpecific, ModulusValue)
 {
     EXPECT_EQ(Fr::kModulus.to_hex(),

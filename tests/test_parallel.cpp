@@ -99,6 +99,65 @@ TEST(Parallel, ProofsIdenticalAcrossThreadCounts)
     EXPECT_TRUE(hyperplonk::verify(vk, publics, p2));
 }
 
+TEST(Parallel, ConcurrentCallersShareThePersistentPool)
+{
+    // Multiple caller threads with per-thread worker budgets must all
+    // complete on the shared WorkerPool (PR 8), with each caller's
+    // modmul counters exact: worker-side muls migrate to the caller
+    // that enqueued the chunk, never to a bystander.
+    constexpr size_t kCallers = 4;
+    constexpr size_t kPerCaller = 20000;
+    std::vector<uint64_t> deltas(kCallers, 0);
+    std::vector<int> ok(kCallers, 0);
+    std::vector<std::thread> callers;
+    for (size_t c = 0; c < kCallers; ++c) {
+        callers.emplace_back([&, c] {
+            ff::WorkerBudgetScope budget(3);
+            std::mt19937_64 rng(700 + c);
+            std::vector<Fr> xs(kPerCaller);
+            for (auto &x : xs) x = Fr::random(rng);
+            ff::ModmulScope scope;
+            std::vector<Fr> out(xs.size());
+            ff::parallel_for(xs.size(), [&](size_t b, size_t e) {
+                for (size_t i = b; i < e; ++i) out[i] = xs[i] * xs[i];
+            }, 64);
+            deltas[c] = scope.fr_delta();
+            bool all = true;
+            for (size_t i = 0; i < xs.size(); ++i) {
+                all = all && out[i] == xs[i] * xs[i];
+            }
+            ok[c] = all ? 1 : 2;
+        });
+    }
+    for (auto &t : callers) t.join();
+    for (size_t c = 0; c < kCallers; ++c) {
+        EXPECT_EQ(ok[c], 1) << "caller " << c << " results";
+        // The delta is read before the verification pass, so each
+        // caller observed exactly its own kPerCaller squarings;
+        // migration must not leak muls between concurrent callers.
+        EXPECT_EQ(deltas[c], kPerCaller) << "caller " << c;
+    }
+}
+
+TEST(Parallel, PoolReusesWorkersAcrossCalls)
+{
+    // The pool must not spawn fresh threads per call (the seed library
+    // did): after a burst of parallel_for calls at the same budget, the
+    // worker count stays bounded by that budget's needs.
+    ParallelismGuard guard(4);
+    std::vector<Fr> xs(50000, Fr::one());
+    for (int rep = 0; rep < 20; ++rep) {
+        std::vector<Fr> out(xs.size());
+        ff::parallel_for(xs.size(), [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i) out[i] = xs[i] + xs[i];
+        }, 64);
+    }
+    // 4-way calls need at most 3 pool workers (the caller runs one
+    // chunk stream itself); concurrent-caller tests may have grown the
+    // pool further, but 20 bursts must not add 20x workers.
+    EXPECT_LE(ff::WorkerPool::instance().worker_count(), size_t(16));
+}
+
 TEST(Parallel, SrsGenerationIdenticalAcrossThreadCounts)
 {
     auto gen = [&](size_t threads) {
