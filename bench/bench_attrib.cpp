@@ -1,0 +1,549 @@
+/**
+ * @file
+ * Perf-regression ledger + drift gate (DESIGN.md §13).
+ *
+ * Two jobs, one binary:
+ *
+ *  1. Baseline ledger: bench/baselines.json pins, per scenario, the
+ *     *exact* deterministic counters of the proving pipeline — gate
+ *     counts, prove modmuls (Fr/Fq, measured with parallelism pinned to
+ *     1 so the counts are machine-independent) and proof bytes. Any
+ *     divergence is a silent perf/correctness regression and fails the
+ *     build naming the scenario and field.
+ *
+ *  2. Drift gate: runs the same roster through the conformance Harness
+ *     and checks the kernel-level attribution report (obs/attrib):
+ *     every prover kernel must join a modeled cycle count, no kernel
+ *     may be unmapped, and each kernel's share-of-runtime drift ratio
+ *     must stay inside the ledger's per-kernel bounds.
+ *
+ * It also merges every sibling BENCH_*.json artifact (the unified
+ * "zkspeed-bench-v1" envelopes the other benches emit) into one
+ * BENCH_summary.json and fails if any merged gate failed.
+ *
+ * Usage:
+ *   bench_attrib [--quick] [--baselines PATH] [--json PATH]
+ *                [--summary PATH] [--attrib PATH]
+ *   bench_attrib --write-baselines PATH   # regenerate the ledger
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/attrib.hpp"
+#include "obs/jsonv.hpp"
+#include "report.hpp"
+#include "runtime/service.hpp"
+#include "scenarios/harness.hpp"
+#include "scenarios/registry.hpp"
+
+using namespace zkspeed;
+using obs::jsonv::Value;
+
+namespace {
+
+/** The pinned roster: honest, deterministic families covering the
+ * plain, sparse, lookup and Merkle paths. Order is the ledger order. */
+struct RosterEntry {
+    const char *family;
+    size_t log_size;
+    uint64_t seed;
+};
+
+const std::vector<RosterEntry> &
+roster()
+{
+    static const std::vector<RosterEntry> r = {
+        {"rescue-chain", 5, 101},
+        {"sparse-arithmetic", 5, 102},
+        {"merkle-membership", 5, 103},
+        {"range-via-lookup", 5, 104},
+    };
+    return r;
+}
+
+/** Exact per-scenario counters (every field deterministic). */
+struct Counters {
+    std::string name;
+    uint64_t log_size = 0;
+    uint64_t seed = 0;
+    uint64_t num_gates = 0;
+    uint64_t active_gates = 0;
+    uint64_t lookup_gates = 0;
+    uint64_t modmul_fr = 0;
+    uint64_t modmul_fq = 0;
+    uint64_t proof_bytes = 0;
+};
+
+scenarios::Spec
+make_spec(const RosterEntry &e)
+{
+    scenarios::Spec spec;
+    spec.name = e.family;
+    spec.log_size = e.log_size;
+    spec.seed = e.seed;
+    return spec;
+}
+
+/**
+ * Measure the roster's exact counters: prove each scenario through a
+ * single-worker service with ff parallelism pinned to 1, so the modmul
+ * counts are independent of the host's core count.
+ */
+std::vector<Counters>
+measure_counters()
+{
+    runtime::ServiceConfig cfg;
+    cfg.num_workers = 1;
+    cfg.total_parallelism = 1;
+    cfg.record_trace = false;
+    runtime::ProofService service(cfg);
+    std::vector<Counters> out;
+    for (const RosterEntry &e : roster()) {
+        auto inst = scenarios::Registry::global().build(make_spec(e));
+        runtime::JobRequest req;
+        req.request_id = e.seed;
+        req.circuit = inst.circuit;
+        req.witness = inst.witness;
+        auto resp = service.submit(req).get();
+        Counters c;
+        c.name = e.family;
+        c.log_size = e.log_size;
+        c.seed = e.seed;
+        c.num_gates = inst.circuit.num_gates();
+        c.active_gates = bench::active_gates(inst.circuit);
+        c.lookup_gates = inst.circuit.num_lookup_gates();
+        c.modmul_fr = resp.metrics.modmul_fr;
+        c.modmul_fq = resp.metrics.modmul_fq;
+        c.proof_bytes = resp.ok() ? resp.proof.size() : 0;
+        out.push_back(std::move(c));
+    }
+    service.shutdown();
+    return out;
+}
+
+/** Run the roster through the conformance harness and return the
+ * attribution report (spans joined against the chip-model replay). */
+obs::attrib::Report
+measure_attrib(std::string *attrib_json)
+{
+    scenarios::Harness harness;
+    for (const RosterEntry &e : roster()) {
+        auto inst = scenarios::Registry::global().build(make_spec(e));
+        auto res = harness.run(inst);
+        if (!res.conformant) {
+            std::fprintf(stderr, "bench_attrib: scenario %s is not "
+                         "conformant: %s\n", e.family, res.detail.c_str());
+        }
+    }
+    auto suite = harness.finish();
+    if (attrib_json != nullptr) *attrib_json = suite.attrib_json;
+    return suite.attrib;
+}
+
+Value
+counters_json(const Counters &c)
+{
+    Value o = Value::object();
+    o.set("name", Value::of(c.name));
+    o.set("log_size", Value::of(c.log_size));
+    o.set("seed", Value::of(c.seed));
+    o.set("num_gates", Value::of(c.num_gates));
+    o.set("active_gates", Value::of(c.active_gates));
+    o.set("lookup_gates", Value::of(c.lookup_gates));
+    o.set("modmul_fr", Value::of(c.modmul_fr));
+    o.set("modmul_fq", Value::of(c.modmul_fq));
+    o.set("proof_bytes", Value::of(c.proof_bytes));
+    return o;
+}
+
+std::string
+render_baselines(const std::vector<Counters> &counters,
+                 const obs::attrib::Report &attrib)
+{
+    Value doc = Value::object();
+    doc.set("schema", Value::of("zkspeed-baselines-v1"));
+    Value scen = Value::array();
+    for (const Counters &c : counters) scen.push(counters_json(c));
+    doc.set("scenarios", std::move(scen));
+    Value drift = Value::object();
+    // Default bounds are deliberately generous: drift compares *shares*
+    // of runtime (machine speed cancels), but relative kernel speeds
+    // still vary across hosts and run-to-run at these sizes.
+    Value dflt = Value::array();
+    dflt.push(Value::of(1.0 / 64.0));
+    dflt.push(Value::of(64.0));
+    drift.set("default", std::move(dflt));
+    Value kernels = Value::object();
+    for (const auto &row : attrib.kernels) {
+        if (row.drift_ratio <= 0) continue;
+        Value b = Value::array();
+        b.push(Value::of(row.drift_ratio / 32.0));
+        b.push(Value::of(row.drift_ratio * 32.0));
+        kernels.set(row.kernel, std::move(b));
+    }
+    drift.set("kernels", std::move(kernels));
+    doc.set("drift", std::move(drift));
+    return doc.render();
+}
+
+std::optional<std::string>
+read_file(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+struct GateLog {
+    std::vector<bench::Gate> gates;
+    bool all_ok = true;
+
+    void
+    check(const std::string &name, bool ok, const std::string &detail)
+    {
+        gates.push_back({name, ok, detail});
+        if (!ok) {
+            all_ok = false;
+            std::fprintf(stderr, "bench_attrib: GATE FAILED %s: %s\n",
+                         name.c_str(), detail.c_str());
+        }
+    }
+};
+
+std::string
+u64s(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/** Diff measured counters against the ledger, one gate per scenario. */
+void
+check_counters(const Value &baselines,
+               const std::vector<Counters> &measured, GateLog &log)
+{
+    const Value *scen = baselines.find("scenarios");
+    if (scen == nullptr || !scen->is_array()) {
+        log.check("baselines_schema", false,
+                  "baselines.json has no scenarios array");
+        return;
+    }
+    log.check("baseline_roster_size",
+              scen->items.size() == measured.size(),
+              "ledger has " + u64s(scen->items.size()) +
+                  " scenario(s), roster has " + u64s(measured.size()));
+    for (const Value &b : scen->items) {
+        const Value *name = b.find("name");
+        if (name == nullptr || !name->is_string()) continue;
+        const Counters *m = nullptr;
+        for (const Counters &c : measured) {
+            if (c.name == name->str) m = &c;
+        }
+        if (m == nullptr) {
+            log.check("baseline_scenario_present", false,
+                      "ledger scenario '" + name->str +
+                          "' is not in the roster");
+            continue;
+        }
+        auto field = [&](const char *key, uint64_t got) {
+            const Value *want = b.find(key);
+            if (want == nullptr || !want->is_integer()) {
+                log.check("baseline_field", false,
+                          name->str + "." + key + " missing from ledger");
+                return;
+            }
+            log.check(
+                "baseline:" + name->str + ":" + key,
+                want->as_u64() == got,
+                name->str + "." + key + ": ledger " +
+                    u64s(want->as_u64()) + ", measured " + u64s(got));
+        };
+        field("num_gates", m->num_gates);
+        field("active_gates", m->active_gates);
+        field("lookup_gates", m->lookup_gates);
+        field("modmul_fr", m->modmul_fr);
+        field("modmul_fq", m->modmul_fq);
+        field("proof_bytes", m->proof_bytes);
+    }
+}
+
+/** Gate the attribution report against the ledger's drift bounds. */
+void
+check_drift(const Value &baselines, const obs::attrib::Report &attrib,
+            GateLog &log)
+{
+    log.check("attrib_jobs_joined",
+              attrib.jobs_joined == roster().size(),
+              "joined " + u64s(attrib.jobs_joined) + " of " +
+                  u64s(roster().size()) + " roster job(s)");
+    log.check("attrib_modeled_cycles", attrib.modeled_total_cycles > 0,
+              "attribution joined no modeled cycles");
+    std::string unmapped;
+    for (const std::string &k : attrib.unmapped_kernels) {
+        if (!unmapped.empty()) unmapped += ", ";
+        unmapped += k;
+    }
+    log.check("attrib_no_unmapped_kernels",
+              attrib.unmapped_kernels.empty(),
+              "prover kernel(s) missing from the attribution group "
+              "table: " + unmapped);
+
+    double lo = 1.0 / 64.0, hi = 64.0;
+    const Value *drift = baselines.find("drift");
+    const Value *kernels = nullptr;
+    if (drift != nullptr && drift->is_object()) {
+        const Value *dflt = drift->find("default");
+        if (dflt != nullptr && dflt->is_array() &&
+            dflt->items.size() == 2) {
+            lo = dflt->items[0].as_double();
+            hi = dflt->items[1].as_double();
+        }
+        kernels = drift->find("kernels");
+    }
+    for (const auto &row : attrib.kernels) {
+        log.check("attrib_kernel_modeled:" + row.kernel,
+                  row.modeled_cycles > 0,
+                  "measured kernel '" + row.kernel +
+                      "' has no modeled cycles");
+        log.check("attrib_kernel_measured:" + row.kernel,
+                  row.measured_seconds > 0,
+                  "modeled kernel '" + row.kernel +
+                      "' was never measured");
+        if (row.modeled_cycles == 0 || row.measured_seconds <= 0) {
+            continue;
+        }
+        double klo = lo, khi = hi;
+        if (kernels != nullptr && kernels->is_object()) {
+            const Value *b = kernels->find(row.kernel);
+            if (b != nullptr && b->is_array() && b->items.size() == 2) {
+                klo = b->items[0].as_double();
+                khi = b->items[1].as_double();
+            }
+        }
+        char detail[160];
+        std::snprintf(detail, sizeof(detail),
+                      "kernel '%s' drift %.4f vs bounds [%.4f, %.4f]",
+                      row.kernel.c_str(), row.drift_ratio, klo, khi);
+        log.check("attrib_drift:" + row.kernel,
+                  row.drift_ratio >= klo && row.drift_ratio <= khi,
+                  detail);
+    }
+}
+
+/** Merge sibling BENCH_*.json envelopes into one summary document. */
+void
+merge_bench_reports(const std::string &summary_path,
+                    const std::string &own_json, GateLog &log)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> paths;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(".", ec)) {
+        if (!entry.is_regular_file()) continue;
+        std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) != 0 ||
+            name.size() < 6 + 5 ||
+            name.compare(name.size() - 5, 5, ".json") != 0) {
+            continue;
+        }
+        if (name == fs::path(summary_path).filename().string()) continue;
+        if (!own_json.empty() &&
+            name == fs::path(own_json).filename().string()) {
+            continue;
+        }
+        paths.push_back(name);
+    }
+    std::sort(paths.begin(), paths.end());
+
+    Value doc = Value::object();
+    doc.set("schema", Value::of("zkspeed-bench-summary-v1"));
+    Value benches = Value::array();
+    bool merged_ok = true;
+    size_t merged = 0;
+    for (const std::string &p : paths) {
+        auto text = read_file(p);
+        auto parsed =
+            text.has_value() ? obs::jsonv::parse(*text) : std::nullopt;
+        const Value *schema =
+            parsed.has_value() ? parsed->find("schema") : nullptr;
+        bool envelope_ok =
+            schema != nullptr && schema->is_string() &&
+            schema->str == "zkspeed-bench-v1" &&
+            parsed->find("bench") != nullptr &&
+            parsed->find("metrics") != nullptr &&
+            parsed->find("gates") != nullptr;
+        log.check("bench_envelope:" + p, envelope_ok,
+                  p + ": zkspeed-bench-v1 envelope check");
+        if (!envelope_ok) continue;
+        if (!bench::gates_passed(*parsed)) {
+            merged_ok = false;
+            log.check("bench_gates:" + p, false,
+                      p + " reports a failed gate");
+        }
+        Value entry = Value::object();
+        entry.set("file", Value::of(p));
+        entry.set("report", std::move(*parsed));
+        benches.push(std::move(entry));
+        ++merged;
+    }
+    doc.set("benches", std::move(benches));
+    doc.set("merged", Value::of(uint64_t(merged)));
+    doc.set("all_gates_passed", Value::of(merged_ok && log.all_ok));
+    if (!obs::write_file(summary_path, doc.render())) {
+        log.check("bench_summary_written", false,
+                  "cannot write " + summary_path);
+        return;
+    }
+    std::printf("merged %zu bench report(s) into %s\n", merged,
+                summary_path.c_str());
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baselines_path = "baselines.json";
+    std::string write_path;
+    std::string json_path;
+    std::string summary_path;
+    std::string attrib_path;
+    for (int i = 1; i < argc; ++i) {
+        auto arg = [&](const char *flag) {
+            if (std::strcmp(argv[i], flag) != 0) return false;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a path\n", flag);
+                std::exit(2);
+            }
+            return true;
+        };
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            // The roster is already CI-sized; accepted for symmetry
+            // with the other benches' flags.
+        } else if (arg("--baselines")) {
+            baselines_path = argv[++i];
+        } else if (arg("--write-baselines")) {
+            write_path = argv[++i];
+        } else if (arg("--json")) {
+            json_path = argv[++i];
+        } else if (arg("--summary")) {
+            summary_path = argv[++i];
+        } else if (arg("--attrib")) {
+            attrib_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_attrib [--quick] [--baselines P] "
+                         "[--json P] [--summary P] [--attrib P] | "
+                         "--write-baselines P\n");
+            return 2;
+        }
+    }
+
+    bench::title("Exact baseline counters (parallelism pinned to 1)");
+    auto counters = measure_counters();
+    bench::Table t({{"Scenario", 20}, {"Gates", 8}, {"Active", 8},
+                    {"Lookup", 8}, {"Fr muls", 10}, {"Fq muls", 10},
+                    {"Proof B", 9}});
+    for (const Counters &c : counters) {
+        t.row({c.name, bench::fmt_int(c.num_gates),
+               bench::fmt_int(c.active_gates),
+               bench::fmt_int(c.lookup_gates),
+               bench::fmt_int(c.modmul_fr), bench::fmt_int(c.modmul_fq),
+               bench::fmt_int(c.proof_bytes)});
+    }
+
+    bench::title("Kernel drift vs chip model (conformance harness)");
+    std::string attrib_json;
+    auto attrib = measure_attrib(&attrib_json);
+    bench::Table dt({{"Kernel", 20}, {"Meas ms", 10}, {"Model Mcyc", 12},
+                     {"Meas %", 8}, {"Model %", 9}, {"Drift", 8}});
+    for (const auto &row : attrib.kernels) {
+        dt.row({row.kernel, bench::fmt(row.measured_seconds * 1e3),
+                bench::fmt(double(row.modeled_cycles) / 1e6),
+                bench::fmt(100.0 * row.measured_share, 1),
+                bench::fmt(100.0 * row.modeled_share, 1),
+                bench::fmt(row.drift_ratio)});
+    }
+    std::printf("%zu job(s) joined, %zu modeled-only, %zu "
+                "measured-only, %zu/%zu span(s) joined\n",
+                attrib.jobs_joined, attrib.jobs_modeled_only,
+                attrib.jobs_measured_only, attrib.spans_joined,
+                attrib.spans_seen);
+    if (!attrib_path.empty()) {
+        if (!obs::write_file(attrib_path, attrib_json)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         attrib_path.c_str());
+            return 2;
+        }
+        std::printf("wrote %s\n", attrib_path.c_str());
+    }
+
+    if (!write_path.empty()) {
+        if (!obs::write_file(write_path,
+                             render_baselines(counters, attrib))) {
+            std::fprintf(stderr, "cannot write %s\n", write_path.c_str());
+            return 2;
+        }
+        std::printf("wrote %s\n", write_path.c_str());
+        return 0;
+    }
+
+    GateLog log;
+    auto ledger_text = read_file(baselines_path);
+    if (!ledger_text.has_value()) {
+        std::fprintf(stderr,
+                     "bench_attrib: cannot read %s (run with "
+                     "--write-baselines to create it)\n",
+                     baselines_path.c_str());
+        return 2;
+    }
+    auto ledger = obs::jsonv::parse(*ledger_text);
+    const Value *schema =
+        ledger.has_value() ? ledger->find("schema") : nullptr;
+    if (schema == nullptr || !schema->is_string() ||
+        schema->str != "zkspeed-baselines-v1") {
+        std::fprintf(stderr, "bench_attrib: %s is not a "
+                     "zkspeed-baselines-v1 ledger\n",
+                     baselines_path.c_str());
+        return 2;
+    }
+    check_counters(*ledger, counters, log);
+    check_drift(*ledger, attrib, log);
+    if (!summary_path.empty()) {
+        merge_bench_reports(summary_path, json_path, log);
+    }
+
+    if (!json_path.empty()) {
+        Value metrics = Value::object();
+        metrics.set("scenarios", Value::of(uint64_t(counters.size())));
+        metrics.set("jobs_joined", Value::of(attrib.jobs_joined));
+        metrics.set("spans_joined", Value::of(attrib.spans_joined));
+        metrics.set("kernels", Value::of(attrib.kernels.size()));
+        metrics.set("measured_total_seconds",
+                    Value::of(attrib.measured_total_seconds));
+        metrics.set("modeled_total_cycles",
+                    Value::of(attrib.modeled_total_cycles));
+        if (!bench::write_unified_report(json_path, "attrib", metrics,
+                                         log.gates)) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 2;
+        }
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (!log.all_ok) {
+        std::fprintf(stderr, "FAILED: baseline/drift gate(s) failed "
+                     "(see above)\n");
+        return 1;
+    }
+    std::printf("all baseline and drift gates passed\n");
+    return 0;
+}

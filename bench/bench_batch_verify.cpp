@@ -182,36 +182,35 @@ main(int argc, char **argv)
                 bad_result.stats.bisection_steps, bisect_ms);
 
     if (json_path != nullptr) {
-        FILE *f = std::fopen(json_path, "w");
-        if (f == nullptr) {
+        using obs::jsonv::Value;
+        Value metrics = Value::object();
+        metrics.set("n", Value::of(uint64_t(n)));
+        metrics.set("mu", Value::of(uint64_t(mu)));
+        metrics.set("single_total_ms", Value::of(single_ms));
+        metrics.set("batch_total_ms", Value::of(batch_ms));
+        metrics.set("speedup", Value::of(speedup));
+        metrics.set("single_proofs_per_s",
+                    Value::of(1000.0 * double(n) / single_ms));
+        metrics.set("batch_proofs_per_s",
+                    Value::of(1000.0 * double(n) / batch_ms));
+        metrics.set("folded_msm_points",
+                    Value::of(uint64_t(result.stats.msm_points)));
+        metrics.set("multi_pairing_pairs",
+                    Value::of(uint64_t(result.stats.num_pairings)));
+        metrics.set("bisection_probes",
+                    Value::of(uint64_t(bad_result.stats.bisection_steps)));
+        metrics.set("bisection_ms", Value::of(bisect_ms));
+        metrics.set("corrupted_isolated", Value::of(isolated));
+        metrics.set("all_valid_accepted", Value::of(all_ok));
+        if (!bench::write_unified_report(
+                json_path, "batch_verify", std::move(metrics),
+                {{"all_valid_accepted", all_ok,
+                  "every honest proof accepted by the folded check"},
+                 {"corrupted_isolated", isolated,
+                  "bisection isolated the corrupted proof"}})) {
             std::fprintf(stderr, "cannot write %s\n", json_path);
             return 2;
         }
-        std::fprintf(
-            f,
-            "{\n"
-            "  \"bench\": \"batch_verify\",\n"
-            "  \"n\": %zu,\n"
-            "  \"mu\": %zu,\n"
-            "  \"single_total_ms\": %.3f,\n"
-            "  \"batch_total_ms\": %.3f,\n"
-            "  \"speedup\": %.3f,\n"
-            "  \"single_proofs_per_s\": %.1f,\n"
-            "  \"batch_proofs_per_s\": %.1f,\n"
-            "  \"folded_msm_points\": %zu,\n"
-            "  \"multi_pairing_pairs\": %zu,\n"
-            "  \"bisection_probes\": %zu,\n"
-            "  \"bisection_ms\": %.3f,\n"
-            "  \"corrupted_isolated\": %s,\n"
-            "  \"all_valid_accepted\": %s\n"
-            "}\n",
-            n, mu, single_ms, batch_ms, speedup,
-            1000.0 * double(n) / single_ms,
-            1000.0 * double(n) / batch_ms, result.stats.msm_points,
-            result.stats.num_pairings, bad_result.stats.bisection_steps,
-            bisect_ms, isolated ? "true" : "false",
-            all_ok ? "true" : "false");
-        std::fclose(f);
         std::printf("wrote %s\n", json_path);
     }
 

@@ -189,38 +189,36 @@ main(int argc, char **argv)
         std::printf("wrote %s\n", report_path);
     }
     if (json_path != nullptr) {
-        FILE *f = std::fopen(json_path, "w");
-        if (f == nullptr) {
+        using obs::jsonv::Value;
+        Value metrics = Value::object();
+        metrics.set("mode", Value::of(mode));
+        metrics.set("seed", Value::of(int64_t(seed)));
+        metrics.set("windows", Value::of(uint64_t(rep.windows.size())));
+        metrics.set("window_ms", Value::of(window_ms));
+        metrics.set("offered_total", Value::of(uint64_t(rep.offered_total)));
+        metrics.set("completed_total",
+                    Value::of(uint64_t(rep.completed_total)));
+        metrics.set("errors_total", Value::of(uint64_t(rep.errors_total)));
+        metrics.set("shed_total", Value::of(uint64_t(rep.shed_total)));
+        metrics.set("offered_qps", Value::of(rep.offered_qps));
+        metrics.set("achieved_qps", Value::of(rep.achieved_qps));
+        Value knee = Value::object();
+        knee.set("found", Value::of(rep.knee_found));
+        knee.set("window", Value::of(uint64_t(rep.knee_window)));
+        knee.set("qps_offered", Value::of(rep.knee_qps_offered));
+        knee.set("qps_achieved", Value::of(rep.knee_qps_achieved));
+        metrics.set("knee", std::move(knee));
+        metrics.set("slo_ok", Value::of(rep.slo_ok));
+        std::vector<bench::Gate> gates;
+        if (enforce) {
+            gates.push_back({"slo_ok", rep.slo_ok,
+                             "every post-warmup window met its SLO"});
+        }
+        if (!bench::write_unified_report(json_path, "loadgen",
+                                         std::move(metrics), gates)) {
             std::fprintf(stderr, "cannot write %s\n", json_path);
             return 2;
         }
-        std::fprintf(
-            f,
-            "{\n"
-            "  \"bench\": \"loadgen\",\n"
-            "  \"mode\": \"%s\",\n"
-            "  \"seed\": %ld,\n"
-            "  \"windows\": %zu,\n"
-            "  \"window_ms\": %g,\n"
-            "  \"offered_total\": %llu,\n"
-            "  \"completed_total\": %llu,\n"
-            "  \"errors_total\": %llu,\n"
-            "  \"shed_total\": %llu,\n"
-            "  \"offered_qps\": %.3f,\n"
-            "  \"achieved_qps\": %.3f,\n"
-            "  \"knee\": {\"found\": %s, \"window\": %zu, "
-            "\"qps_offered\": %.3f, \"qps_achieved\": %.3f},\n"
-            "  \"slo_ok\": %s\n"
-            "}\n",
-            mode.c_str(), seed, rep.windows.size(), window_ms,
-            (unsigned long long)rep.offered_total,
-            (unsigned long long)rep.completed_total,
-            (unsigned long long)rep.errors_total,
-            (unsigned long long)rep.shed_total, rep.offered_qps,
-            rep.achieved_qps, rep.knee_found ? "true" : "false",
-            rep.knee_window, rep.knee_qps_offered, rep.knee_qps_achieved,
-            rep.slo_ok ? "true" : "false");
-        std::fclose(f);
         std::printf("wrote %s\n", json_path);
     }
 

@@ -171,39 +171,41 @@ main(int argc, char **argv)
               constraint_ratio >= 2.0 && prove_speedup > 1.0;
 
     if (json_path != nullptr) {
-        FILE *f = std::fopen(json_path, "w");
-        if (f == nullptr) {
+        using obs::jsonv::Value;
+        auto side_json = [](const auto &side) {
+            Value o = Value::object();
+            o.set("active_gates", Value::of(uint64_t(side.raw_gates)));
+            o.set("mu", Value::of(uint64_t(side.mu)));
+            o.set("prove_ms", Value::of(side.prove_ms));
+            o.set("verify_ms", Value::of(side.verify_ms));
+            o.set("chip_ms", Value::of(side.chip_ms));
+            o.set("proof_bytes", Value::of(uint64_t(side.proof_bytes)));
+            return o;
+        };
+        Value metrics = Value::object();
+        metrics.set("values", Value::of(uint64_t(values)));
+        metrics.set("bits", Value::of(uint64_t(bits)));
+        metrics.set("gate_based", side_json(gate_side));
+        metrics.set("lookup", side_json(lookup_side));
+        metrics.set("constraint_ratio", Value::of(constraint_ratio));
+        metrics.set("active_gate_ratio", Value::of(raw_ratio));
+        metrics.set("prover_speedup", Value::of(prove_speedup));
+        metrics.set("both_verified",
+                    Value::of(gate_side.verified && lookup_side.verified));
+        metrics.set("meets_2x_constraint_target",
+                    Value::of(constraint_ratio >= 2.0));
+        if (!bench::write_unified_report(
+                json_path, "lookup", std::move(metrics),
+                {{"both_verified",
+                  gate_side.verified && lookup_side.verified,
+                  "both proof paths verified"},
+                 {"meets_2x_constraint_target", constraint_ratio >= 2.0,
+                  "lookup bank cuts padded constraints >= 2x"},
+                 {"prover_faster", prove_speedup > 1.0,
+                  "lookup prover beats the gate-based prover"}})) {
             std::fprintf(stderr, "cannot write %s\n", json_path);
             return 2;
         }
-        std::fprintf(
-            f,
-            "{\n"
-            "  \"bench\": \"lookup\",\n"
-            "  \"values\": %zu,\n"
-            "  \"bits\": %u,\n"
-            "  \"gate_based\": {\"active_gates\": %zu, \"mu\": %zu, "
-            "\"prove_ms\": %.3f, \"verify_ms\": %.3f, \"chip_ms\": %.5f, "
-            "\"proof_bytes\": %zu},\n"
-            "  \"lookup\": {\"active_gates\": %zu, \"mu\": %zu, "
-            "\"prove_ms\": %.3f, \"verify_ms\": %.3f, \"chip_ms\": %.5f, "
-            "\"proof_bytes\": %zu},\n"
-            "  \"constraint_ratio\": %.3f,\n"
-            "  \"active_gate_ratio\": %.3f,\n"
-            "  \"prover_speedup\": %.3f,\n"
-            "  \"both_verified\": %s,\n"
-            "  \"meets_2x_constraint_target\": %s\n"
-            "}\n",
-            values, bits, gate_side.raw_gates, gate_side.mu,
-            gate_side.prove_ms, gate_side.verify_ms, gate_side.chip_ms,
-            gate_side.proof_bytes, lookup_side.raw_gates, lookup_side.mu,
-            lookup_side.prove_ms, lookup_side.verify_ms,
-            lookup_side.chip_ms, lookup_side.proof_bytes,
-            constraint_ratio, raw_ratio, prove_speedup,
-            (gate_side.verified && lookup_side.verified) ? "true"
-                                                         : "false",
-            constraint_ratio >= 2.0 ? "true" : "false");
-        std::fclose(f);
         std::printf("wrote %s\n", json_path);
     }
 

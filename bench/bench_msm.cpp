@@ -185,33 +185,37 @@ main(int argc, char **argv)
     bool ok = match_ref && match_naive && match_parallel && speedup >= 2.0;
 
     if (json_path != nullptr) {
-        FILE *f = std::fopen(json_path, "w");
-        if (f == nullptr) {
+        using obs::jsonv::Value;
+        auto side_json = [](const Side &s) {
+            Value o = Value::object();
+            o.set("best_ms", Value::of(s.best_ms));
+            o.set("fq_muls", Value::of(uint64_t(s.fq_muls)));
+            return o;
+        };
+        Value metrics = Value::object();
+        metrics.set("points", Value::of(uint64_t(n)));
+        metrics.set("reps", Value::of(uint64_t(reps)));
+        metrics.set("reference", side_json(side_ref));
+        metrics.set("signed_affine", side_json(side_new));
+        metrics.set("speedup", Value::of(speedup));
+        metrics.set("fq_mul_ratio", Value::of(mul_ratio));
+        metrics.set("matches_reference", Value::of(match_ref));
+        metrics.set("matches_naive_prefix", Value::of(match_naive));
+        metrics.set("serial_matches_threaded", Value::of(match_parallel));
+        metrics.set("meets_2x_target", Value::of(speedup >= 2.0));
+        if (!bench::write_unified_report(
+                json_path, "msm", std::move(metrics),
+                {{"matches_reference", match_ref,
+                  "signed-affine MSM agrees with the reference"},
+                 {"matches_naive_prefix", match_naive,
+                  "prefix agrees with the naive MSM"},
+                 {"serial_matches_threaded", match_parallel,
+                  "threaded result and modmul count match serial"},
+                 {"meets_2x_target", speedup >= 2.0,
+                  "overhauled MSM at least 2x the reference"}})) {
             std::fprintf(stderr, "cannot write %s\n", json_path);
             return 2;
         }
-        std::fprintf(
-            f,
-            "{\n"
-            "  \"bench\": \"msm\",\n"
-            "  \"points\": %zu,\n"
-            "  \"reps\": %zu,\n"
-            "  \"reference\": {\"best_ms\": %.3f, \"fq_muls\": %llu},\n"
-            "  \"signed_affine\": {\"best_ms\": %.3f, \"fq_muls\": %llu},\n"
-            "  \"speedup\": %.3f,\n"
-            "  \"fq_mul_ratio\": %.3f,\n"
-            "  \"matches_reference\": %s,\n"
-            "  \"matches_naive_prefix\": %s,\n"
-            "  \"serial_matches_threaded\": %s,\n"
-            "  \"meets_2x_target\": %s\n"
-            "}\n",
-            n, reps, side_ref.best_ms,
-            (unsigned long long)side_ref.fq_muls, side_new.best_ms,
-            (unsigned long long)side_new.fq_muls, speedup, mul_ratio,
-            match_ref ? "true" : "false", match_naive ? "true" : "false",
-            match_parallel ? "true" : "false",
-            speedup >= 2.0 ? "true" : "false");
-        std::fclose(f);
         std::printf("wrote %s\n", json_path);
     }
 

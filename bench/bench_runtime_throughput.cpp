@@ -218,36 +218,42 @@ main(int argc, char **argv)
                 best_on.p50_ms, best_on.p95_ms, best_on.p99_ms);
 
     if (json_path != nullptr) {
-        FILE *f = std::fopen(json_path, "w");
-        if (f == nullptr) {
+        using obs::jsonv::Value;
+        Value metrics = Value::object();
+        metrics.set("batch", Value::of(uint64_t(kBatch)));
+        metrics.set("mu", Value::of(uint64_t(kMu)));
+        metrics.set("workers", Value::of(uint64_t(kGateWorkers)));
+        metrics.set("reps", Value::of(uint64_t(reps)));
+        Value inst = Value::object();
+        inst.set("wall_ms_min", Value::of(min_on));
+        inst.set("proofs_per_s",
+                 Value::of(1000.0 * double(kBatch) / min_on));
+        inst.set("p50_ms", Value::of(best_on.p50_ms));
+        inst.set("p95_ms", Value::of(best_on.p95_ms));
+        inst.set("p99_ms", Value::of(best_on.p99_ms));
+        inst.set("mean_latency_ms", Value::of(best_on.mean_latency_ms));
+        metrics.set("instrumented", std::move(inst));
+        Value uninst = Value::object();
+        uninst.set("wall_ms_min", Value::of(min_off));
+        uninst.set("proofs_per_s",
+                   Value::of(1000.0 * double(kBatch) / min_off));
+        metrics.set("uninstrumented", std::move(uninst));
+        metrics.set("percentile_max_relative_error",
+                    Value::of(obs::HistogramBuckets::kMaxRelativeError));
+        metrics.set("overhead_pct", Value::of(overhead_pct));
+        metrics.set("overhead_budget_pct", Value::of(kBudgetPct));
+        metrics.set("within_overhead_budget", Value::of(within_budget));
+        char detail[128];
+        std::snprintf(detail, sizeof(detail),
+                      "overhead %+.2f%% (budget <%.0f%%)", overhead_pct,
+                      kBudgetPct);
+        if (!bench::write_unified_report(
+                json_path, "runtime_throughput", std::move(metrics),
+                {{"telemetry_overhead_under_budget", within_budget,
+                  detail}})) {
             std::fprintf(stderr, "cannot write %s\n", json_path);
             return 2;
         }
-        std::fprintf(
-            f,
-            "{\n"
-            "  \"bench\": \"runtime_throughput\",\n"
-            "  \"batch\": %zu,\n"
-            "  \"mu\": %zu,\n"
-            "  \"workers\": %zu,\n"
-            "  \"reps\": %zu,\n"
-            "  \"instrumented\": {\"wall_ms_min\": %.3f, "
-            "\"proofs_per_s\": %.3f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
-            "\"p99_ms\": %.3f, \"mean_latency_ms\": %.3f},\n"
-            "  \"uninstrumented\": {\"wall_ms_min\": %.3f, "
-            "\"proofs_per_s\": %.3f},\n"
-            "  \"percentile_max_relative_error\": %.6f,\n"
-            "  \"overhead_pct\": %.3f,\n"
-            "  \"overhead_budget_pct\": %.1f,\n"
-            "  \"within_overhead_budget\": %s\n"
-            "}\n",
-            kBatch, kMu, kGateWorkers, reps, min_on,
-            1000.0 * double(kBatch) / min_on, best_on.p50_ms,
-            best_on.p95_ms, best_on.p99_ms, best_on.mean_latency_ms,
-            min_off, 1000.0 * double(kBatch) / min_off,
-            obs::HistogramBuckets::kMaxRelativeError, overhead_pct,
-            kBudgetPct, within_budget ? "true" : "false");
-        std::fclose(f);
         std::printf("wrote %s\n", json_path);
     }
 

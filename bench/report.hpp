@@ -1,7 +1,11 @@
 /**
  * @file
  * Shared console-report helpers for the reproduction benches: fixed
- * width tables, geometric means and paper-vs-measured annotations.
+ * width tables, geometric means and paper-vs-measured annotations —
+ * plus the unified machine-readable envelope every bench's --json
+ * output goes through ("zkspeed-bench-v1"), so bench_attrib can merge
+ * the per-bench artifacts into one BENCH_summary.json and CI can gate
+ * on their `gates` uniformly.
  */
 #pragma once
 
@@ -11,6 +15,8 @@
 #include <vector>
 
 #include "hyperplonk/circuit.hpp"
+#include "obs/export.hpp"  // write_file
+#include "obs/jsonv.hpp"
 
 namespace zkspeed::bench {
 
@@ -93,6 +99,66 @@ geomean(const std::vector<double> &xs)
     double acc = 0;
     for (double x : xs) acc += std::log(x);
     return std::exp(acc / double(xs.size()));
+}
+
+/** One pass/fail criterion a bench enforced (exit status mirrors the
+ * conjunction of its gates; CI reads them out of the envelope). */
+struct Gate {
+    std::string name;
+    bool passed = false;
+    std::string detail;
+};
+
+/**
+ * Wrap a bench's metrics in the unified envelope:
+ *   {"schema":"zkspeed-bench-v1","bench":...,"metrics":{...},
+ *    "gates":[{"name","passed","detail"},...]}
+ * `metrics` must be an object; its keys are bench-specific.
+ */
+inline obs::jsonv::Value
+unified_report(const std::string &bench_name, obs::jsonv::Value metrics,
+               const std::vector<Gate> &gates)
+{
+    using obs::jsonv::Value;
+    Value doc = Value::object();
+    doc.set("schema", Value::of("zkspeed-bench-v1"));
+    doc.set("bench", Value::of(bench_name));
+    doc.set("metrics", std::move(metrics));
+    Value gs = Value::array();
+    for (const Gate &g : gates) {
+        Value o = Value::object();
+        o.set("name", Value::of(g.name));
+        o.set("passed", Value::of(g.passed));
+        o.set("detail", Value::of(g.detail));
+        gs.push(std::move(o));
+    }
+    doc.set("gates", std::move(gs));
+    return doc;
+}
+
+/** Render + write a unified envelope; returns write success. */
+inline bool
+write_unified_report(const std::string &path,
+                     const std::string &bench_name,
+                     obs::jsonv::Value metrics,
+                     const std::vector<Gate> &gates)
+{
+    return obs::write_file(
+        path,
+        unified_report(bench_name, std::move(metrics), gates).render());
+}
+
+/** Every gate in an envelope holds (vacuously true when none). */
+inline bool
+gates_passed(const obs::jsonv::Value &envelope)
+{
+    const obs::jsonv::Value *gs = envelope.find("gates");
+    if (gs == nullptr || !gs->is_array()) return false;
+    for (const auto &g : gs->items) {
+        const obs::jsonv::Value *p = g.find("passed");
+        if (p == nullptr || !p->is_bool() || !p->boolean) return false;
+    }
+    return true;
 }
 
 }  // namespace zkspeed::bench

@@ -33,9 +33,11 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/window.hpp"
+#include "obs/attrib.hpp"
 #include "runtime/service.hpp"
 #include "scenarios/registry.hpp"
 #include "sim/replay.hpp"
+#include "sim/tech.hpp"
 
 using namespace zkspeed;
 using namespace zkspeed::runtime;
@@ -355,6 +357,38 @@ main(int argc, char **argv)
                         "%llu proof(s) checked\n",
                         report.sw_verify_ms, report.chip_verify_ms,
                         (unsigned long long)report.proofs_verified);
+        }
+
+        // Kernel-level cost attribution: join the prover spans still
+        // in the trace ring with the replay's per-kernel cycles, export
+        // the drift gauges and write ATTRIB_report.json. Re-dump the
+        // env artifacts afterwards so ZKSPEED_METRICS_OUT includes the
+        // drift series.
+        obs::attrib::Options aopts;
+        aopts.clock_ghz = sim::kClockGhz;
+        auto attrib =
+            obs::attrib::build(obs::TraceRecorder::global().events(),
+                               sim::attrib_jobs(report), aopts);
+        obs::attrib::export_to_registry(attrib,
+                                        obs::MetricsRegistry::global());
+        const char *attrib_out = std::getenv("ZKSPEED_ATTRIB_OUT");
+        const char *attrib_path =
+            attrib_out != nullptr && *attrib_out != '\0'
+                ? attrib_out
+                : "ATTRIB_report.json";
+        obs::write_file(attrib_path, obs::attrib::render_json(attrib));
+        obs::dump_artifacts_to_env();
+        std::printf("\nattribution: %zu job(s) joined, %zu kernel "
+                    "group(s), report written to %s\n",
+                    attrib.jobs_joined, attrib.kernels.size(),
+                    attrib_path);
+        for (const auto &row : attrib.kernels) {
+            std::printf("  %-18s %8.2f ms measured  %8.2f ms modeled  "
+                        "drift %.2f\n",
+                        row.kernel.c_str(), row.measured_seconds * 1e3,
+                        double(row.modeled_cycles) /
+                            (sim::kClockGhz * 1e6),
+                        row.drift_ratio);
         }
     }
     return ok > 0 && round_trip_ok ? 0 : 1;

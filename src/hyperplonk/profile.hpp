@@ -180,10 +180,19 @@ class ProfileRegion
         auto end = std::chrono::steady_clock::now();
         double secs =
             std::chrono::duration<double>(end - start_).count();
-        Profiler::instance().record(name_, scope_.total_delta(), bytes_in_,
+        uint64_t fr = scope_.fr_delta();
+        uint64_t fq = scope_.fq_delta();
+        Profiler::instance().record(name_, fr + fq, bytes_in_,
                                     bytes_out_, secs);
-        obs::Span::record_complete(std::move(name_), "prover", start_,
-                                   end);
+        // Per-span counter deltas ride as numeric span attributes:
+        // rendered into Chrome-trace `args` for Perfetto, and joined
+        // per kernel per job by obs/attrib.
+        obs::Span::record_complete(
+            std::move(name_), "prover", start_, end, 0, 0,
+            {{"modmul_fr", double(fr)},
+             {"modmul_fq", double(fq)},
+             {"bytes_in", double(bytes_in_)},
+             {"bytes_out", double(bytes_out_)}});
     }
 
     ProfileRegion(const ProfileRegion &) = delete;

@@ -121,6 +121,7 @@ profiled_sumcheck(const std::string &name, const VirtualPolynomial &vp,
                   hash::Transcript &tr)
 {
     obs::Span span(name, "prover");
+    ff::ModmulScope scope;
     SumcheckCosts costs;
     auto t0 = std::chrono::steady_clock::now();
     auto res = sumcheck_prove(vp, tr, &costs);
@@ -128,6 +129,14 @@ profiled_sumcheck(const std::string &name, const VirtualPolynomial &vp,
                       std::chrono::steady_clock::now() - t0)
                       .count();
     record_sumcheck(name, costs, secs);
+    // Mirror ProfileRegion's span attributes so obs/attrib joins
+    // sumcheck spans the same way (rounds + MLE updates together,
+    // matching the modeled sumcheck kernel's scope).
+    span.arg("modmul_fr", double(scope.fr_delta()));
+    span.arg("modmul_fq", double(scope.fq_delta()));
+    span.arg("bytes_in", double(costs.round_bytes_in +
+                                costs.update_bytes_in));
+    span.arg("bytes_out", double(costs.update_bytes_out));
     return res;
 }
 

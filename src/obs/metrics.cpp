@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <unordered_map>
 
@@ -193,7 +194,37 @@ MetricsRegistry &
 MetricsRegistry::global()
 {
     static MetricsRegistry reg;
+    static const bool info_init = [] {
+        register_build_info(reg);
+        return true;
+    }();
+    (void)info_init;
     return reg;
+}
+
+void
+register_build_info(MetricsRegistry &reg)
+{
+    auto env_or = [](const char *name, const char *fallback) {
+        const char *v = std::getenv(name);
+        return std::string(v != nullptr && *v != '\0' ? v : fallback);
+    };
+    // Info-style gauge: the value is always 1; the payload is the label
+    // set. `format` tracks the wire/serialization format version
+    // (proof/vk/key-cache magics); the soak knobs and trace-ring size
+    // make exported artifacts self-describing about the run that
+    // produced them.
+    MetricId id = reg.gauge(
+        "zkspeed_build_info",
+        {{"features", "lookup,keccak,loadgen,attrib"},
+         {"format", "v3"},
+         {"keccak_rounds", env_or("ZKSPEED_KECCAK_ROUNDS", "1")},
+         {"soak_mu_bump", env_or("ZKSPEED_SOAK_MU_BUMP", "0")},
+         {"soak_seeds", env_or("ZKSPEED_SOAK_SEEDS", "2")},
+         {"trace_ring", env_or("ZKSPEED_TRACE_RING", "16384")}},
+        "Static build/runtime identity (info-style gauge; value is "
+        "always 1)");
+    reg.set(id, 1.0);
 }
 
 MetricId

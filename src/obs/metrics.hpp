@@ -158,4 +158,14 @@ class MetricsRegistry
 /** Canonical `name{k="v",...}` used by exposition and Snapshot::find. */
 std::string format_series(const std::string &name, const LabelSet &labels);
 
+/**
+ * Register the static `zkspeed_build_info` info-style gauge on `reg`
+ * and set it to 1. The label set carries the identity payload: wire
+ * format version, enabled feature list and the soak/trace knobs read
+ * from the environment at first use. MetricsRegistry::global() calls
+ * this once on construction, so the series is present in every
+ * exposition; like every gauge it is zeroed (not dropped) by reset().
+ */
+void register_build_info(MetricsRegistry &reg);
+
 }  // namespace zkspeed::obs

@@ -71,10 +71,21 @@ TraceRecorder::TraceRecorder(size_t capacity)
     ring_.reserve(capacity_);
 }
 
+size_t
+TraceRecorder::env_capacity()
+{
+    const char *e = std::getenv("ZKSPEED_TRACE_RING");
+    if (e == nullptr || *e == '\0') return 16384;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(e, &end, 10);
+    if (end == e || *end != '\0' || v == 0) return 16384;
+    return size_t(v);
+}
+
 TraceRecorder &
 TraceRecorder::global()
 {
-    static TraceRecorder rec;
+    static TraceRecorder rec(env_capacity());
     static const bool telemetry_init = [] {
         MetricsRegistry::global().set(ring_telemetry().capacity,
                                       double(rec.capacity_));
@@ -212,6 +223,11 @@ TraceRecorder::render_chrome_json() const
         out += ",\"args\":{\"span\":" + std::to_string(ev.span_id);
         out += ",\"parent\":" + std::to_string(ev.parent_id);
         out += ",\"job\":" + std::to_string(ev.correlation_id);
+        for (const auto &[key, value] : ev.args) {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.17g", value);
+            out += ",\"" + json_escape(key) + "\":" + buf;
+        }
         out += "}}";
     }
     out += "]}";
@@ -257,6 +273,7 @@ Span::~Span()
     ev.dur_us = TraceRecorder::to_us(end) - ev.ts_us;
     ev.name = std::move(name_);
     ev.category = std::move(category_);
+    ev.args = std::move(args_);
     TraceRecorder::global().record(std::move(ev));
 }
 
@@ -264,7 +281,8 @@ void
 Span::record_complete(std::string name, std::string category,
                       std::chrono::steady_clock::time_point start,
                       std::chrono::steady_clock::time_point end,
-                      uint64_t correlation_id, uint64_t parent_id)
+                      uint64_t correlation_id, uint64_t parent_id,
+                      std::vector<std::pair<std::string, double>> args)
 {
     if (!enabled()) return;
     if (parent_id == 0) {
@@ -280,6 +298,7 @@ Span::record_complete(std::string name, std::string category,
     ev.dur_us = TraceRecorder::to_us(end) - ev.ts_us;
     ev.name = std::move(name);
     ev.category = std::move(category);
+    ev.args = std::move(args);
     TraceRecorder::global().record(std::move(ev));
 }
 

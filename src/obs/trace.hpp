@@ -39,6 +39,10 @@ struct SpanEvent {
     double dur_us = 0;
     std::string name;
     std::string category;
+    /** Numeric span attributes (per-span modmul deltas, byte counts).
+     * Rendered into the Chrome-trace `args` object so Perfetto shows
+     * them on span click; obs/attrib joins them to the chip model. */
+    std::vector<std::pair<std::string, double>> args;
 };
 
 class TraceRecorder
@@ -46,8 +50,15 @@ class TraceRecorder
   public:
     explicit TraceRecorder(size_t capacity = 16384);
 
-    /** The process-wide recorder every span lands in. */
+    /** The process-wide recorder every span lands in. Its capacity is
+     * `env_capacity()` — override with ZKSPEED_TRACE_RING. */
     static TraceRecorder &global();
+
+    /** Ring capacity requested by the environment: ZKSPEED_TRACE_RING
+     * parsed as a positive span count, or the 16384 default when the
+     * variable is unset or unparsable. The effective value is exported
+     * as `zkspeed_trace_ring_spans{kind="capacity"}`. */
+    static size_t env_capacity();
 
     /** Steady-clock zero point shared by every span in the process. */
     static std::chrono::steady_clock::time_point epoch();
@@ -104,15 +115,25 @@ class Span
     /** 0 when tracing is disabled. */
     uint64_t id() const { return id_; }
 
+    /** Attach a numeric attribute to this span (flushed with the event
+     * at destruction; no-op while tracing is disabled). */
+    void
+    arg(std::string key, double value)
+    {
+        if (active_) args_.emplace_back(std::move(key), value);
+    }
+
     /**
      * Record a retroactively-measured window. `parent_id` 0 means
-     * "current top of this thread's span stack" (0 if none).
+     * "current top of this thread's span stack" (0 if none). `args`
+     * are numeric span attributes (SpanEvent::args).
      */
     static void record_complete(
         std::string name, std::string category,
         std::chrono::steady_clock::time_point start,
         std::chrono::steady_clock::time_point end,
-        uint64_t correlation_id = 0, uint64_t parent_id = 0);
+        uint64_t correlation_id = 0, uint64_t parent_id = 0,
+        std::vector<std::pair<std::string, double>> args = {});
 
   private:
     std::string name_;
@@ -122,6 +143,7 @@ class Span
     uint64_t parent_id_ = 0;
     std::chrono::steady_clock::time_point start_;
     bool active_ = false;
+    std::vector<std::pair<std::string, double>> args_;
 };
 
 }  // namespace zkspeed::obs

@@ -120,6 +120,11 @@ struct JobResponse {
  */
 struct TraceEntry {
     JobKind kind = JobKind::prove;
+    /** Request id of the proved job — joins the replayed model cycles
+     * to this job's prover spans in obs/attrib (the service tags its
+     * prove spans with the same id as correlation id). Verify flushes
+     * fold several requests and keep 0. */
+    uint64_t request_id = 0;
     uint32_t num_vars = 0;
     /** Witness scalar population across the three wire MLEs (prove). */
     uint64_t zero_scalars = 0;

@@ -453,6 +453,7 @@ ProofService::process_prove(QueuedJob &job)
     if (cfg_.record_trace) {
         TraceEntry entry;
         entry.kind = JobKind::prove;
+        entry.request_id = req.request_id;
         entry.num_vars = uint32_t(req.circuit.num_vars);
         entry.prove_ms = resp.metrics.prove_ms;
         entry.key_cache_hit = cache_hit;

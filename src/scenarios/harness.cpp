@@ -1,9 +1,13 @@
 #include "scenarios/harness.hpp"
 
+#include <chrono>
+#include <cstdlib>
+
 #include "hyperplonk/serialize.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "scenarios/registry.hpp"
+#include "sim/tech.hpp"
 
 namespace zkspeed::scenarios {
 
@@ -15,7 +19,9 @@ namespace wire = runtime::wire;
 Harness::Harness(HarnessConfig cfg)
     : cfg_(cfg),
       service_(cfg.service),
-      client_keys_(cfg.service.key_cache_capacity, cfg.service.srs_seed)
+      client_keys_(cfg.service.key_cache_capacity, cfg.service.srs_seed),
+      trace_min_ts_us_(
+          obs::TraceRecorder::to_us(std::chrono::steady_clock::now()))
 {
 }
 
@@ -183,6 +189,23 @@ Harness::finish()
     if (cfg_.replay) {
         suite.replay = sim::replay_trace(service_.trace(),
                                          sim::DesignConfig::paper_default());
+        // Join the suite's prover spans against the replayed chip
+        // model, export the drift gauges *before* the telemetry capture
+        // below so they appear in the captured expositions, and write
+        // ATTRIB_report.json when asked to.
+        obs::attrib::Options aopts;
+        aopts.min_ts_us = trace_min_ts_us_;
+        aopts.clock_ghz = sim::kClockGhz;
+        suite.attrib =
+            obs::attrib::build(obs::TraceRecorder::global().events(),
+                               sim::attrib_jobs(suite.replay), aopts);
+        obs::attrib::export_to_registry(suite.attrib,
+                                        obs::MetricsRegistry::global());
+        suite.attrib_json = obs::attrib::render_json(suite.attrib);
+        const char *attrib_out = std::getenv("ZKSPEED_ATTRIB_OUT");
+        if (attrib_out != nullptr && *attrib_out != '\0') {
+            obs::write_file(attrib_out, suite.attrib_json);
+        }
     }
     if (cfg_.capture_telemetry) {
         // Snapshot after shutdown so the drained batch window and every

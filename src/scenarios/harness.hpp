@@ -24,6 +24,7 @@
 #pragma once
 
 #include "loadgen/loadgen.hpp"
+#include "obs/attrib.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/service.hpp"
 #include "scenarios/scenario.hpp"
@@ -85,6 +86,12 @@ struct SuiteResult {
     bool batch_matches_direct = false;
     /** Chip-model replay of the service trace (config.replay). */
     sim::ReplayReport replay;
+    /** Kernel-level cost attribution joining this suite's prover spans
+     * with the replayed chip model (config.replay; also exported as
+     * zkspeed_model_drift_ratio gauges before the telemetry capture
+     * below, and to $ZKSPEED_ATTRIB_OUT as ATTRIB_report.json). */
+    obs::attrib::Report attrib;
+    std::string attrib_json;  ///< rendered "zkspeed-attrib-v1" document
     runtime::ServiceMetrics service_metrics;
 
     /** Telemetry artifacts (config.capture_telemetry): a registry
@@ -116,6 +123,10 @@ class Harness
     runtime::KeyCache client_keys_;
     verifier::BatchVerifier batch_;
     std::vector<bool> predicted_;
+    /** Recorder timestamp at construction: scopes the attribution join
+     * to this harness's spans (the global ring accumulates across every
+     * suite the process runs). */
+    double trace_min_ts_us_ = 0;
 };
 
 /**

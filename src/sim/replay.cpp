@@ -41,10 +41,18 @@ replay_trace(const std::vector<runtime::TraceEntry> &trace,
     // Prove jobs with identical size, scalar statistics and lookup
     // shape (per-table bank heights included) have identical simulated
     // latency; memoise so a cache-friendly job stream (many repeats of
-    // few circuits) replays in O(distinct jobs).
+    // few circuits) replays in O(distinct jobs). The memo keeps the
+    // whole cycle breakdown: obs/attrib needs per-kernel cycles per
+    // job, not just the scalar latency.
+    struct Modeled {
+        double runtime_ms = 0;
+        uint64_t total_cycles = 0;
+        std::vector<std::pair<std::string, uint64_t>> kernel_cycles;
+        std::vector<std::pair<std::string, uint64_t>> step_cycles;
+    };
     std::map<std::tuple<uint32_t, uint64_t, uint64_t, uint64_t, uint64_t,
                         std::vector<uint64_t>>,
-             double>
+             Modeled>
         memo;
     for (const auto &entry : trace) {
         ReplayedJob job;
@@ -78,10 +86,22 @@ replay_trace(const std::vector<runtime::TraceEntry> &trace,
                 wl.lookup_gates = entry.lookup_gates;
                 wl.table_rows = entry.table_rows;
                 wl.table_row_counts = bank_shape;
-                it = memo.emplace(key, chip.run(wl).runtime_ms).first;
+                ChipReport rep = chip.run(wl);
+                Modeled m;
+                m.runtime_ms = rep.runtime_ms;
+                m.total_cycles = rep.total_cycles;
+                m.kernel_cycles.assign(rep.kernel_cycles.begin(),
+                                       rep.kernel_cycles.end());
+                m.step_cycles.assign(rep.step_cycles.begin(),
+                                     rep.step_cycles.end());
+                it = memo.emplace(key, std::move(m)).first;
             }
             job.sw_ms = entry.prove_ms;
-            job.chip_ms = it->second;
+            job.chip_ms = it->second.runtime_ms;
+            job.request_id = entry.request_id;
+            job.total_cycles = it->second.total_cycles;
+            job.kernel_cycles = it->second.kernel_cycles;
+            job.step_cycles = it->second.step_cycles;
             ++report.prove_jobs;
             report.sw_prove_ms += job.sw_ms;
             report.chip_prove_ms += job.chip_ms;
@@ -100,6 +120,27 @@ replay_trace(const std::vector<runtime::TraceEntry> &trace,
         report.speedup = report.sw_total_ms / report.chip_total_ms;
     }
     return report;
+}
+
+std::vector<obs::attrib::ModeledJob>
+attrib_jobs(const ReplayReport &report)
+{
+    std::vector<obs::attrib::ModeledJob> jobs;
+    for (const ReplayedJob &job : report.jobs) {
+        if (job.kind != runtime::JobKind::prove || job.request_id == 0) {
+            continue;
+        }
+        obs::attrib::ModeledJob m;
+        m.job_id = job.request_id;
+        m.mu = uint32_t(job.mu);
+        m.sw_ms = job.sw_ms;
+        m.chip_ms = job.chip_ms;
+        m.total_cycles = job.total_cycles;
+        m.kernel_cycles = job.kernel_cycles;
+        m.step_cycles = job.step_cycles;
+        jobs.push_back(std::move(m));
+    }
+    return jobs;
 }
 
 }  // namespace zkspeed::sim

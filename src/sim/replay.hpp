@@ -23,8 +23,11 @@
  */
 #pragma once
 
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/attrib.hpp"
 #include "runtime/job.hpp"
 #include "sim/config.hpp"
 
@@ -38,6 +41,14 @@ struct ReplayedJob {
     double chip_ms = 0;  ///< simulated zkSpeed latency
     /** VERIFY flushes: proofs decided by this unit of work. */
     uint32_t batch_size = 0;
+    /** Request id from the trace entry (prove jobs; verify flushes fold
+     * several requests and keep 0). Joins against prover span
+     * correlation ids in obs/attrib. */
+    uint64_t request_id = 0;
+    /** Modeled cycle breakdown (prove jobs only; empty for verify). */
+    uint64_t total_cycles = 0;
+    std::vector<std::pair<std::string, uint64_t>> kernel_cycles;
+    std::vector<std::pair<std::string, uint64_t>> step_cycles;
 };
 
 struct ReplayReport {
@@ -69,5 +80,13 @@ struct ReplayReport {
  */
 ReplayReport replay_trace(const std::vector<runtime::TraceEntry> &trace,
                           const DesignConfig &design);
+
+/**
+ * Adapt the prove jobs of a replay into the attribution engine's
+ * modeled-side input (obs/attrib.hpp). Jobs without a request id (old
+ * traces, verify flushes) are skipped — they can never join a span.
+ */
+std::vector<obs::attrib::ModeledJob> attrib_jobs(
+    const ReplayReport &report);
 
 }  // namespace zkspeed::sim

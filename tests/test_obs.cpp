@@ -647,6 +647,19 @@ TEST(ObsService, ExpositionExhaustive)
             << full << " missing from JSON";
     }
 
+    // Process-wide (non-service) series must be in both expositions
+    // too: the build-info identity gauge registered by global() and the
+    // trace-ring health series the global recorder exports.
+    for (const char *name :
+         {"zkspeed_build_info", "zkspeed_trace_ring_spans",
+          "zkspeed_trace_spans_dropped_total"}) {
+        EXPECT_NE(prom.find(name), std::string::npos)
+            << name << " missing from Prometheus text";
+        EXPECT_NE(json.find(std::string("\"name\":\"") + name + "\""),
+                  std::string::npos)
+            << name << " missing from JSON";
+    }
+
     // And the reverse direction: the service's own view must agree with
     // the registry (the derived-struct reconstruction cannot drift).
     auto m = service.metrics();
