@@ -365,6 +365,7 @@ merge_bench_reports(const std::string &summary_path,
 
     Value doc = Value::object();
     doc.set("schema", Value::of("zkspeed-bench-summary-v1"));
+    doc.set("build", obs::build_info_json());
     Value benches = Value::array();
     bool merged_ok = true;
     size_t merged = 0;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hyperplonk/circuit.hpp"
+#include "obs/build_info.hpp"
 #include "obs/export.hpp"  // write_file
 #include "obs/jsonv.hpp"
 
@@ -122,6 +123,7 @@ unified_report(const std::string &bench_name, obs::jsonv::Value metrics,
     using obs::jsonv::Value;
     Value doc = Value::object();
     doc.set("schema", Value::of("zkspeed-bench-v1"));
+    doc.set("build", obs::build_info_json());
     doc.set("bench", Value::of(bench_name));
     doc.set("metrics", std::move(metrics));
     Value gs = Value::array();

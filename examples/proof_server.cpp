@@ -30,6 +30,9 @@
 
 #include "hyperplonk/serialize.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/http.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/window.hpp"
@@ -96,16 +99,18 @@ demo_stream()
 }
 
 /**
- * ^C / SIGTERM: flush the ZKSPEED_METRICS_OUT / ZKSPEED_TRACE_OUT
- * artifacts before dying, so an interrupted run keeps its telemetry.
- * Not strictly async-signal-safe (the exporters allocate and lock),
- * but the alternative is losing the artifacts entirely — acceptable
- * for a demo driver on its way out.
+ * ^C / SIGTERM: flush every telemetry artifact (metrics, trace, log
+ * ring, attribution, flight snapshot) before dying, so an interrupted
+ * run keeps its telemetry. Not strictly async-signal-safe (the
+ * exporters allocate and lock), but the alternative is losing the
+ * artifacts entirely — acceptable for a demo driver on its way out.
+ * (Fatal signals — SIGSEGV/SIGABRT — go through the flight recorder's
+ * own handlers instead, which ARE async-signal-safe.)
  */
 void
 on_interrupt(int sig)
 {
-    obs::dump_artifacts_to_env();
+    obs::flush_all();
     std::signal(sig, SIG_DFL);
     std::raise(sig);
 }
@@ -115,7 +120,8 @@ read_file(const char *path)
 {
     FILE *f = std::fopen(path, "rb");
     if (!f) {
-        std::fprintf(stderr, "cannot open %s\n", path);
+        obs::logf(obs::LogLevel::error, "proof_server", 0,
+                  "cannot open %s", path);
         std::exit(2);
     }
     std::fseek(f, 0, SEEK_END);
@@ -123,7 +129,8 @@ read_file(const char *path)
     std::fseek(f, 0, SEEK_SET);
     std::vector<uint8_t> bytes(static_cast<size_t>(n), 0);
     if (std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
-        std::fprintf(stderr, "short read from %s\n", path);
+        obs::logf(obs::LogLevel::error, "proof_server", 0,
+                  "short read from %s", path);
         std::exit(2);
     }
     std::fclose(f);
@@ -142,7 +149,8 @@ main(int argc, char **argv)
 
     auto frames = wire::split_frames(stream);
     if (!frames.has_value()) {
-        std::fprintf(stderr, "input is not a valid frame stream\n");
+        obs::logf(obs::LogLevel::error, "proof_server", 0,
+                  "input is not a valid frame stream");
         return 2;
     }
     std::printf("proof_server: %zu request frame(s), %zu worker(s)\n\n",
@@ -150,11 +158,31 @@ main(int argc, char **argv)
 
     std::signal(SIGINT, on_interrupt);
     std::signal(SIGTERM, on_interrupt);
+    // Crash forensics: pre-serialized FLIGHT_report.json snapshot kept
+    // fresh from normal context, dumped async-signal-safely on
+    // SIGSEGV/SIGABRT (path override: ZKSPEED_FLIGHT_OUT).
+    obs::flight::install();
 
     ServiceConfig cfg;
     cfg.num_workers = workers;
     cfg.queue_capacity = 32;
     ProofService service(cfg);
+
+    // Live scrape plane (ZKSPEED_HTTP_PORT; 0 = ephemeral). /readyz
+    // answers from the service's readiness formula.
+    obs::set_readiness_provider([&service] {
+        auto r = service.readiness();
+        return obs::Readiness{r.ready, r.detail};
+    });
+    auto http = obs::HttpServer::start_from_env();
+    if (http != nullptr) {
+        std::printf("http: serving telemetry on 127.0.0.1:%u\n",
+                    unsigned(http->port()));
+        if (const char *pf = std::getenv("ZKSPEED_HTTP_PORT_FILE");
+            pf != nullptr && *pf != '\0') {
+            obs::write_file(pf, std::to_string(http->port()) + "\n");
+        }
+    }
 
     // Live stats line every 500 ms while jobs are in flight: windowed
     // rates and interval percentiles from successive registry snapshots
@@ -176,11 +204,15 @@ main(int argc, char **argv)
             auto delta = obs::WindowDelta::between(snap, prev, dt);
             auto hist = delta.merged_histogram(ok_sel);
             if (hist.count > 0) {
-                std::fprintf(stderr,
-                             "[live] %.1f jobs/s  p50 %.1f ms  p99 "
-                             "%.1f ms  queue %zu\n",
-                             double(hist.count) / dt, hist.quantile(0.50),
-                             hist.quantile(0.99), service.queue_depth());
+                char line[160];
+                std::snprintf(line, sizeof(line),
+                              "%.1f jobs/s  p50 %.1f ms  p99 %.1f ms  "
+                              "queue %zu",
+                              double(hist.count) / dt,
+                              hist.quantile(0.50), hist.quantile(0.99),
+                              service.queue_depth());
+                std::fprintf(stderr, "[live] %s\n", line);
+                obs::log_event(obs::LogLevel::info, "live_stats", line);
             }
             prev = std::move(snap);
             prev_t = now_t;
@@ -211,6 +243,34 @@ main(int argc, char **argv)
         wire::append_frame(response_stream, wire::encode_response(resp));
         if (resp.ok()) ++ok;
         prove_responses.push_back(std::move(resp));
+    }
+
+    // Optional hold-open window (ZKSPEED_SERVE_MS): keep the workers
+    // loaded with small prove jobs for ~N ms so external scrapers (the
+    // CI lane curling /metrics and /readyz) observe a live, busy
+    // process rather than a raced startup.
+    if (const char *serve = std::getenv("ZKSPEED_SERVE_MS");
+        serve != nullptr && *serve != '\0') {
+        double serve_ms = std::atof(serve);
+        auto serve_until =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration<double, std::milli>(serve_ms);
+        std::mt19937_64 serve_rng(11);
+        auto [serve_circuit, serve_witness] =
+            hyperplonk::random_circuit(4, serve_rng);
+        uint64_t serve_id = 9000;
+        size_t served = 0;
+        while (std::chrono::steady_clock::now() < serve_until) {
+            JobRequest req;
+            req.request_id = serve_id++;
+            req.circuit = serve_circuit;
+            req.witness = serve_witness;
+            service.submit(req).get();
+            ++served;
+        }
+        obs::logf(obs::LogLevel::info, "proof_server", 0,
+                  "serve window closed after %zu extra prove job(s)",
+                  served);
     }
 
     // ------------------------------------------------------------------
@@ -376,7 +436,9 @@ main(int argc, char **argv)
             attrib_out != nullptr && *attrib_out != '\0'
                 ? attrib_out
                 : "ATTRIB_report.json";
-        obs::write_file(attrib_path, obs::attrib::render_json(attrib));
+        std::string attrib_json = obs::attrib::render_json(attrib);
+        obs::set_latest_attrib_json(attrib_json);  // /attrib goes live
+        obs::write_file(attrib_path, attrib_json);
         obs::dump_artifacts_to_env();
         std::printf("\nattribution: %zu job(s) joined, %zu kernel "
                     "group(s), report written to %s\n",

@@ -13,7 +13,9 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/build_info.hpp"
 #include "obs/export.hpp"  // json_escape
+#include "obs/log.hpp"
 #include "runtime/service.hpp"
 
 namespace zkspeed::loadgen {
@@ -422,6 +424,7 @@ std::string
 Report::render_json() const
 {
     std::string out = "{\"tool\":\"zkspeed_loadgen\"";
+    out += ",\"build\":" + obs::build_info_json_text(-1);
     out += ",\"seed\":" + std::to_string(plan.seed);
     out += ",\"profile\":{\"kind\":\"";
     out += plan.profile.kind_name();
@@ -683,7 +686,7 @@ LoadGen::run(std::FILE *stream)
         wr.verdicts = evaluator.evaluate(delta);
         wr.slo_ok = obs::SloEvaluator::all_pass(wr.verdicts);
 
-        if (stream != nullptr) {
+        {
             std::string failing;
             for (const auto &v : wr.verdicts) {
                 if (v.pass) continue;
@@ -691,16 +694,25 @@ LoadGen::run(std::FILE *stream)
                 failing += v.objective;
             }
             if (!failing.empty()) failing += "]";
-            std::fprintf(
-                stream,
+            char line[256];
+            std::snprintf(
+                line, sizeof(line),
                 "[loadgen %s] w%02zu target=%.1fqps offered=%.1f "
                 "achieved=%.1f p50=%.2fms p99=%.2fms err/s=%.2f "
-                "shed=%llu SLO=%s%s\n",
+                "shed=%llu SLO=%s%s",
                 svc.c_str(), w, target, wr.qps_offered, wr.qps_achieved,
                 wr.p50_ms, wr.p99_ms, wr.errors_per_s,
                 (unsigned long long)wr.shed, wr.slo_ok ? "ok" : "BREACH",
                 failing.c_str());
-            std::fflush(stream);
+            // Same line to the console stream and the structured ring,
+            // so a crash's flight snapshot carries the recent windows.
+            if (stream != nullptr) {
+                std::fprintf(stream, "%s\n", line);
+                std::fflush(stream);
+            }
+            obs::log_event(wr.slo_ok ? obs::LogLevel::info
+                                     : obs::LogLevel::warn,
+                           "loadgen", line);
         }
         rep.windows.push_back(std::move(wr));
     }

@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/build_info.hpp"
 #include "obs/jsonv.hpp"
 
 namespace zkspeed::obs::attrib {
@@ -348,7 +349,8 @@ const char *const kJobRowKeys[] = {"job", "mu", "sw_ms", "chip_ms",
                                    "kernels"};
 
 const char *const kReportKeys[] = {
-    "schema",           "clock_ghz",
+    "schema",           "build",
+    "clock_ghz",
     "measured_total_seconds", "modeled_total_cycles",
     "jobs_joined",      "jobs_modeled_only",
     "jobs_measured_only", "spans_seen",
@@ -399,6 +401,7 @@ render_json(const Report &report)
 {
     jsonv::Value doc = jsonv::Value::object();
     doc.set("schema", jsonv::Value::of("zkspeed-attrib-v1"));
+    doc.set("build", build_info_json());
     doc.set("clock_ghz", jsonv::Value::of(report.clock_ghz));
     doc.set("measured_total_seconds",
             jsonv::Value::of(report.measured_total_seconds));
@@ -450,6 +453,7 @@ parse_json(const std::string &text)
     if (!schema->is_string() || schema->str != "zkspeed-attrib-v1") {
         return std::nullopt;
     }
+    if (!doc.find("build")->is_object()) return std::nullopt;
     Report report;
     auto number = [&](const char *key, double &out) {
         const jsonv::Value *v = doc.find(key);

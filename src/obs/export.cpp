@@ -7,6 +7,9 @@
 #include <numeric>
 #include <string_view>
 
+#include "obs/flight.hpp"
+#include "obs/http.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 
 namespace zkspeed::obs {
@@ -232,6 +235,19 @@ dump_artifacts_to_env()
     bool json = p.size() >= 5 && p.substr(p.size() - 5) == ".json";
     write_file(path, json ? render_json(snap)
                           : render_prometheus_text(snap));
+}
+
+void
+flush_all()
+{
+    dump_artifacts_to_env();
+    LogRecorder::dump_to_env();
+    const char *attrib_out = std::getenv("ZKSPEED_ATTRIB_OUT");
+    if (attrib_out != nullptr && *attrib_out != '\0') {
+        std::string attrib = latest_attrib_json();
+        if (!attrib.empty()) write_file(attrib_out, attrib);
+    }
+    if (flight::installed()) flight::refresh();
 }
 
 }  // namespace zkspeed::obs

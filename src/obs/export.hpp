@@ -39,4 +39,15 @@ bool write_file(const std::string &path, const std::string &content);
  */
 void dump_artifacts_to_env();
 
+/**
+ * One shutdown hook for every telemetry artifact, so the set can never
+ * silently diverge between exit paths again: metrics + trace
+ * (`dump_artifacts_to_env`), the structured log ring
+ * (`ZKSPEED_LOG_OUT` as JSON lines), the latest attribution report
+ * (`ZKSPEED_ATTRIB_OUT`, when one was built this run), and a final
+ * flight-recorder snapshot. Service shutdown and `proof_server`'s
+ * SIGINT/SIGTERM handler both route through here.
+ */
+void flush_all();
+
 }  // namespace zkspeed::obs

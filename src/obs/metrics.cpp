@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include "obs/build_info.hpp"
+
 #include <algorithm>
 #include <cstdlib>
 #include <limits>
@@ -213,11 +215,16 @@ register_build_info(MetricsRegistry &reg)
     // set. `format` tracks the wire/serialization format version
     // (proof/vk/key-cache magics); the soak knobs and trace-ring size
     // make exported artifacts self-describing about the run that
-    // produced them.
+    // produced them; git/compiler/flags come from obs/build_info.hpp —
+    // the same payload every artifact JSON embeds under "build".
+    const BuildInfo &build = build_info();
     MetricId id = reg.gauge(
         "zkspeed_build_info",
-        {{"features", "lookup,keccak,loadgen,attrib"},
-         {"format", "v3"},
+        {{"compiler", build.compiler},
+         {"features", build.features},
+         {"flags", build.flags},
+         {"format", build.format},
+         {"git", build.git},
          {"keccak_rounds", env_or("ZKSPEED_KECCAK_ROUNDS", "1")},
          {"soak_mu_bump", env_or("ZKSPEED_SOAK_MU_BUMP", "0")},
          {"soak_seeds", env_or("ZKSPEED_SOAK_SEEDS", "2")},

@@ -23,6 +23,32 @@ span_stack()
     return stack;
 }
 
+/** Process-wide open-span table (flight recorder input). Spans are
+ * orders of magnitude rarer than metric observations, so one short
+ * mutex-protected vector op per open/close is in budget; closes are
+ * LIFO per thread, so the erase usually hits the tail. */
+std::mutex g_open_mu;
+std::vector<OpenSpan> g_open_spans;
+
+void
+open_span_register(OpenSpan span)
+{
+    std::lock_guard<std::mutex> lock(g_open_mu);
+    g_open_spans.push_back(std::move(span));
+}
+
+void
+open_span_unregister(uint64_t span_id)
+{
+    std::lock_guard<std::mutex> lock(g_open_mu);
+    for (size_t i = g_open_spans.size(); i-- > 0;) {
+        if (g_open_spans[i].span_id == span_id) {
+            g_open_spans.erase(g_open_spans.begin() + long(i));
+            return;
+        }
+    }
+}
+
 std::string
 fmt_us(double v)
 {
@@ -243,6 +269,13 @@ TraceRecorder::dump_to_env()
     return path;
 }
 
+std::vector<OpenSpan>
+open_spans()
+{
+    std::lock_guard<std::mutex> lock(g_open_mu);
+    return g_open_spans;
+}
+
 Span::Span(std::string name, std::string category, uint64_t correlation_id)
     : name_(std::move(name)),
       category_(std::move(category)),
@@ -255,11 +288,21 @@ Span::Span(std::string name, std::string category, uint64_t correlation_id)
     stack.push_back(id_);
     start_ = std::chrono::steady_clock::now();
     active_ = true;
+    OpenSpan open;
+    open.span_id = id_;
+    open.parent_id = parent_id_;
+    open.correlation_id = correlation_id_;
+    open.tid = TraceRecorder::current_tid();
+    open.start_us = TraceRecorder::to_us(start_);
+    open.name = name_;
+    open.category = category_;
+    open_span_register(std::move(open));
 }
 
 Span::~Span()
 {
     if (!active_) return;
+    open_span_unregister(id_);
     auto end = std::chrono::steady_clock::now();
     auto &stack = span_stack();
     // Pop our own id; tolerate a disable() between open and close.

@@ -45,6 +45,22 @@ struct SpanEvent {
     std::vector<std::pair<std::string, double>> args;
 };
 
+/** A span currently open somewhere in the process. The flight
+ * recorder snapshots this table ("what was in flight when we died");
+ * RAII `Span`s register on open and unregister on close. */
+struct OpenSpan {
+    uint64_t span_id = 0;
+    uint64_t parent_id = 0;
+    uint64_t correlation_id = 0;
+    uint32_t tid = 0;
+    double start_us = 0;
+    std::string name;
+    std::string category;
+};
+
+/** Every currently-open RAII span, in open order. */
+std::vector<OpenSpan> open_spans();
+
 class TraceRecorder
 {
   public:

@@ -1,5 +1,7 @@
 #include "runtime/service.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <string_view>
@@ -7,6 +9,8 @@
 #include "ff/parallel.hpp"
 #include "hyperplonk/serialize.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 
 namespace zkspeed::runtime {
@@ -42,13 +46,34 @@ status_bucket(JobStatus s)
 }
 
 /**
- * Shutdown artifact hooks: ZKSPEED_TRACE_OUT / ZKSPEED_METRICS_OUT
- * (shared with the examples' interrupt handlers — obs/export.hpp).
+ * Shutdown artifact hooks: metrics, trace, log ring, attribution and
+ * a final flight snapshot all flush through obs::flush_all (shared
+ * with the examples' interrupt handlers — obs/export.hpp).
  */
 void
 dump_telemetry_env()
 {
-    obs::dump_artifacts_to_env();
+    obs::flush_all();
+}
+
+/** True when ZKSPEED_FAULT_INJECT names this stage (test/CI hook for
+ * exercising the worker-exception flight-recorder path). */
+bool
+fault_injected(const char *stage)
+{
+    const char *v = std::getenv("ZKSPEED_FAULT_INJECT");
+    return v != nullptr && std::string_view(v) == stage;
+}
+
+/** Worker catch-site hook: one structured log line + a flight-recorder
+ * snapshot, so a crashing job class is diagnosable post-mortem even
+ * when the process survives (workers are crash-isolated per job). */
+void
+note_worker_exception(const char *where, const std::string &what)
+{
+    obs::logf(obs::LogLevel::error, "service", 0,
+              "worker exception in %s: %s", where, what.c_str());
+    obs::flight::note_worker_exception(where, what.c_str());
 }
 
 }  // namespace
@@ -339,10 +364,12 @@ ProofService::handle(QueuedJob &&job, uint32_t worker_id)
             parked.reset();
             resp.status = JobStatus::internal_error;
             resp.error = e.what();
+            note_worker_exception("verify", resp.error);
         } catch (...) {
             parked.reset();
             resp.status = JobStatus::internal_error;
             resp.error = "unknown exception while verifying";
+            note_worker_exception("verify", resp.error);
         }
         if (parked.has_value()) {
             parked->metrics.worker_id = worker_id;
@@ -363,10 +390,12 @@ ProofService::handle(QueuedJob &&job, uint32_t worker_id)
         resp = JobResponse{};
         resp.status = JobStatus::internal_error;
         resp.error = e.what();
+        note_worker_exception("prove", resp.error);
     } catch (...) {
         resp = JobResponse{};
         resp.status = JobStatus::internal_error;
         resp.error = "unknown exception while proving";
+        note_worker_exception("prove", resp.error);
     }
     resp.kind = JobKind::prove;
     resp.metrics.worker_id = worker_id;
@@ -419,6 +448,10 @@ ProofService::process_prove(QueuedJob &job)
     auto prove_start = Clock::now();
     bool cache_hit = false;
     try {
+        if (fault_injected("prove")) {
+            throw std::runtime_error(
+                "fault injection: ZKSPEED_FAULT_INJECT=prove");
+        }
         auto kc_start = Clock::now();
         auto [keys, hit] = cache_.get_or_create(req.circuit);
         obs::Span::record_complete("prove.key_cache", "service", kc_start,
@@ -439,6 +472,7 @@ ProofService::process_prove(QueuedJob &job)
         resp.status = JobStatus::internal_error;
         resp.error = e.what();
         resp.metrics.total_ms = ms_since(job.enqueued);
+        note_worker_exception("prove", resp.error);
         return resp;
     }
 
@@ -625,6 +659,9 @@ ProofService::flush_verify_batch(std::vector<PendingVerify> batch,
     } catch (...) {
         flush_error = "unknown exception while flushing verify batch";
     }
+    if (!flush_error.empty()) {
+        note_worker_exception("verify_flush", flush_error);
+    }
     if (!result.has_value()) {
         // Flush blew up (e.g. allocation failure): every parked job
         // still gets a response — the flush runs on worker and flusher
@@ -713,8 +750,47 @@ void
 ProofService::finish_response(std::promise<JobResponse> &promise,
                               JobResponse resp)
 {
+    // Readiness window first and unconditionally: /readyz must keep
+    // answering truthfully with the telemetry kill switch off.
+    uint64_t slot = terminal_jobs_.fetch_add(1, std::memory_order_relaxed);
+    recent_failed_[slot % kReadinessWindow].store(
+        status_bucket(resp.status) == 2 ? 1 : 0,
+        std::memory_order_relaxed);
     record_job_telemetry(resp);
     promise.set_value(std::move(resp));
+}
+
+ServiceReadiness
+ProofService::readiness() const
+{
+    ServiceReadiness r;
+    r.workers_up = started_.load(std::memory_order_acquire) &&
+                   !stopped_.load(std::memory_order_acquire);
+    r.queue_depth = queue_.size();
+    r.queue_capacity = std::max<size_t>(1, cfg_.queue_capacity);
+    uint64_t seen = terminal_jobs_.load(std::memory_order_relaxed);
+    size_t n = size_t(std::min<uint64_t>(seen, kReadinessWindow));
+    size_t failed = 0;
+    for (size_t i = 0; i < n; ++i) {
+        failed += recent_failed_[i].load(std::memory_order_relaxed);
+    }
+    r.recent_error_ratio = n != 0 ? double(failed) / double(n) : 0.0;
+    bool saturated = r.queue_depth >= r.queue_capacity;
+    bool erroring = r.recent_error_ratio >= kReadinessErrorThreshold;
+    r.ready = r.workers_up && !saturated && !erroring;
+    if (!r.workers_up) {
+        r.detail = "workers not running";
+    } else if (saturated) {
+        r.detail = "queue saturated (" + std::to_string(r.queue_depth) +
+                   "/" + std::to_string(r.queue_capacity) + ")";
+    } else if (erroring) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf),
+                      "recent error ratio %.2f over last %zu jobs",
+                      r.recent_error_ratio, n);
+        r.detail = buf;
+    }
+    return r;
 }
 
 ServiceMetrics

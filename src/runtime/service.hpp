@@ -23,6 +23,7 @@
  */
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <future>
@@ -70,6 +71,24 @@ struct ServiceConfig {
     bool start_paused = false;
 };
 
+/**
+ * Readiness probe answer (the /readyz formula, DESIGN.md §14):
+ * ready = workers up AND queue below capacity AND the failed-job
+ * ratio over the last `kReadinessWindow` terminal jobs under
+ * `kReadinessErrorThreshold`. Rejected jobs (bad requests) do not
+ * count against readiness — only `failed` ones (internal errors /
+ * cancellations) signal an unhealthy instance.
+ */
+struct ServiceReadiness {
+    bool ready = false;
+    bool workers_up = false;
+    size_t queue_depth = 0;
+    size_t queue_capacity = 0;
+    double recent_error_ratio = 0.0;
+    /** Human-readable reason when not ready (empty when ready). */
+    std::string detail;
+};
+
 class ProofService
 {
   public:
@@ -110,6 +129,15 @@ class ProofService
      * kept as a snapshot reconstruction — see runtime/metrics.hpp).
      */
     ServiceMetrics metrics() const;
+
+    /** Failed-job window size of the readiness formula. */
+    static constexpr size_t kReadinessWindow = 64;
+    /** Recent failed-job ratio at or above this flips /readyz to 503. */
+    static constexpr double kReadinessErrorThreshold = 0.5;
+    /** Evaluate the /readyz formula against live state (lock-free
+     * reads; safe from the telemetry HTTP server's handler threads). */
+    ServiceReadiness readiness() const;
+
     KeyCacheStats cache_stats() const { return cache_.stats(); }
     /** Snapshot of the replayable trace (record_trace only). */
     std::vector<TraceEntry> trace() const;
@@ -188,9 +216,15 @@ class ProofService
     KeyCache cache_;
     std::vector<std::thread> workers_;
     std::thread flusher_;
-    bool started_ = false;
-    bool stopped_ = false;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopped_{false};
     std::atomic<size_t> busy_workers_{0};
+
+    /** Terminal-status ring behind readiness(): slot = job index mod
+     * window, value 1 when the job failed. Updated unconditionally in
+     * finish_response (readiness must work with telemetry disabled). */
+    std::array<std::atomic<uint8_t>, kReadinessWindow> recent_failed_{};
+    std::atomic<uint64_t> terminal_jobs_{0};
 
     std::mutex window_mu_;
     std::condition_variable window_cv_;

@@ -5,6 +5,8 @@
 
 #include "hyperplonk/serialize.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/http.hpp"
 #include "obs/trace.hpp"
 #include "scenarios/registry.hpp"
 #include "sim/tech.hpp"
@@ -23,6 +25,14 @@ Harness::Harness(HarnessConfig cfg)
       trace_min_ts_us_(
           obs::TraceRecorder::to_us(std::chrono::steady_clock::now()))
 {
+    // Crash forensics opt-in for scenario drivers: when
+    // ZKSPEED_FLIGHT_OUT names a path, keep a flight snapshot there
+    // (proof_server installs unconditionally; the harness is library
+    // code embedded in tests, so it only installs when asked).
+    if (const char *fo = std::getenv("ZKSPEED_FLIGHT_OUT");
+        fo != nullptr && *fo != '\0' && !obs::flight::installed()) {
+        obs::flight::install();
+    }
 }
 
 ScenarioResult
@@ -202,6 +212,9 @@ Harness::finish()
         obs::attrib::export_to_registry(suite.attrib,
                                         obs::MetricsRegistry::global());
         suite.attrib_json = obs::attrib::render_json(suite.attrib);
+        // Feed the live /attrib endpoint (and obs::flush_all's
+        // ZKSPEED_ATTRIB_OUT fallback) the freshest report.
+        obs::set_latest_attrib_json(suite.attrib_json);
         const char *attrib_out = std::getenv("ZKSPEED_ATTRIB_OUT");
         if (attrib_out != nullptr && *attrib_out != '\0') {
             obs::write_file(attrib_out, suite.attrib_json);

@@ -1,0 +1,744 @@
+/**
+ * @file
+ * Live telemetry plane tests (DESIGN.md §14): the embedded scrape
+ * server (/metrics, /metrics.json, /healthz, /readyz, /trace,
+ * /attrib), the live-scrape == shutdown-exposition series-set
+ * invariant, concurrent scrapes while two provers run, readiness
+ * flipping under queue saturation, the obs::set_enabled(false) kill
+ * switch covering HTTP + log ring, structured-log ring/rate-limit
+ * semantics and JSONL rendering, and the flight recorder's
+ * worker-exception path (forced via ZKSPEED_FAULT_INJECT).
+ */
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "hyperplonk/serialize.hpp"
+#include "obs/build_info.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/http.hpp"
+#include "obs/jsonv.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/service.hpp"
+
+namespace {
+
+using namespace zkspeed;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validator (same contract as test_obs.cpp's): true iff
+// the whole string is exactly one JSON value a real parser accepts.
+// ---------------------------------------------------------------------------
+
+struct JsonCursor {
+    const std::string &s;
+    size_t i = 0;
+
+    void
+    ws()
+    {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t' ||
+                                s[i] == '\n' || s[i] == '\r')) {
+            ++i;
+        }
+    }
+    bool
+    lit(const char *t)
+    {
+        size_t n = std::strlen(t);
+        if (s.compare(i, n, t) != 0) return false;
+        i += n;
+        return true;
+    }
+    bool
+    string()
+    {
+        if (i >= s.size() || s[i] != '"') return false;
+        ++i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\') {
+                ++i;
+                if (i >= s.size()) return false;
+                if (s[i] == 'u') {
+                    for (int k = 0; k < 4; ++k) {
+                        if (++i >= s.size() || !std::isxdigit(
+                                                   (unsigned char)s[i])) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            ++i;
+        }
+        if (i >= s.size()) return false;
+        ++i;  // closing quote
+        return true;
+    }
+    bool
+    number()
+    {
+        size_t start = i;
+        if (i < s.size() && s[i] == '-') ++i;
+        while (i < s.size() && std::isdigit((unsigned char)s[i])) ++i;
+        if (i < s.size() && s[i] == '.') {
+            ++i;
+            while (i < s.size() && std::isdigit((unsigned char)s[i])) ++i;
+        }
+        if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+            ++i;
+            if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+            while (i < s.size() && std::isdigit((unsigned char)s[i])) ++i;
+        }
+        return i > start;
+    }
+    bool
+    value()
+    {
+        ws();
+        if (i >= s.size()) return false;
+        char c = s[i];
+        if (c == '"') return string();
+        if (c == '{') {
+            ++i;
+            ws();
+            if (i < s.size() && s[i] == '}') {
+                ++i;
+                return true;
+            }
+            for (;;) {
+                ws();
+                if (!string()) return false;
+                ws();
+                if (i >= s.size() || s[i] != ':') return false;
+                ++i;
+                if (!value()) return false;
+                ws();
+                if (i < s.size() && s[i] == ',') {
+                    ++i;
+                    continue;
+                }
+                break;
+            }
+            if (i >= s.size() || s[i] != '}') return false;
+            ++i;
+            return true;
+        }
+        if (c == '[') {
+            ++i;
+            ws();
+            if (i < s.size() && s[i] == ']') {
+                ++i;
+                return true;
+            }
+            for (;;) {
+                if (!value()) return false;
+                ws();
+                if (i < s.size() && s[i] == ',') {
+                    ++i;
+                    continue;
+                }
+                break;
+            }
+            if (i >= s.size() || s[i] != ']') return false;
+            ++i;
+            return true;
+        }
+        if (c == 't') return lit("true");
+        if (c == 'f') return lit("false");
+        if (c == 'n') return lit("null");
+        return number();
+    }
+};
+
+bool
+valid_json(const std::string &s)
+{
+    JsonCursor c{s};
+    if (!c.value()) return false;
+    c.ws();
+    return c.i == s.size();
+}
+
+/** Strict line check for the Prometheus text format (v0.0.4 subset),
+ * same as test_obs.cpp's — here applied to live scrape bodies. */
+void
+check_prometheus_lines(const std::string &text)
+{
+    size_t pos = 0;
+    int series_lines = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        ASSERT_NE(eol, std::string::npos) << "unterminated last line";
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty()) continue;
+        if (line.rfind("# HELP ", 0) == 0 ||
+            line.rfind("# TYPE ", 0) == 0) {
+            continue;
+        }
+        ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+        size_t sp = line.rfind(' ');
+        ASSERT_NE(sp, std::string::npos) << line;
+        std::string value = line.substr(sp + 1);
+        char *end = nullptr;
+        std::strtod(value.c_str(), &end);
+        EXPECT_EQ(*end, '\0') << "unparseable value in: " << line;
+        std::string series = line.substr(0, sp);
+        size_t brace = series.find('{');
+        std::string name = series.substr(0, brace);
+        ASSERT_FALSE(name.empty());
+        for (char ch : name) {
+            EXPECT_TRUE(std::isalnum((unsigned char)ch) || ch == '_' ||
+                        ch == ':')
+                << "bad metric name char in: " << line;
+        }
+        if (brace != std::string::npos) {
+            EXPECT_EQ(series.back(), '}') << line;
+        }
+        ++series_lines;
+    }
+    EXPECT_GT(series_lines, 0);
+}
+
+/** Series identities (`name{labels}`, value stripped) of an
+ * exposition — the live-vs-shutdown comparison key. The `le` label is
+ * dropped: histogram buckets render sparsely (only populated ones), so
+ * observations arriving between the two expositions legitimately add
+ * bucket *lines*; the series itself must still be present in both. */
+std::set<std::string>
+series_identities(const std::string &text)
+{
+    std::set<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        size_t sp = line.rfind(' ');
+        if (sp == std::string::npos) continue;
+        std::string id = line.substr(0, sp);
+        size_t le = id.find("le=\"");
+        size_t end = le == std::string::npos ? std::string::npos
+                                             : id.find('"', le + 4);
+        if (end != std::string::npos) {
+            // Swallow a trailing comma (le mid-label-set) or a leading
+            // one (le last) so the remainder is well-formed.
+            if (end + 1 < id.size() && id[end + 1] == ',') {
+                id.erase(le, end + 2 - le);
+            } else {
+                size_t from = le > 0 && id[le - 1] == ',' ? le - 1 : le;
+                id.erase(from, end + 1 - from);
+            }
+        }
+        out.insert(id);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// A tiny loopback HTTP client (blocking, Connection: close).
+// ---------------------------------------------------------------------------
+
+struct HttpReply {
+    bool ok = false;  ///< transport-level success (connect/read)
+    int code = 0;
+    std::string body;
+};
+
+HttpReply
+http_request(uint16_t port, const std::string &method,
+             const std::string &path)
+{
+    HttpReply reply;
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return reply;
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+        0) {
+        close(fd);
+        return reply;
+    }
+    std::string req = method + " " + path +
+                      " HTTP/1.1\r\nHost: localhost\r\n"
+                      "Connection: close\r\n\r\n";
+    size_t off = 0;
+    while (off < req.size()) {
+        ssize_t n = send(fd, req.data() + off, req.size() - off, 0);
+        if (n <= 0) {
+            close(fd);
+            return reply;
+        }
+        off += size_t(n);
+    }
+    std::string raw;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        raw.append(buf, size_t(n));
+    }
+    close(fd);
+    if (raw.rfind("HTTP/1.1 ", 0) != 0 || raw.size() < 12) return reply;
+    reply.code = std::atoi(raw.c_str() + 9);
+    size_t split = raw.find("\r\n\r\n");
+    if (split == std::string::npos) return reply;
+    reply.body = raw.substr(split + 4);
+    reply.ok = true;
+    return reply;
+}
+
+HttpReply
+http_get(uint16_t port, const std::string &path)
+{
+    return http_request(port, "GET", path);
+}
+
+runtime::JobRequest
+make_request(uint64_t id, size_t mu, uint64_t circuit_seed)
+{
+    std::mt19937_64 rng(circuit_seed);
+    auto [index, wit] = hyperplonk::random_circuit(mu, rng);
+    runtime::JobRequest req;
+    req.request_id = id;
+    req.circuit = std::move(index);
+    req.witness = std::move(wit);
+    return req;
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint coverage + the live == shutdown series-set invariant.
+// ---------------------------------------------------------------------------
+
+TEST(ObsHttp, ServesAllEndpointsOnEphemeralPort)
+{
+    runtime::ServiceConfig cfg;
+    cfg.num_workers = 1;
+    cfg.total_parallelism = 1;
+    runtime::ProofService service(cfg);
+    EXPECT_TRUE(service.submit(make_request(1, 5, 42)).get().ok());
+
+    auto server = obs::HttpServer::start();
+    ASSERT_NE(server, nullptr);
+    ASSERT_GT(server->port(), 0);
+
+    auto health = http_get(server->port(), "/healthz");
+    ASSERT_TRUE(health.ok);
+    EXPECT_EQ(health.code, 200);
+    EXPECT_EQ(health.body, "ok\n");
+
+    // No readiness provider registered in this test: default ready.
+    obs::set_readiness_provider(nullptr);
+    auto ready = http_get(server->port(), "/readyz");
+    ASSERT_TRUE(ready.ok);
+    EXPECT_EQ(ready.code, 200);
+
+    auto metrics_json = http_get(server->port(), "/metrics.json");
+    ASSERT_TRUE(metrics_json.ok);
+    EXPECT_EQ(metrics_json.code, 200);
+    EXPECT_TRUE(valid_json(metrics_json.body));
+
+    auto trace = http_get(server->port(), "/trace");
+    ASSERT_TRUE(trace.ok);
+    EXPECT_EQ(trace.code, 200);
+    EXPECT_TRUE(valid_json(trace.body));
+
+    EXPECT_EQ(http_get(server->port(), "/nope").code, 404);
+    EXPECT_EQ(http_request(server->port(), "POST", "/metrics").code, 405);
+
+    // /attrib is 404 until a report exists, 200 JSON afterwards.
+    obs::set_latest_attrib_json("");
+    EXPECT_EQ(http_get(server->port(), "/attrib").code, 404);
+    obs::set_latest_attrib_json("{\"schema\":\"test\"}");
+    auto attrib = http_get(server->port(), "/attrib");
+    EXPECT_EQ(attrib.code, 200);
+    EXPECT_EQ(attrib.body, "{\"schema\":\"test\"}");
+    obs::set_latest_attrib_json("");
+
+    // Query strings are stripped before dispatch.
+    EXPECT_EQ(http_get(server->port(), "/healthz?x=1").code, 200);
+
+    // The live scrape and the shutdown exposition must expose the same
+    // series set — a scrape must never see a partial registry.
+    auto live = http_get(server->port(), "/metrics");
+    ASSERT_TRUE(live.ok);
+    EXPECT_EQ(live.code, 200);
+    check_prometheus_lines(live.body);
+    server->stop();
+    service.shutdown();
+    std::string final_text = obs::render_prometheus_text(
+        obs::MetricsRegistry::global().snapshot());
+    EXPECT_EQ(series_identities(live.body),
+              series_identities(final_text));
+
+    // The request counter covers every endpoint label it saw.
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    const auto *req_metrics = snap.find("zkspeed_http_requests_total",
+                                        {{"endpoint", "/metrics"}});
+    ASSERT_NE(req_metrics, nullptr);
+    EXPECT_GE(req_metrics->counter, 1u);
+    const auto *req_other =
+        snap.find("zkspeed_http_requests_total", {{"endpoint", "other"}});
+    ASSERT_NE(req_other, nullptr);
+    EXPECT_GE(req_other->counter, 1u);
+    const auto *port_gauge = snap.find("zkspeed_http_port", {});
+    ASSERT_NE(port_gauge, nullptr);
+    EXPECT_EQ(port_gauge->gauge, 0.0) << "stop() must clear the gauge";
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent scrapes while two provers run.
+// ---------------------------------------------------------------------------
+
+TEST(ObsHttp, ConcurrentScrapeWhileProving)
+{
+    auto server = obs::HttpServer::start();
+    ASSERT_NE(server, nullptr);
+
+    runtime::ServiceConfig cfg;
+    cfg.num_workers = 1;
+    cfg.total_parallelism = 1;
+    runtime::ProofService svc_a(cfg), svc_b(cfg);
+
+    std::atomic<bool> proving{true};
+    std::thread prover_a([&] {
+        for (int i = 0; i < 4; ++i) {
+            svc_a.submit(make_request(100 + i, 5, 7 + i)).get();
+        }
+        proving.store(false, std::memory_order_release);
+    });
+    std::thread prover_b([&] {
+        for (int i = 0; i < 4; ++i) {
+            svc_b.submit(make_request(200 + i, 5, 19 + i)).get();
+        }
+    });
+
+    constexpr int kScrapers = 4;
+    std::atomic<int> bad_transport{0}, bad_code{0}, bad_body{0};
+    std::vector<std::thread> scrapers;
+    for (int s = 0; s < kScrapers; ++s) {
+        scrapers.emplace_back([&, s] {
+            int iter = 0;
+            do {
+                const char *path = (iter + s) % 2 == 0 ? "/metrics"
+                                                       : "/trace";
+                auto reply = http_get(server->port(), path);
+                if (!reply.ok) {
+                    ++bad_transport;
+                } else if (reply.code != 200) {
+                    ++bad_code;
+                } else if (std::strcmp(path, "/trace") == 0
+                               ? !valid_json(reply.body)
+                               : reply.body.find("# TYPE") ==
+                                     std::string::npos) {
+                    ++bad_body;
+                }
+                ++iter;
+            } while (iter < 8 ||
+                     proving.load(std::memory_order_acquire));
+        });
+    }
+    for (auto &t : scrapers) t.join();
+    prover_a.join();
+    prover_b.join();
+    EXPECT_EQ(bad_transport.load(), 0);
+    EXPECT_EQ(bad_code.load(), 0);
+    EXPECT_EQ(bad_body.load(), 0);
+
+    // One full strict validation of the final live body.
+    auto final_scrape = http_get(server->port(), "/metrics");
+    ASSERT_TRUE(final_scrape.ok);
+    check_prometheus_lines(final_scrape.body);
+}
+
+// ---------------------------------------------------------------------------
+// Readiness: saturation flips /readyz, draining flips it back.
+// ---------------------------------------------------------------------------
+
+TEST(ObsHttp, ReadyzFlipsUnderQueueSaturation)
+{
+    runtime::ServiceConfig cfg;
+    cfg.num_workers = 1;
+    cfg.total_parallelism = 1;
+    cfg.queue_capacity = 3;
+    runtime::ProofService service(cfg);
+    obs::set_readiness_provider([&service] {
+        auto r = service.readiness();
+        return obs::Readiness{r.ready, r.detail};
+    });
+    auto server = obs::HttpServer::start();
+    ASSERT_NE(server, nullptr);
+
+    EXPECT_EQ(http_get(server->port(), "/readyz").code, 200);
+
+    // Park the lone worker on a big proof, then fill the queue.
+    std::vector<std::future<runtime::JobResponse>> futures;
+    futures.push_back(service.submit(make_request(1, 9, 1)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    uint64_t id = 2;
+    for (;;) {
+        auto f = service.try_submit(
+            runtime::wire::encode_request(make_request(id, 4, id)));
+        if (!f.has_value()) break;
+        futures.push_back(std::move(*f));
+        ++id;
+        ASSERT_LT(id, 64u) << "queue never saturated";
+    }
+    auto r = service.readiness();
+    EXPECT_FALSE(r.ready);
+    EXPECT_TRUE(r.workers_up);
+    EXPECT_GE(r.queue_depth, r.queue_capacity);
+    EXPECT_NE(r.detail.find("queue saturated"), std::string::npos)
+        << r.detail;
+    auto saturated = http_get(server->port(), "/readyz");
+    ASSERT_TRUE(saturated.ok);
+    EXPECT_EQ(saturated.code, 503);
+    EXPECT_NE(saturated.body.find("not ready"), std::string::npos);
+
+    for (auto &f : futures) EXPECT_TRUE(f.get().ok());
+    auto drained = service.readiness();
+    EXPECT_TRUE(drained.ready) << drained.detail;
+    EXPECT_EQ(http_get(server->port(), "/readyz").code, 200);
+
+    obs::set_readiness_provider(nullptr);
+    server->stop();
+    // A shut-down service reports not ready (workers gone).
+    service.shutdown();
+    EXPECT_FALSE(service.readiness().ready);
+}
+
+// ---------------------------------------------------------------------------
+// Kill switch: HTTP 503 + inert log ring, both reversible.
+// ---------------------------------------------------------------------------
+
+TEST(ObsHttp, KillSwitchDisablesServerAndLogRing)
+{
+    auto server = obs::HttpServer::start();
+    ASSERT_NE(server, nullptr);
+    ASSERT_EQ(http_get(server->port(), "/metrics").code, 200);
+
+    auto &rec = obs::LogRecorder::global();
+    size_t before = rec.size();
+
+    obs::set_enabled(false);
+    auto disabled = http_get(server->port(), "/metrics");
+    ASSERT_TRUE(disabled.ok);
+    EXPECT_EQ(disabled.code, 503);
+    EXPECT_NE(disabled.body.find("disabled"), std::string::npos);
+    EXPECT_EQ(http_get(server->port(), "/healthz").code, 503)
+        << "the kill switch covers every endpoint";
+
+    obs::log_event(obs::LogLevel::info, "t26", "ghost event");
+    obs::logf(obs::LogLevel::debug, "t26", 0, "ghost %d", 1);
+    EXPECT_EQ(rec.size(), before) << "disabled ring must not record";
+
+    obs::set_enabled(true);
+    EXPECT_EQ(http_get(server->port(), "/metrics").code, 200);
+    obs::log_event(obs::LogLevel::info, "t26", "revived event");
+    EXPECT_EQ(rec.size(), before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Structured log ring: bound, rate limit, JSONL rendering.
+// ---------------------------------------------------------------------------
+
+TEST(ObsLog, RingBoundAndArrivalOrder)
+{
+    obs::LogRecorder rec(4);
+    rec.set_rate_limit(0, 0);  // unlimited
+    for (int i = 0; i < 6; ++i) {
+        rec.record(obs::LogLevel::info, "t26",
+                   "event " + std::to_string(i), uint64_t(i));
+    }
+    EXPECT_EQ(rec.size(), 4u);
+    EXPECT_EQ(rec.dropped(), 2u);
+    auto events = rec.events();
+    ASSERT_EQ(events.size(), 4u);
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].message, "event " + std::to_string(i + 2));
+        EXPECT_EQ(events[i].correlation_id, i + 2);
+        EXPECT_GT(events[i].tid, 0u);
+    }
+    rec.clear();
+    EXPECT_EQ(rec.size(), 0u);
+    EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(ObsLog, RateLimitBoundsSustainedVolume)
+{
+    obs::LogRecorder rec(256);
+    rec.set_rate_limit(1.0, 2.0);  // 1/s sustained, burst of 2
+    for (int i = 0; i < 20; ++i) {
+        rec.record(obs::LogLevel::info, "t26", "spam");
+    }
+    // The burst admits ~2 (plus at most a token of refill slack).
+    EXPECT_LE(rec.size(), 3u);
+    EXPECT_GE(rec.rate_limited(), 17u);
+    // Other levels have their own bucket: an error still gets through.
+    rec.record(obs::LogLevel::error, "t26", "the one that matters");
+    bool found = false;
+    for (const auto &e : rec.events()) {
+        if (e.level == obs::LogLevel::error) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ObsLog, JsonlRenderingEscapesAndParses)
+{
+    obs::LogRecorder rec(8);
+    rec.set_rate_limit(0, 0);
+    rec.record(obs::LogLevel::warn, "t26",
+               "quote \" backslash \\ newline \n tab \t done", 77);
+    rec.record(obs::LogLevel::error, "t26", "plain");
+    std::string jsonl = rec.render_jsonl();
+    size_t lines = 0, pos = 0;
+    while (pos < jsonl.size()) {
+        size_t eol = jsonl.find('\n', pos);
+        ASSERT_NE(eol, std::string::npos);
+        std::string line = jsonl.substr(pos, eol - pos);
+        EXPECT_TRUE(valid_json(line)) << line;
+        EXPECT_NE(line.find("\"component\":\"t26\""), std::string::npos);
+        pos = eol + 1;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 2u);
+    auto parsed = obs::jsonv::parse(
+        obs::LogRecorder::render_event(rec.events()[0]));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->find("correlation_id")->as_u64(), 77u);
+    EXPECT_EQ(parsed->find("level")->str, "warn");
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: the worker-exception path produces a schema-valid
+// report (the signal path is exercised by the CI kill job).
+// ---------------------------------------------------------------------------
+
+TEST(ObsFlight, WorkerExceptionWritesSchemaValidReport)
+{
+    const char *path = "FLIGHT_test_worker_ex.json";
+    std::remove(path);
+    obs::flight::Options fopts;
+    fopts.path = path;
+    fopts.install_signal_handlers = false;  // don't fight gtest
+    ASSERT_TRUE(obs::flight::install(fopts));
+    ASSERT_TRUE(obs::flight::installed());
+
+    setenv("ZKSPEED_FAULT_INJECT", "prove", 1);
+    runtime::ServiceConfig cfg;
+    cfg.num_workers = 1;
+    cfg.total_parallelism = 1;
+    runtime::ProofService service(cfg);
+    auto resp = service.submit(make_request(31, 5, 3)).get();
+    unsetenv("ZKSPEED_FAULT_INJECT");
+    EXPECT_EQ(resp.status, runtime::JobStatus::internal_error);
+    EXPECT_NE(resp.error.find("fault injection"), std::string::npos);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    ASSERT_FALSE(text.empty());
+    EXPECT_TRUE(valid_json(text)) << text;
+    auto doc = obs::jsonv::parse(text);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("schema")->str, "zkspeed-flight-v1");
+    EXPECT_EQ(doc->find("reason")->str, "worker_exception");
+    EXPECT_NE(doc->find("detail")->str.find("fault injection"),
+              std::string::npos);
+    EXPECT_TRUE(doc->find("signal")->is_number());
+    const auto *build = doc->find("build");
+    ASSERT_NE(build, nullptr);
+    ASSERT_TRUE(build->is_object());
+    EXPECT_FALSE(build->find("git")->str.empty());
+    EXPECT_FALSE(build->find("compiler")->str.empty());
+    const auto *log = doc->find("log");
+    ASSERT_NE(log, nullptr);
+    ASSERT_TRUE(log->find("events")->is_array());
+    // The catch site logged the exception before snapshotting, so the
+    // tail of the ring carries it.
+    bool logged = false;
+    for (const auto &ev : log->find("events")->items) {
+        if (ev.find("message")->str.find("fault injection") !=
+            std::string::npos) {
+            logged = true;
+        }
+    }
+    EXPECT_TRUE(logged);
+    const auto *metrics = doc->find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_GT(metrics->find("series")->as_u64(), 0u);
+    service.shutdown();
+}
+
+TEST(ObsFlight, SnapshotJsonIsValidAndBounded)
+{
+    std::string snap = obs::flight::snapshot_json("snapshot", "", 9999,
+                                                  64, 32);
+    EXPECT_TRUE(valid_json(snap)) << snap.substr(0, 400);
+    EXPECT_NE(snap.find("\"signal\": 9999"), std::string::npos)
+        << "the patchable placeholder must render verbatim";
+    EXPECT_LT(snap.size(), 256u * 1024u);
+}
+
+// ---------------------------------------------------------------------------
+// Build identity: every envelope embeds the same payload.
+// ---------------------------------------------------------------------------
+
+TEST(ObsBuildInfo, EnvelopeMatchesGaugeAndParses)
+{
+    const obs::BuildInfo &b = obs::build_info();
+    EXPECT_FALSE(b.git.empty());
+    EXPECT_FALSE(b.compiler.empty());
+    EXPECT_FALSE(b.flags.empty());
+    EXPECT_EQ(b.format, "v3");
+    EXPECT_NE(b.features.find("http"), std::string::npos);
+    EXPECT_NE(b.features.find("log"), std::string::npos);
+    EXPECT_NE(b.features.find("flight"), std::string::npos);
+
+    std::string compact = obs::build_info_json_text(-1);
+    EXPECT_TRUE(valid_json(compact)) << compact;
+    auto doc = obs::jsonv::parse(compact);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("git")->str, b.git);
+    EXPECT_EQ(doc->find("compiler")->str, b.compiler);
+    EXPECT_EQ(doc->find("flags")->str, b.flags);
+    EXPECT_EQ(doc->find("format")->str, b.format);
+    EXPECT_EQ(doc->find("features")->str, b.features);
+
+    // The info gauge carries the same identity as labels.
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    const obs::MetricSnapshot *info = nullptr;
+    for (const auto &m : snap.metrics) {
+        if (m.name == "zkspeed_build_info") info = &m;
+    }
+    ASSERT_NE(info, nullptr);
+    auto label = [&](const char *key) -> std::string {
+        for (const auto &[k, v] : info->labels) {
+            if (k == key) return v;
+        }
+        return "";
+    };
+    EXPECT_EQ(label("git"), b.git);
+    EXPECT_EQ(label("compiler"), b.compiler);
+    EXPECT_EQ(label("format"), b.format);
+}
+
+}  // namespace
